@@ -1,0 +1,42 @@
+//! Benchmarks for the data substrate feeding Table II and Figure 1:
+//! synthetic generation, CSR construction, per-user splitting, long-tail
+//! extraction, and the activity–popularity curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_dataset::stats::{activity_popularity_curve, LongTail};
+use ganc_dataset::synth::DatasetProfile;
+use std::hint::black_box;
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("generate/small", |b| {
+        b.iter(|| black_box(DatasetProfile::small().generate(1)))
+    });
+    g.bench_function("generate/medium", |b| {
+        b.iter(|| black_box(DatasetProfile::medium().generate(1)))
+    });
+
+    let data = DatasetProfile::medium().generate(1);
+    g.bench_function("split_per_user/medium", |b| {
+        b.iter(|| black_box(data.split_per_user(0.5, 7).unwrap()))
+    });
+
+    let split = data.split_per_user(0.5, 7).unwrap();
+    g.bench_function("csr_build/medium", |b| {
+        b.iter(|| black_box(data.interactions()))
+    });
+    g.bench_function("table2/long_tail/medium", |b| {
+        b.iter(|| black_box(LongTail::pareto(&split.train)))
+    });
+    g.bench_function("fig1/activity_curve/medium", |b| {
+        b.iter(|| black_box(activity_popularity_curve(&split.train, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks of the GANC framework itself (the Figure 5 / Figure 6
+//! kernel): building a full top-N collection under each coverage
+//! recommender, plus the θ-ablation the paper's Figure 5 sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_core::{CoverageKind, GancBuilder};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_preference::simple::theta_constant;
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::pop::MostPopular;
+use std::hint::black_box;
+
+fn bench_ganc(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(6);
+    let split = data.split_per_user(0.5, 7).unwrap();
+    let train = &split.train;
+    let pop = MostPopular::fit(train);
+    let theta_g = GeneralizedConfig::default().estimate(train);
+    let theta_c = theta_constant(train.n_users(), 0.5);
+
+    let mut g = c.benchmark_group("ganc");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    for kind in [
+        CoverageKind::Random,
+        CoverageKind::Static,
+        CoverageKind::Dynamic,
+    ] {
+        g.bench_function(format!("fig6/coverage_{}", kind.label()), |b| {
+            b.iter(|| {
+                black_box(
+                    GancBuilder::new(5)
+                        .coverage(kind)
+                        .sample_size(200)
+                        .threads(4)
+                        .build_topn(&pop, &theta_g, train, 3),
+                )
+            })
+        });
+    }
+
+    // θ ablation (Figure 5): learned θ^G vs the constant control.
+    g.bench_function("fig5/theta_generalized", |b| {
+        b.iter(|| {
+            black_box(
+                GancBuilder::new(5)
+                    .sample_size(200)
+                    .threads(4)
+                    .build_topn(&pop, &theta_g, train, 3),
+            )
+        })
+    });
+    g.bench_function("fig5/theta_constant", |b| {
+        b.iter(|| {
+            black_box(
+                GancBuilder::new(5)
+                    .sample_size(200)
+                    .threads(4)
+                    .build_topn(&pop, &theta_c, train, 3),
+            )
+        })
+    });
+
+    // List-size scaling (Figure 5's x-axis).
+    for n in [5usize, 20] {
+        g.bench_function(format!("fig5/list_size_N{n}"), |b| {
+            b.iter(|| {
+                black_box(
+                    GancBuilder::new(n)
+                        .sample_size(200)
+                        .threads(4)
+                        .build_topn(&pop, &theta_g, train, 3),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ganc);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Benchmarks of the OSLG optimizer (Figures 3–4 kernel) and the ablations
+//! DESIGN.md calls out: sample-size scaling (the S sweep), full Locally
+//! Greedy vs sampled OSLG, and the increasing-θ ordering vs arbitrary
+//! order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_core::accuracy::NormalizedScores;
+use ganc_core::oslg::{oslg_topn, OslgConfig, UserOrdering};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::pop::MostPopular;
+use std::hint::black_box;
+
+fn bench_oslg(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(8);
+    let split = data.split_per_user(0.5, 9).unwrap();
+    let train = &split.train;
+    let pop = MostPopular::fit(train);
+    let arec = NormalizedScores::new(&pop);
+    let theta = GeneralizedConfig::default().estimate(train);
+    let n_users = train.n_users() as usize;
+
+    let mut g = c.benchmark_group("oslg");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    // Figure 3/4: cost as the sample size S grows.
+    for s in [100usize, 300, 500] {
+        g.bench_function(format!("fig3/sample_size_S{s}"), |b| {
+            b.iter(|| {
+                black_box(oslg_topn(
+                    &arec,
+                    &theta,
+                    train,
+                    &OslgConfig {
+                        sample_size: s.min(n_users),
+                        threads: 4,
+                        ..OslgConfig::new(5)
+                    },
+                ))
+            })
+        });
+    }
+
+    // Ablation: full sequential Locally Greedy (S = |U|) vs OSLG.
+    g.bench_function("ablation/full_locally_greedy", |b| {
+        b.iter(|| {
+            black_box(oslg_topn(
+                &arec,
+                &theta,
+                train,
+                &OslgConfig {
+                    sample_size: n_users,
+                    threads: 4,
+                    ..OslgConfig::new(5)
+                },
+            ))
+        })
+    });
+
+    // Ablation: ordering strategy.
+    for (label, ordering) in [
+        ("increasing_theta", UserOrdering::IncreasingTheta),
+        ("arbitrary", UserOrdering::Arbitrary),
+    ] {
+        g.bench_function(format!("ablation/ordering_{label}"), |b| {
+            b.iter(|| {
+                black_box(oslg_topn(
+                    &arec,
+                    &theta,
+                    train,
+                    &OslgConfig {
+                        sample_size: 200.min(n_users),
+                        ordering,
+                        threads: 4,
+                        ..OslgConfig::new(5)
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oslg);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks for the Figure 2 pipeline: the θ estimators (including the
+//! alternating minimax optimization of θ^G) and the KDE sampling used by
+//! OSLG.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_dataset::stats::LongTail;
+use ganc_dataset::synth::DatasetProfile;
+use ganc_preference::kde::{sample_users_by_kde, Kde};
+use ganc_preference::simple::{theta_activity, theta_normalized};
+use ganc_preference::tfidf::theta_tfidf;
+use ganc_preference::GeneralizedConfig;
+use std::hint::black_box;
+
+fn bench_preference(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(2);
+    let split = data.split_per_user(0.5, 3).unwrap();
+    let train = &split.train;
+    let lt = LongTail::pareto(train);
+
+    let mut g = c.benchmark_group("preference");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("fig2/theta_activity", |b| {
+        b.iter(|| black_box(theta_activity(train)))
+    });
+    g.bench_function("fig2/theta_normalized", |b| {
+        b.iter(|| black_box(theta_normalized(train, &lt)))
+    });
+    g.bench_function("fig2/theta_tfidf", |b| {
+        b.iter(|| black_box(theta_tfidf(train)))
+    });
+    g.bench_function("fig2/theta_generalized", |b| {
+        b.iter(|| black_box(GeneralizedConfig::default().estimate(train)))
+    });
+
+    let theta = GeneralizedConfig::default().estimate(train);
+    g.bench_function("kde/fit", |b| b.iter(|| black_box(Kde::fit(&theta))));
+    g.bench_function("oslg/sample_users_500", |b| {
+        b.iter(|| black_box(sample_users_by_kde(&theta, 500, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_preference);
+criterion_main!(benches);

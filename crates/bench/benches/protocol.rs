@@ -1,0 +1,42 @@
+//! Benchmarks of the Appendix C (Figures 7–8) pipeline: top-N generation
+//! under both test ranking protocols and the full metric evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_eval::fig7_8::topn_under_protocol;
+use ganc_metrics::{evaluate_topn, EvalContext, RankingProtocol, TopN};
+use ganc_recommender::pop::MostPopular;
+use ganc_recommender::topn::generate_topn_lists;
+use std::hint::black_box;
+
+fn bench_protocol(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(12);
+    let split = data.split_per_user(0.5, 13).unwrap();
+    let train = &split.train;
+    let test = &split.test;
+    let pop = MostPopular::fit(train);
+    let ctx = EvalContext::new(train, test);
+
+    let mut g = c.benchmark_group("fig7_8");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(4));
+
+    for (label, protocol) in [
+        ("all_unrated", RankingProtocol::AllUnrated),
+        ("rated_test_items", RankingProtocol::RatedTestItems),
+    ] {
+        g.bench_function(format!("topn_under/{label}"), |b| {
+            b.iter(|| black_box(topn_under_protocol(&pop, train, test, protocol, 5, 4)))
+        });
+    }
+
+    let topn = TopN::new(5, generate_topn_lists(&pop, train, 5, 4));
+    g.bench_function("evaluate_all_metrics", |b| {
+        b.iter(|| black_box(evaluate_topn(&topn, &ctx)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks for the base-recommender substrate (Table V / model-zoo
+//! costs): RSVD SGD training, randomized PureSVD, RankMF, and parallel
+//! top-N list generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_recommender::pop::MostPopular;
+use ganc_recommender::psvd::Psvd;
+use ganc_recommender::rankmf::{RankMf, RankMfConfig};
+use ganc_recommender::rsvd::{Rsvd, RsvdConfig};
+use ganc_recommender::topn::generate_topn_lists;
+use std::hint::black_box;
+
+fn bench_recommender(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(4);
+    let split = data.split_per_user(0.5, 5).unwrap();
+    let train = &split.train;
+
+    let mut g = c.benchmark_group("recommender");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    g.bench_function("table5/rsvd_train_g16_e5", |b| {
+        b.iter(|| {
+            black_box(Rsvd::train(
+                train,
+                RsvdConfig {
+                    factors: 16,
+                    epochs: 5,
+                    ..RsvdConfig::default()
+                },
+            ))
+        })
+    });
+    g.bench_function("psvd_train_k16", |b| {
+        b.iter(|| black_box(Psvd::train(train, 16, 1)))
+    });
+    g.bench_function("rankmf_train_g16_e3", |b| {
+        b.iter(|| {
+            black_box(RankMf::train(
+                train,
+                RankMfConfig {
+                    factors: 16,
+                    epochs: 3,
+                    ..RankMfConfig::default()
+                },
+            ))
+        })
+    });
+
+    let pop = MostPopular::fit(train);
+    let psvd = Psvd::train(train, 16, 1);
+    g.bench_function("topn/pop_all_users", |b| {
+        b.iter(|| black_box(generate_topn_lists(&pop, train, 5, 4)))
+    });
+    g.bench_function("topn/psvd16_all_users", |b| {
+        b.iter(|| black_box(generate_topn_lists(&psvd, train, 5, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recommender);
+criterion_main!(benches);

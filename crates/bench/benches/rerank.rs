@@ -1,0 +1,71 @@
+//! Benchmarks of the Table IV pipeline: re-ranking a trained RSVD with
+//! every baseline framework plus GANC over the whole user population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_core::{CoverageKind, GancBuilder};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::rsvd::{Rsvd, RsvdConfig};
+use ganc_rerank::five_d::FiveD;
+use ganc_rerank::pra::Pra;
+use ganc_rerank::rbt::{Rbt, RbtCriterion};
+use ganc_rerank::{rerank_all, Reranker};
+use std::hint::black_box;
+
+fn bench_rerank(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(10);
+    let split = data.split_per_user(0.5, 11).unwrap();
+    let train = &split.train;
+    let rsvd = Rsvd::train(
+        train,
+        RsvdConfig {
+            factors: 16,
+            epochs: 8,
+            ..RsvdConfig::default()
+        },
+    );
+    let theta = GeneralizedConfig::default().estimate(train);
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+
+    let rerankers: Vec<(&str, Box<dyn Reranker>)> = vec![
+        (
+            "rbt_pop",
+            Box::new(Rbt::new(train, RbtCriterion::Popularity, "RSVD")),
+        ),
+        (
+            "rbt_avg",
+            Box::new(Rbt::new(train, RbtCriterion::AverageRating, "RSVD")),
+        ),
+        ("five_d", Box::new(FiveD::new(train, "RSVD"))),
+        (
+            "five_d_a_rr",
+            Box::new(FiveD::with_options(train, "RSVD", true, true)),
+        ),
+        ("pra_10", Box::new(Pra::new(train, "RSVD", 10))),
+        ("pra_20", Box::new(Pra::new(train, "RSVD", 20))),
+    ];
+    for (label, rr) in &rerankers {
+        g.bench_function(format!("rerank_all/{label}"), |b| {
+            b.iter(|| black_box(rerank_all(rr.as_ref(), &rsvd, train, 5, 4)))
+        });
+    }
+    g.bench_function("rerank_all/ganc_dyn", |b| {
+        b.iter(|| {
+            black_box(
+                GancBuilder::new(5)
+                    .coverage(CoverageKind::Dynamic)
+                    .sample_size(200)
+                    .threads(4)
+                    .build_topn(&rsvd, &theta, train, 3),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rerank);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Coverage recommenders (§III-B): the `c(i)` component of the GANC value
+//! function. All scores lie in `(0, 1]` so they share a scale with the
+//! accuracy component.
+
+use ganc_dataset::{Interactions, ItemId, UserId};
+use ganc_recommender::random::unit_hash;
+
+/// Which coverage recommender a GANC variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverageKind {
+    /// `c(i) ~ unif(0,1)` — maximal-coverage control (Rand).
+    Random,
+    /// `c(i) = 1/√(f_i^R + 1)` — static inverse train-popularity (Stat).
+    Static,
+    /// `c(i) = 1/√(f_i^A + 1)` over the recommendations already assigned —
+    /// diminishing returns (Dyn).
+    Dynamic,
+}
+
+impl CoverageKind {
+    /// Display label matching the paper (`Rand` / `Stat` / `Dyn`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoverageKind::Random => "Rand",
+            CoverageKind::Static => "Stat",
+            CoverageKind::Dynamic => "Dyn",
+        }
+    }
+}
+
+/// Random coverage: a deterministic per-`(seed, user, item)` uniform score.
+/// The paper redraws per run; vary the seed across runs to reproduce that.
+#[derive(Debug, Clone, Copy)]
+pub struct RandCoverage {
+    seed: u64,
+}
+
+impl RandCoverage {
+    /// Create with a run seed.
+    pub fn new(seed: u64) -> RandCoverage {
+        RandCoverage { seed }
+    }
+
+    /// Fill the coverage score buffer for one user.
+    pub fn scores_for(&self, user: UserId, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = unit_hash(self.seed, user.0, i as u32);
+        }
+    }
+}
+
+/// Static coverage: monotone decreasing in train popularity,
+/// `c(i) = 1/√(f_i^R + 1)` (§III-B). The gain of recommending an item is
+/// constant — the paper shows this focuses on a small subset of tail items
+/// and is the weakest coverage recommender.
+#[derive(Debug, Clone)]
+pub struct StatCoverage {
+    scores: Vec<f64>,
+}
+
+impl StatCoverage {
+    /// Precompute from the train set.
+    pub fn fit(train: &Interactions) -> StatCoverage {
+        let scores = train
+            .item_popularity()
+            .iter()
+            .map(|&f| 1.0 / ((f as f64) + 1.0).sqrt())
+            .collect();
+        StatCoverage { scores }
+    }
+
+    /// The static score of one item.
+    #[inline]
+    pub fn score(&self, item: ItemId) -> f64 {
+        self.scores[item.idx()]
+    }
+
+    /// All scores, indexed by item id.
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+}
+
+/// Dynamic coverage: `c(i) = 1/√(f_i^A + 1)` where `f^A` counts how often
+/// `i` appears in the recommendations assigned **so far** (§III-B).
+///
+/// Recommending an item has diminishing returns — `c(i) = 1` while the item
+/// is unrecommended and decays as it spreads — which makes the aggregate
+/// objective submodular (Appendix B) and drives the coverage gains of
+/// GANC(·,·,Dyn).
+#[derive(Debug, Clone)]
+pub struct DynCoverage {
+    counts: Vec<u32>,
+}
+
+impl DynCoverage {
+    /// Start with an empty assignment (`f^A = 0`, every score 1).
+    pub fn new(n_items: u32) -> DynCoverage {
+        DynCoverage {
+            counts: vec![0; n_items as usize],
+        }
+    }
+
+    /// Resume from a stored assignment-frequency snapshot (OSLG's `F(θ_s)`).
+    pub fn from_snapshot(counts: &[u32]) -> DynCoverage {
+        DynCoverage {
+            counts: counts.to_vec(),
+        }
+    }
+
+    /// Current score of one item.
+    #[inline]
+    pub fn score(&self, item: ItemId) -> f64 {
+        1.0 / ((self.counts[item.idx()] as f64) + 1.0).sqrt()
+    }
+
+    /// Fill a score buffer for the current state.
+    pub fn scores_into(&self, out: &mut [f64]) {
+        for (c, o) in self.counts.iter().zip(out.iter_mut()) {
+            *o = 1.0 / ((*c as f64) + 1.0).sqrt();
+        }
+    }
+
+    /// Record an assigned top-N set (Algorithm 1, line 7).
+    pub fn observe(&mut self, assigned: &[ItemId]) {
+        for item in assigned {
+            self.counts[item.idx()] += 1;
+        }
+    }
+
+    /// Snapshot the assignment frequencies (Algorithm 1, line 8 stores
+    /// `F(θ_u) ← f`).
+    pub fn snapshot(&self) -> Box<[u32]> {
+        self.counts.clone().into_boxed_slice()
+    }
+
+    /// Current assignment frequency of an item (`f_i^A`).
+    #[inline]
+    pub fn frequency(&self, item: ItemId) -> u32 {
+        self.counts[item.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganc_dataset::{DatasetBuilder, RatingScale};
+
+    fn train() -> Interactions {
+        let mut b = DatasetBuilder::new("t", RatingScale::stars_1_5());
+        for u in 0..3u32 {
+            b.push(UserId(u), ItemId(0), 4.0).unwrap();
+        }
+        b.push(UserId(0), ItemId(1), 4.0).unwrap();
+        let d = b.build().unwrap();
+        // Widen the item space so item 2 exists but is unrated.
+        Interactions::from_ratings(d.n_users(), 3, &d.ratings().to_vec())
+    }
+
+    #[test]
+    fn static_scores_decrease_with_popularity() {
+        let c = StatCoverage::fit(&train());
+        assert!(c.score(ItemId(1)) > c.score(ItemId(0)));
+        assert!(c.score(ItemId(2)) == 1.0, "unrated item scores 1");
+        assert!((c.score(ItemId(0)) - 0.5).abs() < 1e-12); // 1/√4
+    }
+
+    #[test]
+    fn dynamic_starts_at_one_and_decays() {
+        let mut c = DynCoverage::new(3);
+        assert_eq!(c.score(ItemId(0)), 1.0);
+        c.observe(&[ItemId(0), ItemId(0), ItemId(0)]);
+        assert!((c.score(ItemId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(c.score(ItemId(1)), 1.0);
+    }
+
+    #[test]
+    fn dynamic_marginal_gains_diminish() {
+        // The submodularity driver: each additional recommendation of the
+        // same item strictly lowers its next score.
+        let mut c = DynCoverage::new(1);
+        let mut last = f64::INFINITY;
+        for _ in 0..10 {
+            let s = c.score(ItemId(0));
+            assert!(s < last);
+            last = s;
+            c.observe(&[ItemId(0)]);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut c = DynCoverage::new(3);
+        c.observe(&[ItemId(1), ItemId(2), ItemId(1)]);
+        let snap = c.snapshot();
+        let resumed = DynCoverage::from_snapshot(&snap);
+        assert_eq!(resumed.frequency(ItemId(1)), 2);
+        assert_eq!(resumed.score(ItemId(1)), c.score(ItemId(1)));
+    }
+
+    #[test]
+    fn random_coverage_is_deterministic_and_user_specific() {
+        let c = RandCoverage::new(9);
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        c.scores_for(UserId(0), &mut a);
+        c.scores_for(UserId(0), &mut b);
+        assert_eq!(a, b);
+        c.scores_for(UserId(1), &mut b);
+        assert_ne!(a, b);
+        assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(CoverageKind::Random.label(), "Rand");
+        assert_eq!(CoverageKind::Static.label(), "Stat");
+        assert_eq!(CoverageKind::Dynamic.label(), "Dyn");
+    }
+
+    #[test]
+    fn scores_into_matches_pointwise() {
+        let mut c = DynCoverage::new(4);
+        c.observe(&[ItemId(2)]);
+        let mut buf = vec![0.0; 4];
+        c.scores_into(&mut buf);
+        for i in 0..4 {
+            assert_eq!(buf[i], c.score(ItemId(i as u32)));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed errors for dataset construction, parsing and splitting.
+
+use std::fmt;
+
+/// Errors produced while building, loading or splitting datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A rating fell outside the declared [`crate::RatingScale`].
+    RatingOutOfScale {
+        /// Offending rating value.
+        value: f32,
+        /// Inclusive scale minimum.
+        min: f32,
+        /// Inclusive scale maximum.
+        max: f32,
+    },
+    /// The dataset contains no ratings.
+    Empty,
+    /// A split ratio `κ` outside `(0, 1]`.
+    InvalidSplitRatio(f64),
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure (message-only so the error stays `Clone`).
+    Io(String),
+    /// A generator or builder was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RatingOutOfScale { value, min, max } => {
+                write!(f, "rating {value} outside scale [{min}, {max}]")
+            }
+            DataError::Empty => write!(f, "dataset contains no ratings"),
+            DataError::InvalidSplitRatio(k) => {
+                write!(f, "split ratio κ={k} must lie in (0, 1]")
+            }
+            DataError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DataError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::RatingOutOfScale {
+            value: 9.0,
+            min: 1.0,
+            max: 5.0,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("[1, 5]"));
+        assert!(DataError::InvalidSplitRatio(0.0).to_string().contains("κ=0"));
+        let p = DataError::Parse {
+            line: 12,
+            message: "bad field".into(),
+        };
+        assert!(p.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,261 @@
+//! Loaders for the MovieLens family of rating file formats.
+//!
+//! If you have the real corpora on disk the experiment binaries can run on
+//! them instead of the synthetic stand-ins:
+//!
+//! * `u.data` style — tab-separated `user item rating timestamp` (ML-100K)
+//! * `ratings.dat` style — `user::item::rating::timestamp` (ML-1M / ML-10M)
+//! * CSV — `userId,movieId,rating,timestamp` with optional header (ML-20M+,
+//!   MovieTweetings exports)
+//!
+//! External ids are arbitrary, so loaders re-map them to dense `u32` spaces
+//! and return the mapping alongside the dataset.
+
+use crate::dataset::{Dataset, DatasetBuilder, RatingScale};
+use crate::error::DataError;
+use crate::{ItemId, UserId};
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Dense re-mapping of external ids produced by a loader.
+#[derive(Debug, Default, Clone)]
+pub struct IdMaps {
+    /// External user id (as written in the file) → dense [`UserId`].
+    pub users: HashMap<u64, UserId>,
+    /// External item id → dense [`ItemId`].
+    pub items: HashMap<u64, ItemId>,
+}
+
+impl IdMaps {
+    fn user(&mut self, ext: u64) -> UserId {
+        let next = self.users.len() as u32;
+        *self.users.entry(ext).or_insert(UserId(next))
+    }
+
+    fn item(&mut self, ext: u64) -> ItemId {
+        let next = self.items.len() as u32;
+        *self.items.entry(ext).or_insert(ItemId(next))
+    }
+}
+
+/// Field separator of a ratings file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Separator {
+    /// Tab-separated (`u.data`).
+    Tab,
+    /// `::`-separated (`ratings.dat`).
+    DoubleColon,
+    /// Comma-separated with optional `userId,...` header.
+    Comma,
+}
+
+impl Separator {
+    fn split<'a>(&self, line: &'a str) -> Vec<&'a str> {
+        match self {
+            Separator::Tab => line.split('\t').collect(),
+            Separator::DoubleColon => line.split("::").collect(),
+            Separator::Comma => line.split(',').collect(),
+        }
+    }
+}
+
+/// Parse ratings from any `BufRead`, using the given separator and scale.
+///
+/// Lines that are empty or start with `#` are skipped; a leading header line
+/// is skipped for [`Separator::Comma`] when its first field is not numeric.
+pub fn read_ratings<R: BufRead>(
+    reader: R,
+    sep: Separator,
+    scale: RatingScale,
+    name: &str,
+) -> Result<(Dataset, IdMaps), DataError> {
+    let mut maps = IdMaps::default();
+    let mut builder = DatasetBuilder::new(name, scale).without_validation();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields = sep.split(trimmed);
+        if fields.len() < 3 {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                message: format!("expected ≥3 fields, found {}", fields.len()),
+            });
+        }
+        let user: u64 = match fields[0].trim().parse() {
+            Ok(u) => u,
+            Err(_) if lineno == 0 && sep == Separator::Comma => continue, // header
+            Err(e) => {
+                return Err(DataError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad user id {:?}: {e}", fields[0]),
+                })
+            }
+        };
+        let item: u64 = fields[1].trim().parse().map_err(|e| DataError::Parse {
+            line: lineno + 1,
+            message: format!("bad item id {:?}: {e}", fields[1]),
+        })?;
+        let rating: f32 = fields[2].trim().parse().map_err(|e| DataError::Parse {
+            line: lineno + 1,
+            message: format!("bad rating {:?}: {e}", fields[2]),
+        })?;
+        let u = maps.user(user);
+        let i = maps.item(item);
+        builder.push(u, i, rating)?;
+    }
+    let dataset = builder.build()?;
+    Ok((dataset, maps))
+}
+
+/// Load a ratings file from disk, inferring the separator from the
+/// extension/content conventions: `.csv` → comma, `.dat` → `::`, else tab.
+pub fn load_path(path: &Path, scale: RatingScale) -> Result<(Dataset, IdMaps), DataError> {
+    let sep = match path.extension().and_then(|e| e.to_str()) {
+        Some("csv") => Separator::Comma,
+        Some("dat") => Separator::DoubleColon,
+        _ => Separator::Tab,
+    };
+    let file = std::fs::File::open(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
+    read_ratings(std::io::BufReader::new(file), sep, scale, name)
+}
+
+/// Filter a dataset to users with at least `tau` ratings (the paper applies
+/// τ=5 to MT-200K), compacting the user id space.
+pub fn filter_min_ratings(data: &Dataset, tau: u32) -> Result<Dataset, DataError> {
+    let m = data.interactions();
+    let mut remap: Vec<Option<u32>> = vec![None; data.n_users() as usize];
+    let mut next = 0u32;
+    for u in 0..data.n_users() {
+        if m.user_degree(UserId(u)) >= tau as usize {
+            remap[u as usize] = Some(next);
+            next += 1;
+        }
+    }
+    let mut b = DatasetBuilder::new(data.name(), data.scale())
+        .without_validation()
+        .with_capacity(data.n_ratings());
+    for r in data.ratings() {
+        if let Some(new_u) = remap[r.user.idx()] {
+            b.push(UserId(new_u), r.item, r.value)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_tab_separated() {
+        let text = "1\t10\t4.0\t881250949\n1\t20\t3.0\t881250950\n2\t10\t5.0\t881250951\n";
+        let (d, maps) = read_ratings(
+            Cursor::new(text),
+            Separator::Tab,
+            RatingScale::stars_1_5(),
+            "t",
+        )
+        .unwrap();
+        assert_eq!(d.n_ratings(), 3);
+        assert_eq!(d.n_users(), 2);
+        assert_eq!(d.n_items(), 2);
+        assert_eq!(maps.users[&1], UserId(0));
+        assert_eq!(maps.items[&20], ItemId(1));
+    }
+
+    #[test]
+    fn parses_double_colon() {
+        let text = "1::1193::5::978300760\n1::661::3::978302109\n";
+        let (d, _) = read_ratings(
+            Cursor::new(text),
+            Separator::DoubleColon,
+            RatingScale::stars_1_5(),
+            "t",
+        )
+        .unwrap();
+        assert_eq!(d.n_ratings(), 2);
+    }
+
+    #[test]
+    fn parses_csv_with_header() {
+        let text = "userId,movieId,rating,timestamp\n7,11,2.5,0\n7,12,4.5,0\n";
+        let (d, _) = read_ratings(
+            Cursor::new(text),
+            Separator::Comma,
+            RatingScale::half_stars(),
+            "t",
+        )
+        .unwrap();
+        assert_eq!(d.n_ratings(), 2);
+        assert_eq!(d.ratings()[0].value, 2.5);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# a comment\n\n1\t2\t3.0\t0\n";
+        let (d, _) = read_ratings(
+            Cursor::new(text),
+            Separator::Tab,
+            RatingScale::stars_1_5(),
+            "t",
+        )
+        .unwrap();
+        assert_eq!(d.n_ratings(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "1\t2\t3.0\t0\nbroken line\n";
+        let err = read_ratings(
+            Cursor::new(text),
+            Separator::Tab,
+            RatingScale::stars_1_5(),
+            "t",
+        )
+        .unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_rating() {
+        let text = "1\t2\tNOPE\t0\n";
+        let err = read_ratings(
+            Cursor::new(text),
+            Separator::Tab,
+            RatingScale::stars_1_5(),
+            "t",
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn filter_min_ratings_drops_and_compacts() {
+        let text = "1\t1\t4.0\t0\n1\t2\t4.0\t0\n1\t3\t4.0\t0\n2\t1\t4.0\t0\n3\t1\t4.0\t0\n3\t2\t4.0\t0\n3\t3\t4.0\t0\n";
+        let (d, _) = read_ratings(
+            Cursor::new(text),
+            Separator::Tab,
+            RatingScale::stars_1_5(),
+            "t",
+        )
+        .unwrap();
+        let filtered = filter_min_ratings(&d, 3).unwrap();
+        assert_eq!(filtered.n_users(), 2); // external users 1 and 3
+        assert_eq!(filtered.n_ratings(), 6);
+        let m = filtered.interactions();
+        assert_eq!(m.user_degree(UserId(0)), 3);
+        assert_eq!(m.user_degree(UserId(1)), 3);
+    }
+}

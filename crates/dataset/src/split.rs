@@ -1,0 +1,212 @@
+//! Per-user ratio train/test splitting (the `κ` split of §IV-A).
+//!
+//! The paper splits each dataset "by keeping a fixed ratio κ of each user's
+//! ratings in the train set and moving the rest to the test set", so an
+//! infrequent user with 5 ratings at κ=0.8 keeps 4 in train and 1 in test.
+//! Every user is guaranteed at least one train rating so that preference
+//! estimation (§II) always has data to learn from.
+
+use crate::dataset::{Dataset, Rating};
+use crate::error::DataError;
+use crate::interactions::Interactions;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The result of a per-user ratio split: train set `R` and test set `T`.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Train interactions `R`.
+    pub train: Interactions,
+    /// Test interactions `T`.
+    pub test: Interactions,
+    /// The ratio `κ` used for the split.
+    pub kappa: f64,
+    /// The RNG seed used for the split (reproducibility handle).
+    pub seed: u64,
+}
+
+impl TrainTest {
+    /// Split `data`, keeping `κ · |I_u|` ratings (rounded, at least one) of
+    /// every user in train. Deterministic in `(data, kappa, seed)`: each
+    /// user's shuffle is seeded independently, so the assignment of a user's
+    /// ratings does not depend on other users.
+    pub fn split_per_user(data: &Dataset, kappa: f64, seed: u64) -> Result<TrainTest, DataError> {
+        if !(kappa > 0.0 && kappa <= 1.0) {
+            return Err(DataError::InvalidSplitRatio(kappa));
+        }
+        if data.n_ratings() == 0 {
+            return Err(DataError::Empty);
+        }
+        let mut train: Vec<Rating> = Vec::with_capacity((data.n_ratings() as f64 * kappa) as usize);
+        let mut test: Vec<Rating> = Vec::new();
+        let ratings = data.ratings();
+        let mut start = 0usize;
+        while start < ratings.len() {
+            let user = ratings[start].user;
+            let mut end = start + 1;
+            while end < ratings.len() && ratings[end].user == user {
+                end += 1;
+            }
+            let block = &ratings[start..end];
+            let n = block.len();
+            let keep = ((n as f64 * kappa).round() as usize).clamp(1, n);
+            if keep == n {
+                train.extend_from_slice(block);
+            } else {
+                let mut order: Vec<usize> = (0..n).collect();
+                // Mix the user id into the stream so each user gets an
+                // independent, reproducible permutation.
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64
+                    .wrapping_mul(user.0 as u64 + 1)));
+                order.shuffle(&mut rng);
+                for (k, &pos) in order.iter().enumerate() {
+                    if k < keep {
+                        train.push(block[pos]);
+                    } else {
+                        test.push(block[pos]);
+                    }
+                }
+            }
+            start = end;
+        }
+        train.sort_by_key(|r| (r.user.0, r.item.0));
+        test.sort_by_key(|r| (r.user.0, r.item.0));
+        Ok(TrainTest {
+            train: Interactions::from_ratings(data.n_users(), data.n_items(), &train),
+            test: Interactions::from_ratings(data.n_users(), data.n_items(), &test),
+            kappa,
+            seed,
+        })
+    }
+
+    /// Hold out a further validation split from the train set, for
+    /// hyper-parameter selection (Appendix A's cross-validation stands on
+    /// this). Returns `(sub_train, validation)`.
+    pub fn validation_split(
+        &self,
+        kappa: f64,
+        seed: u64,
+    ) -> Result<(Interactions, Interactions), DataError> {
+        let scale = crate::dataset::RatingScale::stars_1_5();
+        let mut b = crate::dataset::DatasetBuilder::new("validation", scale).without_validation();
+        for (u, i, v) in self.train.iter() {
+            b.push(u, i, v)?;
+        }
+        let d = b.build()?;
+        // The temporary dataset shrinks the id space to the max observed id;
+        // rebuild at full width below.
+        let inner = TrainTest::split_per_user(&d, kappa, seed)?;
+        let widen = |m: &Interactions| {
+            let ratings: Vec<Rating> = m
+                .iter()
+                .map(|(u, i, v)| Rating {
+                    user: u,
+                    item: i,
+                    value: v,
+                })
+                .collect();
+            Interactions::from_ratings(self.train.n_users(), self.train.n_items(), &ratings)
+        };
+        Ok((widen(&inner.train), widen(&inner.test)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, RatingScale};
+    use crate::{ItemId, UserId};
+
+    fn dataset(per_user: &[usize]) -> Dataset {
+        let mut b = DatasetBuilder::new("t", RatingScale::stars_1_5());
+        for (u, &n) in per_user.iter().enumerate() {
+            for i in 0..n {
+                b.push(UserId(u as u32), ItemId(i as u32), 1.0 + (i % 5) as f32)
+                    .unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn split_counts_follow_kappa() {
+        let d = dataset(&[5, 100]);
+        let s = d.split_per_user(0.8, 1).unwrap();
+        assert_eq!(s.train.user_degree(UserId(0)), 4);
+        assert_eq!(s.test.user_degree(UserId(0)), 1);
+        assert_eq!(s.train.user_degree(UserId(1)), 80);
+        assert_eq!(s.test.user_degree(UserId(1)), 20);
+    }
+
+    #[test]
+    fn split_preserves_multiset() {
+        let d = dataset(&[7, 13, 4]);
+        let s = d.split_per_user(0.5, 3).unwrap();
+        assert_eq!(s.train.nnz() + s.test.nnz(), d.n_ratings());
+        // every original pair appears in exactly one side
+        for r in d.ratings() {
+            let in_train = s.train.contains(r.user, r.item);
+            let in_test = s.test.contains(r.user, r.item);
+            assert!(in_train ^ in_test, "pair must land on exactly one side");
+        }
+    }
+
+    #[test]
+    fn every_user_keeps_a_train_rating() {
+        let d = dataset(&[1, 2, 3]);
+        let s = d.split_per_user(0.1, 9).unwrap();
+        for u in 0..3 {
+            assert!(s.train.user_degree(UserId(u)) >= 1);
+        }
+    }
+
+    #[test]
+    fn kappa_one_puts_everything_in_train() {
+        let d = dataset(&[4, 4]);
+        let s = d.split_per_user(1.0, 5).unwrap();
+        assert_eq!(s.train.nnz(), d.n_ratings());
+        assert_eq!(s.test.nnz(), 0);
+    }
+
+    #[test]
+    fn invalid_kappa_rejected() {
+        let d = dataset(&[4]);
+        assert!(matches!(
+            d.split_per_user(0.0, 1),
+            Err(DataError::InvalidSplitRatio(_))
+        ));
+        assert!(matches!(
+            d.split_per_user(1.5, 1),
+            Err(DataError::InvalidSplitRatio(_))
+        ));
+    }
+
+    #[test]
+    fn split_is_deterministic_in_seed() {
+        let d = dataset(&[20, 20]);
+        let a = d.split_per_user(0.5, 11).unwrap();
+        let b = d.split_per_user(0.5, 11).unwrap();
+        let c = d.split_per_user(0.5, 12).unwrap();
+        let rows = |s: &TrainTest| {
+            (0..2)
+                .map(|u| s.train.user_row(UserId(u)).0.to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&a), rows(&b));
+        assert_ne!(rows(&a), rows(&c), "different seeds should differ");
+    }
+
+    #[test]
+    fn validation_split_nests_inside_train() {
+        let d = dataset(&[30, 30]);
+        let s = d.split_per_user(0.5, 2).unwrap();
+        let (sub, val) = s.validation_split(0.8, 3).unwrap();
+        assert_eq!(sub.nnz() + val.nnz(), s.train.nnz());
+        for (u, i, _) in val.iter() {
+            assert!(s.train.contains(u, i));
+            assert!(!sub.contains(u, i));
+        }
+        assert_eq!(sub.n_items(), s.train.n_items());
+    }
+}

@@ -1,0 +1,6 @@
+//! Run the GANC design-choice ablations (ordering, sampling, θ).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::ablation::run(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 1 (avg popularity vs user activity).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::fig1::run(&cfg));
+}

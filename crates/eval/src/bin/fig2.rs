@@ -1,0 +1,6 @@
+//! Regenerate Figure 2 (θ-distribution histograms).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::fig2::run(&cfg));
+}

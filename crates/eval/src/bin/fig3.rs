@@ -1,0 +1,6 @@
+//! Regenerate Figure 3 (OSLG sample-size sweep on ML-1M).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::fig3_4::run(&cfg, "ml-1m"));
+}

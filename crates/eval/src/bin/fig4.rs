@@ -1,0 +1,6 @@
+//! Regenerate Figure 4 (OSLG sample-size sweep on MT-200K).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::fig3_4::run(&cfg, "mt-200k"));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 (accuracy vs coverage vs novelty map).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::fig6::run(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 7 (protocol comparison on ML-100K).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::fig7_8::run(&cfg, "ml-100k"));
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table IV (re-ranking comparison with mean ranks).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::table4::run(&cfg));
+}

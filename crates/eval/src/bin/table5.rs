@@ -1,0 +1,6 @@
+//! Regenerate Table V (RSVD hyper-parameter study).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ganc_eval::parse_cli(&args);
+    println!("{}", ganc_eval::table5::run(&cfg));
+}

@@ -1,0 +1,80 @@
+//! Table V (Appendix A): RSVD hyper-parameter selection — validation RMSE
+//! for the paper's chosen `(η, λ, g)` per dataset plus grid neighbors.
+
+use crate::context::{DataBundle, ExpConfig};
+use crate::models::rsvd_config;
+use crate::tables::TextTable;
+use ganc_recommender::rsvd::Rsvd;
+
+/// Evaluate the chosen configuration and a small neighborhood grid on a
+/// validation split nested inside train.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = String::from(
+        "Table V — RSVD hyper-parameters: validation RMSE (chosen config per dataset + neighbors)\n",
+    );
+    for bundle in DataBundle::all(cfg) {
+        let (sub, val) = bundle
+            .split
+            .validation_split(0.8, cfg.seed ^ 0x7AB5)
+            .expect("train always splittable");
+        let chosen = rsvd_config(&bundle, cfg);
+        // Neighborhood: halve/double the learning rate, vary λ, shrink g.
+        let mut grid = vec![("chosen", chosen)];
+        let mut half_eta = chosen;
+        half_eta.learning_rate /= 3.0;
+        grid.push(("η/3", half_eta));
+        let mut big_reg = chosen;
+        big_reg.reg = (big_reg.reg * 10.0).min(0.1);
+        grid.push(("λ×10", big_reg));
+        let mut small_g = chosen;
+        small_g.factors = (small_g.factors / 4).max(2);
+        grid.push(("g/4", small_g));
+        let mut t = TextTable::new(&["variant", "g", "η", "λ", "RMSE"]);
+        let mut best = f64::INFINITY;
+        let mut best_variant = "";
+        for (label, c) in &grid {
+            let model = Rsvd::train(&sub, *c);
+            let rmse = model.rmse(&val);
+            if rmse < best {
+                best = rmse;
+                best_variant = label;
+            }
+            t.row(vec![
+                label.to_string(),
+                c.factors.to_string(),
+                format!("{:.3}", c.learning_rate),
+                format!("{:.3}", c.reg),
+                format!("{rmse:.4}"),
+            ]);
+        }
+        out.push_str(&format!(
+            "\n[{}] — best: {best_variant} (RMSE {best:.4})\n{}",
+            bundle.profile.name,
+            t.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn reports_four_variants_per_dataset() {
+        let cfg = ExpConfig {
+            scale: Scale::Smoke,
+            seed: 14,
+            runs: 1,
+            threads: 2,
+        };
+        let out = run(&cfg);
+        let rows = |prefix: &str| out.lines().filter(|l| l.starts_with(prefix)).count();
+        assert_eq!(rows("chosen"), 5, "{out}");
+        assert_eq!(rows("η/3"), 5);
+        assert_eq!(rows("λ×10"), 5);
+        assert_eq!(rows("g/4"), 5);
+        assert_eq!(out.matches("best:").count(), 5);
+    }
+}

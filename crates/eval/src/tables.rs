@@ -1,0 +1,175 @@
+//! Plain-text table rendering and the Table IV rank aggregation.
+
+use ganc_metrics::TopNMetrics;
+
+/// A fixed-width text table builder for experiment output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells already formatted).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column width fitting.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a metric with 4 decimals (the paper's Table IV precision).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Table IV rank aggregation: per metric, rank the algorithms (1 = best,
+/// direction-aware, ties share the better rank like the paper's table), and
+/// average the five ranks into the final score column.
+///
+/// Input: one `TopNMetrics` per algorithm. Output: per algorithm,
+/// `(ranks[5], mean_rank)`.
+pub fn table4_ranks(rows: &[TopNMetrics]) -> Vec<([usize; 5], f64)> {
+    let m = rows.len();
+    let mut ranks = vec![[0usize; 5]; m];
+    #[allow(clippy::needless_range_loop)] // ranks is [alg][col]; col drives both lookups
+    for col in 0..5usize {
+        let higher_better = TopNMetrics::higher_is_better(col);
+        let values: Vec<f64> = rows.iter().map(|r| r.table4_columns()[col]).collect();
+        for (i, &v) in values.iter().enumerate() {
+            // rank = 1 + number of strictly better algorithms
+            let better = values
+                .iter()
+                .filter(|&&w| {
+                    if higher_better {
+                        w > v + 1e-12
+                    } else {
+                        w < v - 1e-12
+                    }
+                })
+                .count();
+            ranks[i][col] = better + 1;
+        }
+    }
+    ranks
+        .into_iter()
+        .map(|r| {
+            let mean = r.iter().sum::<usize>() as f64 / 5.0;
+            (r, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(f: f64, s: f64, l: f64, c: f64, g: f64) -> TopNMetrics {
+        TopNMetrics {
+            precision: f,
+            recall: f,
+            f_measure: f,
+            strat_recall: s,
+            lt_accuracy: l,
+            coverage: c,
+            gini: g,
+            ndcg: 0.0,
+        }
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["alg", "F@5"]);
+        t.row(vec!["RSVD".into(), "0.0279".into()]);
+        t.row(vec!["GANC(RSVD, θG, Dyn)".into(), "0.0260".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("alg"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].contains("0.0260"));
+    }
+
+    #[test]
+    fn ranks_are_direction_aware() {
+        // alg0 best on F; alg1 best on gini (lower!)
+        let rows = vec![
+            metrics(0.9, 0.5, 0.5, 0.5, 0.9),
+            metrics(0.1, 0.5, 0.5, 0.5, 0.1),
+        ];
+        let ranked = table4_ranks(&rows);
+        assert_eq!(ranked[0].0[0], 1); // F: alg0 first
+        assert_eq!(ranked[1].0[0], 2);
+        assert_eq!(ranked[0].0[4], 2); // gini: alg1 first
+        assert_eq!(ranked[1].0[4], 1);
+    }
+
+    #[test]
+    fn ties_share_best_rank() {
+        let rows = vec![
+            metrics(0.5, 0.5, 0.5, 0.5, 0.5),
+            metrics(0.5, 0.5, 0.5, 0.5, 0.5),
+        ];
+        let ranked = table4_ranks(&rows);
+        assert_eq!(ranked[0].0, ranked[1].0);
+        assert_eq!(ranked[0].0[0], 1);
+        assert!((ranked[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rank_averages_five_columns() {
+        let rows = vec![
+            metrics(0.9, 0.9, 0.9, 0.9, 0.1), // rank 1 everywhere
+            metrics(0.1, 0.1, 0.1, 0.1, 0.9),
+        ];
+        let ranked = table4_ranks(&rows);
+        assert!((ranked[0].1 - 1.0).abs() < 1e-12);
+        assert!((ranked[1].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f4_formats() {
+        assert_eq!(f4(0.123456), "0.1235");
+    }
+}

@@ -1,0 +1,159 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Only small matrices pass through here — the `(k + oversample)²` Gram
+//! matrices of the randomized SVD, at most a few hundred on a side — where
+//! Jacobi's simplicity and unconditional stability beat anything fancier.
+
+use crate::dmat::DMat;
+
+/// Result of [`symmetric_eigen`]: `a ≈ vectors × diag(values) × vectorsᵀ`,
+/// eigenvalues sorted in **descending** order, eigenvectors in the matching
+/// column order.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Column-eigenvector matrix, aligned with `values`.
+    pub vectors: DMat,
+}
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Sweeps Givens rotations over all off-diagonal entries until the
+/// off-diagonal Frobenius mass falls below `1e-14 × ‖a‖` or `max_sweeps`
+/// sweeps have run (30 by default is far more than needed at these sizes).
+pub fn symmetric_eigen(a: &DMat) -> SymEigen {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DMat::identity(n);
+    let norm = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * norm;
+    let max_sweeps = 40;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q) * m.get(p, q);
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Stable rotation that annihilates m[p][q] (Golub & Van Loan
+                // §8.5.2): t = sign(τ) / (|τ| + √(1 + τ²)).
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation on the left and right: rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = DMat::from_fn(n, n, |r, c| v.get(r, order[c]));
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEigen) -> DMat {
+        let n = e.values.len();
+        let mut scaled = e.vectors.clone();
+        scaled.scale_cols(&e.values);
+        let vt = DMat::from_fn(n, n, |r, c| e.vectors.get(c, r));
+        scaled.matmul(&vt)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DMat::from_vec(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 1.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = DMat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // eigenvector of 3 is (1,1)/√2 up to sign
+        let v0 = (e.vectors.get(0, 0), e.vectors.get(1, 0));
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0.0 - v0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_round_trip() {
+        // Random-ish symmetric matrix.
+        let base = DMat::from_fn(6, 6, |r, c| ((r * 7 + c * 3) as f64).sin());
+        let a = {
+            let mut s = DMat::zeros(6, 6);
+            for r in 0..6 {
+                for c in 0..6 {
+                    s.set(r, c, 0.5 * (base.get(r, c) + base.get(c, r)));
+                }
+            }
+            s
+        };
+        let e = symmetric_eigen(&a);
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DMat::from_fn(5, 5, |r, c| 1.0 / (1.0 + (r + c) as f64));
+        let e = symmetric_eigen(&a);
+        let gram = e.vectors.t_matmul(&e.vectors);
+        assert!(gram.max_abs_diff(&DMat::identity(5)) < 1e-9);
+    }
+
+    #[test]
+    fn values_are_sorted_descending() {
+        let a = DMat::from_fn(8, 8, |r, c| if r == c { (r as f64) - 3.0 } else { 0.1 });
+        let e = symmetric_eigen(&a);
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let e = symmetric_eigen(&DMat::zeros(3, 3));
+        assert!(e.values.iter().all(|&v| v.abs() < 1e-15));
+    }
+}

@@ -1,0 +1,24 @@
+//! # ganc-linalg
+//!
+//! Minimal dense linear algebra substrate for the PureSVD recommender:
+//!
+//! * [`DMat`] — row-major dense `f64` matrices with the handful of products
+//!   the SVD pipeline needs.
+//! * [`qr::thin_qr`] — thin QR via modified Gram–Schmidt with
+//!   re-orthogonalization (numerically robust enough for range finding).
+//! * [`eig::symmetric_eigen`] — cyclic Jacobi eigendecomposition of small
+//!   symmetric matrices.
+//! * [`svd::randomized_svd`] — Halko–Martinsson–Tropp randomized truncated
+//!   SVD over any [`svd::LinOp`], so sparse rating matrices never have to be
+//!   densified.
+//!
+//! The paper's PSVD10/PSVD100 configurations (§IV-A) are `k = 10` and
+//! `k = 100` truncations computed with this module.
+
+pub mod dmat;
+pub mod eig;
+pub mod qr;
+pub mod svd;
+
+pub use dmat::DMat;
+pub use svd::{randomized_svd, LinOp, Svd, SvdConfig};

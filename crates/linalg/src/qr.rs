@@ -1,0 +1,122 @@
+//! Thin QR factorization via modified Gram–Schmidt.
+//!
+//! Used as the range orthonormalizer inside the randomized SVD. A single MGS
+//! pass loses orthogonality on ill-conditioned inputs, so columns are
+//! re-orthogonalized once ("twice is enough", Giraud et al.), which is
+//! plenty for subspace iteration.
+
+use crate::dmat::DMat;
+
+/// Compute a thin QR factorization, returning only the orthonormal factor
+/// `Q` (`m × k` with `k = min(m, n)` columns).
+///
+/// Rank-deficient columns (norm below `1e-12` after projection) are replaced
+/// by deterministic canonical-basis fill-ins re-orthogonalized against the
+/// previous columns, so `Q` always has orthonormal columns.
+pub fn thin_qr(a: &DMat) -> DMat {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    // Work column-major for cache-friendly column ops.
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .take(k)
+        .map(|c| (0..m).map(|r| a.get(r, c)).collect())
+        .collect();
+    let mut q: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for col in cols.iter_mut().take(k) {
+        let mut v = std::mem::take(col);
+        // Two rounds of MGS projection against all accepted columns.
+        for _ in 0..2 {
+            for qc in &q {
+                let proj: f64 = v.iter().zip(qc).map(|(a, b)| a * b).sum();
+                for (vi, qi) in v.iter_mut().zip(qc) {
+                    *vi -= proj * qi;
+                }
+            }
+        }
+        let mut norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            // Deficient column: scan canonical basis vectors for one whose
+            // residual after projection is non-degenerate.
+            'fill: for basis in 0..m {
+                v.iter_mut().for_each(|x| *x = 0.0);
+                v[basis] = 1.0;
+                for _ in 0..2 {
+                    for qc in &q {
+                        let proj: f64 = v.iter().zip(qc).map(|(a, b)| a * b).sum();
+                        for (vi, qi) in v.iter_mut().zip(qc) {
+                            *vi -= proj * qi;
+                        }
+                    }
+                }
+                norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm > 1e-8 {
+                    break 'fill;
+                }
+            }
+        }
+        let inv = 1.0 / norm;
+        v.iter_mut().for_each(|x| *x *= inv);
+        q.push(v);
+    }
+    DMat::from_fn(m, k, |r, c| q[c][r])
+}
+
+/// Max absolute deviation of `qᵀq` from the identity — a test/debug helper
+/// for orthonormality.
+pub fn orthonormality_error(q: &DMat) -> f64 {
+    let gram = q.t_matmul(q);
+    let eye = DMat::identity(q.cols());
+    gram.max_abs_diff(&eye)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_of_identity_is_identity() {
+        let q = thin_qr(&DMat::identity(4));
+        assert!(q.max_abs_diff(&DMat::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = DMat::from_fn(6, 3, |r, c| ((r * 3 + c) as f64).sin() + 0.1 * r as f64);
+        let q = thin_qr(&a);
+        assert_eq!(q.rows(), 6);
+        assert_eq!(q.cols(), 3);
+        assert!(orthonormality_error(&q) < 1e-10, "{}", orthonormality_error(&q));
+    }
+
+    #[test]
+    fn q_spans_the_column_space() {
+        // A has rank 2; projecting A onto span(Q) must reproduce A.
+        let a = DMat::from_vec(4, 2, vec![1.0, 2.0, 2.0, 4.5, -1.0, 0.0, 3.0, 1.0]);
+        let q = thin_qr(&a);
+        let proj = q.matmul(&q.t_matmul(&a));
+        assert!(proj.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_input_still_orthonormal() {
+        // Two identical columns.
+        let a = DMat::from_vec(4, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+        let q = thin_qr(&a);
+        assert!(orthonormality_error(&q) < 1e-8);
+    }
+
+    #[test]
+    fn zero_matrix_yields_orthonormal_q() {
+        let q = thin_qr(&DMat::zeros(5, 2));
+        assert!(orthonormality_error(&q) < 1e-8);
+    }
+
+    #[test]
+    fn wide_matrix_truncates_to_row_count() {
+        let a = DMat::from_fn(2, 5, |r, c| (r + c) as f64 + 1.0);
+        let q = thin_qr(&a);
+        assert_eq!(q.cols(), 2);
+        assert!(orthonormality_error(&q) < 1e-10);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ganc-metrics
+//!
+//! The paper's full evaluation suite (Table III):
+//!
+//! * **Local ranking accuracy** — Precision@N, Recall@N, F-measure@N
+//!   ([`accuracy`]), plus NDCG@N for completeness.
+//! * **Long-tail promotion** — LTAccuracy@N and Stratified Recall@N with
+//!   β = 0.5 ([`longtail`]).
+//! * **Coverage** — Coverage@N and the Gini coefficient of the
+//!   recommendation-frequency distribution ([`coverage`]).
+//! * **Rating-prediction error** — RMSE / MAE ([`rating`]), used by the
+//!   Appendix A hyper-parameter study (Table V).
+//! * **Popularity-based novelty** — mean self-information and expected
+//!   popularity complement ([`novelty`]; library extension beyond
+//!   Table III).
+//! * **Test ranking protocols** ([`protocol`]) — "all unrated items" vs
+//!   "rated test-items" (§IV-A and Appendix C), which Figures 7–8 show can
+//!   swing measured accuracy by an order of magnitude.
+//!
+//! All metrics consume a [`TopN`] collection (one recommendation list per
+//! user) and the train/test [`ganc_dataset::Interactions`], so they are
+//! independent of whichever model produced the lists.
+
+pub mod accuracy;
+pub mod coverage;
+pub mod longtail;
+pub mod novelty;
+pub mod protocol;
+pub mod rating;
+pub mod report;
+pub mod topn;
+
+pub use protocol::RankingProtocol;
+pub use report::{evaluate_topn, EvalContext, TopNMetrics};
+pub use topn::TopN;

@@ -1,0 +1,72 @@
+//! # ganc-preference
+//!
+//! User long-tail novelty preference estimation (§II of the paper).
+//!
+//! Given only the train interactions `R`, these models produce one scalar
+//! `θ_u ∈ [0, 1]` per user — the user's willingness to explore less popular
+//! items — which GANC then uses to personalize its accuracy/coverage
+//! trade-off:
+//!
+//! | model | paper | constructor |
+//! |-------|-------|-------------|
+//! | Activity `θ^A` | §II-B | [`simple::theta_activity`] |
+//! | Normalized long-tail `θ^N` | Eq. II.1 | [`simple::theta_normalized`] |
+//! | TFIDF-based `θ^T` | Eq. II.2 | [`tfidf::theta_tfidf`] |
+//! | Generalized `θ^G` | Eq. II.4–II.6 | [`generalized::GeneralizedConfig`] |
+//! | Random `θ^R` (control) | §IV-C | [`simple::theta_random`] |
+//! | Constant `θ^C` (control) | §IV-C | [`simple::theta_constant`] |
+//!
+//! [`kde::Kde`] provides the kernel density estimate over θ that the OSLG
+//! optimizer samples users from (Algorithm 1, line 2).
+
+pub mod generalized;
+pub mod kde;
+pub mod simple;
+pub mod tfidf;
+
+pub use generalized::GeneralizedConfig;
+pub use kde::Kde;
+
+/// Identifier of a preference model — used by experiment harnesses to label
+/// GANC variants (`GANC(ARec, θ^G, Dyn)` etc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThetaModel {
+    /// Activity `θ^A`.
+    Activity,
+    /// Normalized long-tail fraction `θ^N`.
+    Normalized,
+    /// TFIDF-based `θ^T`.
+    Tfidf,
+    /// Generalized minimax `θ^G`.
+    Generalized,
+    /// Uniform-random control `θ^R`.
+    Random,
+    /// Constant control `θ^C`.
+    Constant,
+}
+
+impl ThetaModel {
+    /// Superscript label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ThetaModel::Activity => "θA",
+            ThetaModel::Normalized => "θN",
+            ThetaModel::Tfidf => "θT",
+            ThetaModel::Generalized => "θG",
+            ThetaModel::Random => "θR",
+            ThetaModel::Constant => "θC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(ThetaModel::Generalized.label(), "θG");
+        assert_eq!(ThetaModel::Tfidf.label(), "θT");
+        assert_eq!(ThetaModel::Normalized.label(), "θN");
+    }
+}

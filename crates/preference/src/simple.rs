@@ -1,0 +1,143 @@
+//! Simple per-user long-tail preference measures (§II-B) and the two control
+//! models of §IV-C.
+
+use ganc_dataset::stats::{min_max_normalize, LongTail};
+use ganc_dataset::{Interactions, UserId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Activity measure `θ^A_u = |I_u^R|`, min–max normalized to `[0, 1]`
+/// (§II-B). Heavily right-skewed on sparse data because most users rate only
+/// a few items (Figure 2).
+pub fn theta_activity(train: &Interactions) -> Vec<f64> {
+    let mut theta: Vec<f64> = train
+        .user_activity()
+        .iter()
+        .map(|&a| a as f64)
+        .collect();
+    min_max_normalize(&mut theta);
+    theta
+}
+
+/// Normalized long-tail measure `θ^N_u = |I_u^R ∩ L| / |I_u^R|` (Eq. II.1):
+/// the fraction of the user's rated items that are long-tail. Users with no
+/// train ratings get 0.
+pub fn theta_normalized(train: &Interactions, long_tail: &LongTail) -> Vec<f64> {
+    (0..train.n_users())
+        .map(|u| {
+            let (items, _) = train.user_row(UserId(u));
+            if items.is_empty() {
+                return 0.0;
+            }
+            let tail = items
+                .iter()
+                .filter(|&&i| long_tail.contains(ganc_dataset::ItemId(i)))
+                .count();
+            tail as f64 / items.len() as f64
+        })
+        .collect()
+}
+
+/// Random control `θ^R_u ~ U(0, 1)` (§IV-C). The paper re-draws per run; use
+/// a fresh seed per run to reproduce that.
+pub fn theta_random(n_users: u32, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_users).map(|_| rng.random::<f64>()).collect()
+}
+
+/// Constant control `θ^C_u = c` for every user (§IV-C uses `c = 0.5`).
+pub fn theta_constant(n_users: u32, c: f64) -> Vec<f64> {
+    vec![c.clamp(0.0, 1.0); n_users as usize]
+}
+
+/// Histogram of a θ vector over `bins` equal-width buckets on `[0, 1]` —
+/// the Figure 2 series.
+pub fn histogram(theta: &[f64], bins: usize) -> Vec<usize> {
+    assert!(bins > 0);
+    let mut counts = vec![0usize; bins];
+    for &t in theta {
+        let b = ((t.clamp(0.0, 1.0)) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganc_dataset::{DatasetBuilder, ItemId, RatingScale};
+
+    /// item 0 popular (15 raters after filtering), items 1..3 tail. User 0
+    /// rates only head; user 1 rates head+tail; user 2 rates only tail.
+    fn fixture() -> Interactions {
+        let mut b = DatasetBuilder::new("t", RatingScale::stars_1_5());
+        for u in 0..16u32 {
+            b.push(UserId(u), ItemId(0), 4.0).unwrap();
+        }
+        b.push(UserId(1), ItemId(1), 4.0).unwrap();
+        b.push(UserId(2), ItemId(2), 4.0).unwrap();
+        b.push(UserId(2), ItemId(3), 4.0).unwrap();
+        // make user 2 tail-only: remove their head rating by rebuilding
+        let d = b.build().unwrap();
+        let ratings: Vec<_> = d
+            .ratings()
+            .iter()
+            .copied()
+            .filter(|r| !(r.user == UserId(2) && r.item == ItemId(0)))
+            .collect();
+        Interactions::from_ratings(d.n_users(), d.n_items(), &ratings)
+    }
+
+    #[test]
+    fn activity_is_normalized_and_ordered() {
+        let m = fixture();
+        let t = theta_activity(&m);
+        assert!(t.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // user 1 rated 2 items, user 0 rated 1 → θA(u1) > θA(u0)
+        assert!(t[1] > t[0]);
+    }
+
+    #[test]
+    fn normalized_measures_tail_fraction() {
+        let m = fixture();
+        let lt = LongTail::pareto(&m);
+        let t = theta_normalized(&m, &lt);
+        assert_eq!(t[0], 0.0, "head-only user");
+        assert!((t[1] - 0.5).abs() < 1e-12, "half tail user, got {}", t[1]);
+        assert_eq!(t[2], 1.0, "tail-only user");
+    }
+
+    #[test]
+    fn normalized_handles_empty_users() {
+        let m = fixture();
+        let lt = LongTail::pareto(&m);
+        let t = theta_normalized(&m, &lt);
+        // users 3..5 rated only item 0 (head)
+        assert_eq!(t[3], 0.0);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let a = theta_random(100, 5);
+        let b = theta_random(100, 5);
+        let c = theta_random(100, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn constant_clamps() {
+        assert_eq!(theta_constant(3, 0.5), vec![0.5, 0.5, 0.5]);
+        assert_eq!(theta_constant(2, 7.0), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_population() {
+        let t = vec![0.0, 0.1, 0.5, 0.99, 1.0];
+        let h = histogram(&t, 4);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 2); // 0.0 and 0.1
+        assert_eq!(h[3], 2); // 0.99 and 1.0 (clamped into last bin)
+    }
+}

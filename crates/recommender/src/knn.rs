@@ -1,0 +1,307 @@
+//! Item-based k-nearest-neighbour collaborative filtering (Sarwar et al.,
+//! WWW 2001) — the classic memory-based model from the paper's related
+//! work (§VI). Not part of the paper's evaluation (the authors note
+//! neighbourhood models do not scale to Netflix), but indispensable in a
+//! general-purpose recommender library and useful as an extra baseline.
+//!
+//! Similarity is the cosine between mean-centered item rating vectors,
+//! computed sparsely by co-rating accumulation; only the top-`k` neighbours
+//! per item are retained.
+
+use crate::Recommender;
+use ganc_dataset::{Interactions, ItemId, UserId};
+use std::collections::HashMap;
+
+/// Configuration for the item-kNN model.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemKnnConfig {
+    /// Neighbours retained per item.
+    pub k: usize,
+    /// Shrinkage term added to the similarity denominator — damps
+    /// similarities supported by few co-raters.
+    pub shrinkage: f64,
+    /// Users with more ratings than this are skipped during co-rating
+    /// accumulation (quadratic cost guard; such users carry little signal
+    /// per pair anyway).
+    pub max_user_degree: usize,
+}
+
+impl Default for ItemKnnConfig {
+    fn default() -> Self {
+        ItemKnnConfig {
+            k: 50,
+            shrinkage: 10.0,
+            max_user_degree: 1_000,
+        }
+    }
+}
+
+/// A fitted item-kNN model: per item, its top-k neighbours with
+/// similarities.
+#[derive(Debug, Clone)]
+pub struct ItemKnn {
+    /// Flattened neighbour lists: `neighbors[i]` holds `(item, sim)` sorted
+    /// by descending similarity.
+    neighbors: Vec<Vec<(u32, f64)>>,
+    /// Per-item mean rating (for re-centering predictions).
+    item_means: Vec<f64>,
+    global_mean: f64,
+    k: usize,
+}
+
+impl ItemKnn {
+    /// Fit from a train set.
+    pub fn fit(train: &Interactions, cfg: ItemKnnConfig) -> ItemKnn {
+        let n_items = train.n_items() as usize;
+        let item_means = train.item_means(train.global_mean());
+        // Norms of mean-centered item vectors.
+        let mut norms = vec![0.0f64; n_items];
+        for i in 0..n_items {
+            let (_, vals) = train.item_col(ItemId(i as u32));
+            let mu = item_means[i];
+            norms[i] = vals
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mu;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt();
+        }
+        // Sparse co-rating dot products, keyed by the (lo, hi) item pair.
+        let mut dots: HashMap<u64, f64> = HashMap::new();
+        for u in 0..train.n_users() {
+            let (items, vals) = train.user_row(UserId(u));
+            if items.len() > cfg.max_user_degree {
+                continue;
+            }
+            for a in 0..items.len() {
+                let ia = items[a] as usize;
+                let da = vals[a] as f64 - item_means[ia];
+                if da == 0.0 {
+                    continue;
+                }
+                for b in (a + 1)..items.len() {
+                    let ib = items[b] as usize;
+                    let db = vals[b] as f64 - item_means[ib];
+                    if db == 0.0 {
+                        continue;
+                    }
+                    let key = ((ia as u64) << 32) | ib as u64;
+                    *dots.entry(key).or_insert(0.0) += da * db;
+                }
+            }
+        }
+        // Assemble shrunk cosine similarities and keep top-k per item.
+        let mut neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_items];
+        for (key, dot) in dots {
+            let i = (key >> 32) as usize;
+            let j = (key & 0xffff_ffff) as usize;
+            let denom = norms[i] * norms[j] + cfg.shrinkage;
+            if denom <= 0.0 {
+                continue;
+            }
+            let sim = dot / denom;
+            if sim <= 0.0 {
+                continue; // negative similarity carries little top-N signal
+            }
+            neighbors[i].push((j as u32, sim));
+            neighbors[j].push((i as u32, sim));
+        }
+        for list in &mut neighbors {
+            list.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            list.truncate(cfg.k);
+            // Re-sort by item id for the merge in score_items.
+            list.sort_by_key(|&(j, _)| j);
+        }
+        ItemKnn {
+            neighbors,
+            item_means,
+            global_mean: train.global_mean(),
+            k: cfg.k,
+        }
+    }
+
+    /// The retained neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Similarity between two items if `j` survived `i`'s top-k truncation.
+    pub fn similarity(&self, i: ItemId, j: ItemId) -> Option<f64> {
+        self.neighbors[i.idx()]
+            .binary_search_by_key(&j.0, |&(n, _)| n)
+            .ok()
+            .map(|pos| self.neighbors[i.idx()][pos].1)
+    }
+}
+
+/// Per-request state: kNN scoring needs the user's own ratings, so the
+/// recommender borrows the train set.
+pub struct ItemKnnRecommender<'a> {
+    model: &'a ItemKnn,
+    train: &'a Interactions,
+}
+
+impl<'a> ItemKnnRecommender<'a> {
+    /// Bind a fitted model to its train interactions for scoring.
+    pub fn new(model: &'a ItemKnn, train: &'a Interactions) -> ItemKnnRecommender<'a> {
+        ItemKnnRecommender { model, train }
+    }
+}
+
+impl Recommender for ItemKnnRecommender<'_> {
+    fn name(&self) -> String {
+        format!("ItemKNN{}", self.model.k)
+    }
+
+    fn score_items(&self, user: UserId, out: &mut [f64]) {
+        // score(u, i) = ī_i + Σ_j sim(i,j)(r_uj − ī_j) / Σ_j |sim(i,j)|
+        // over the user's rated items j that are neighbours of i.
+        let (items, vals) = self.train.user_row(user);
+        // Deviation lookup for the user's rated items.
+        let devs: Vec<(u32, f64)> = items
+            .iter()
+            .zip(vals)
+            .map(|(&j, &r)| (j, r as f64 - self.model.item_means[j as usize]))
+            .collect();
+        for (i, o) in out.iter_mut().enumerate() {
+            let neigh = &self.model.neighbors[i];
+            if neigh.is_empty() || devs.is_empty() {
+                *o = self.model.global_mean - 1.0; // cold: below any rated score
+                continue;
+            }
+            // Both lists are sorted by item id: merge.
+            let mut num = 0.0;
+            let mut den = 0.0;
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < neigh.len() && b < devs.len() {
+                match neigh[a].0.cmp(&devs[b].0) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        num += neigh[a].1 * devs[b].1;
+                        den += neigh[a].1.abs();
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+            *o = if den > 0.0 {
+                self.model.item_means[i] + num / den
+            } else {
+                self.model.global_mean - 1.0
+            };
+        }
+    }
+
+    fn predicts_ratings(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topn::generate_topn_lists;
+    use ganc_dataset::{DatasetBuilder, RatingScale};
+
+    /// Two communities with opposite tastes.
+    fn blocks() -> Interactions {
+        let mut b = DatasetBuilder::new("t", RatingScale::stars_1_5());
+        for u in 0..6u32 {
+            for i in 0..8u32 {
+                let same = (u < 3) == (i < 4);
+                let r = if same { 5.0 } else { 1.0 };
+                // leave a few holes to predict
+                if (u + i) % 5 != 0 {
+                    b.push(UserId(u), ItemId(i), r).unwrap();
+                }
+            }
+        }
+        b.build().unwrap().interactions()
+    }
+
+    #[test]
+    fn similar_items_are_neighbors() {
+        let m = blocks();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default());
+        // items 0 and 1 are loved/hated by the same users → similar.
+        let s_same = knn.similarity(ItemId(0), ItemId(1));
+        assert!(s_same.is_some(), "co-liked items must be neighbours");
+        assert!(s_same.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn predictions_follow_community_taste() {
+        let m = blocks();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default());
+        let rec = ItemKnnRecommender::new(&knn, &m);
+        let mut buf = vec![0.0; m.n_items() as usize];
+        rec.score_items(UserId(0), &mut buf);
+        // user 0 (community A) should score the missing A item above the
+        // missing B item. Holes for u0: (u+i)%5==0 → i=0 (A) and i=5 (B).
+        assert!(
+            buf[0] > buf[5],
+            "in-community {} vs cross-community {}",
+            buf[0],
+            buf[5]
+        );
+    }
+
+    #[test]
+    fn topn_contract_holds() {
+        let m = blocks();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default());
+        let rec = ItemKnnRecommender::new(&knn, &m);
+        let lists = generate_topn_lists(&rec, &m, 3, 2);
+        for (u, list) in lists.iter().enumerate() {
+            for item in list {
+                assert!(!m.contains(UserId(u as u32), *item));
+            }
+        }
+    }
+
+    #[test]
+    fn k_truncation_limits_neighbors() {
+        let m = blocks();
+        let knn = ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                k: 2,
+                ..ItemKnnConfig::default()
+            },
+        );
+        assert!(knn.neighbors.iter().all(|n| n.len() <= 2));
+    }
+
+    #[test]
+    fn degenerate_data_does_not_panic() {
+        // All-identical ratings → zero deviations → no similarities.
+        let mut b = DatasetBuilder::new("t", RatingScale::stars_1_5());
+        for u in 0..3u32 {
+            for i in 0..3u32 {
+                b.push(UserId(u), ItemId(i), 3.0).unwrap();
+            }
+        }
+        let m = b.build().unwrap().interactions();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default());
+        let rec = ItemKnnRecommender::new(&knn, &m);
+        let mut buf = vec![0.0; 3];
+        rec.score_items(UserId(0), &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn heavy_users_are_skipped_by_the_guard() {
+        let m = blocks();
+        let knn = ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                max_user_degree: 0, // skip everyone → no similarities at all
+                ..ItemKnnConfig::default()
+            },
+        );
+        assert!(knn.neighbors.iter().all(|n| n.is_empty()));
+    }
+}

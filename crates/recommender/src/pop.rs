@@ -1,0 +1,103 @@
+//! The non-personalized "most popular" recommender (Pop, §III-A).
+//!
+//! Pop recommends the most-rated unseen items. It exploits the popularity
+//! bias of CF data, so it is a surprisingly strong accuracy baseline for
+//! ranking ([1], [5] in the paper) while having trivially low coverage and
+//! novelty — exactly the trade-off GANC is built to correct.
+
+use crate::Recommender;
+use ganc_dataset::{Interactions, UserId};
+
+/// Most-popular recommender: scores every item by its train popularity.
+#[derive(Debug, Clone)]
+pub struct MostPopular {
+    scores: Vec<f64>,
+}
+
+impl MostPopular {
+    /// Fit from a train set: score = `f_i^R` (popularity), min–max scaled.
+    pub fn fit(train: &Interactions) -> MostPopular {
+        let mut scores: Vec<f64> = train
+            .item_popularity()
+            .iter()
+            .map(|&f| f as f64)
+            .collect();
+        ganc_dataset::stats::min_max_normalize(&mut scores);
+        MostPopular { scores }
+    }
+
+    /// The popularity score of one item (normalized to `[0,1]`).
+    pub fn popularity_score(&self, item: ganc_dataset::ItemId) -> f64 {
+        self.scores[item.idx()]
+    }
+}
+
+impl Recommender for MostPopular {
+    fn name(&self) -> String {
+        "Pop".into()
+    }
+
+    fn score_items(&self, _user: UserId, out: &mut [f64]) {
+        out.copy_from_slice(&self.scores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topn::{generate_topn_lists, select_top_n};
+    use ganc_dataset::{DatasetBuilder, ItemId, RatingScale};
+
+    fn train() -> Interactions {
+        let mut b = DatasetBuilder::new("t", RatingScale::stars_1_5());
+        for u in 0..5u32 {
+            b.push(UserId(u), ItemId(0), 3.0).unwrap();
+        }
+        for u in 0..3u32 {
+            b.push(UserId(u), ItemId(1), 3.0).unwrap();
+        }
+        b.push(UserId(0), ItemId(2), 3.0).unwrap();
+        b.build().unwrap().interactions()
+    }
+
+    #[test]
+    fn scores_follow_popularity() {
+        let rec = MostPopular::fit(&train());
+        let mut buf = vec![0.0; 3];
+        rec.score_items(UserId(4), &mut buf);
+        assert!(buf[0] > buf[1]);
+        assert!(buf[1] > buf[2]);
+        assert_eq!(buf[0], 1.0);
+    }
+
+    #[test]
+    fn same_scores_for_every_user() {
+        let rec = MostPopular::fit(&train());
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        rec.score_items(UserId(0), &mut a);
+        rec.score_items(UserId(4), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recommends_most_popular_unseen() {
+        let m = train();
+        let rec = MostPopular::fit(&m);
+        let lists = generate_topn_lists(&rec, &m, 2, 1);
+        // user 4 saw only item 0 → gets items 1 then 2.
+        assert_eq!(lists[4], vec![ItemId(1), ItemId(2)]);
+        // user 0 saw everything → empty list.
+        assert!(lists[0].is_empty());
+    }
+
+    #[test]
+    fn selection_is_popularity_ordered() {
+        let m = train();
+        let rec = MostPopular::fit(&m);
+        let mut buf = vec![0.0; 3];
+        rec.score_items(UserId(4), &mut buf);
+        let top = select_top_n(&buf, 0..3, 3);
+        assert_eq!(top, vec![ItemId(0), ItemId(1), ItemId(2)]);
+    }
+}

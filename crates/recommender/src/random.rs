@@ -1,0 +1,96 @@
+//! The random recommender (Rand, §IV-A): maximal coverage and novelty,
+//! minimal accuracy — the other anchor of the trade-off space.
+//!
+//! Scores are a deterministic hash of `(seed, user, item)` so that repeated
+//! runs, threads, and score-buffer reuse all see the same ranking, while
+//! different seeds give independent shuffles (the paper averages random
+//! variants over 10 runs).
+
+use crate::Recommender;
+use ganc_dataset::UserId;
+
+/// Uniform-random scoring with per-`(seed, user, item)` determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomRec {
+    seed: u64,
+}
+
+impl RandomRec {
+    /// Create with an explicit seed (vary the seed across evaluation runs).
+    pub fn new(seed: u64) -> RandomRec {
+        RandomRec { seed }
+    }
+}
+
+/// SplitMix64 finalizer — a well-mixed 64-bit hash.
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash to a float in `[0, 1)`.
+#[inline]
+pub fn unit_hash(seed: u64, user: u32, item: u32) -> f64 {
+    let h = splitmix(seed ^ ((user as u64) << 32) ^ item as u64);
+    // 53 mantissa bits → uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Recommender for RandomRec {
+    fn name(&self) -> String {
+        "Rand".into()
+    }
+
+    fn score_items(&self, user: UserId, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = unit_hash(self.seed, user.0, i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let rec = RandomRec::new(7);
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        rec.score_items(UserId(3), &mut a);
+        rec.score_items(UserId(3), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_users_differ() {
+        let rec = RandomRec::new(7);
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        rec.score_items(UserId(0), &mut a);
+        rec.score_items(UserId(1), &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        RandomRec::new(1).score_items(UserId(0), &mut a);
+        RandomRec::new(2).score_items(UserId(0), &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scores_in_unit_interval_and_spread() {
+        let rec = RandomRec::new(11);
+        let mut buf = vec![0.0; 10_000];
+        rec.score_items(UserId(0), &mut buf);
+        assert!(buf.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = buf.iter().sum::<f64>() / buf.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

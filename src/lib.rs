@@ -1,0 +1,51 @@
+//! # ganc — facade crate
+//!
+//! Re-exports the public API of the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`dataset`] — rating data, CSR interactions, splits, synthetic
+//!   generators ([`ganc_dataset`])
+//! * [`linalg`] — dense matrices and randomized truncated SVD
+//!   ([`ganc_linalg`])
+//! * [`metrics`] — the Table III metric suite and test ranking protocols
+//!   ([`ganc_metrics`])
+//! * [`preference`] — user long-tail novelty preference models θ
+//!   ([`ganc_preference`])
+//! * [`recommender`] — base recommenders: Pop, Rand, ItemAvg, RSVD, PSVD,
+//!   RankMF ([`ganc_recommender`])
+//! * [`core`] — the GANC framework and the OSLG optimizer ([`ganc_core`])
+//! * [`rerank`] — the RBT / 5D / PRA baselines ([`ganc_rerank`])
+//! * [`eval`] — the experiment harness regenerating every paper table and
+//!   figure ([`ganc_eval`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ganc::dataset::synth::DatasetProfile;
+//! use ganc::preference::generalized::GeneralizedConfig;
+//! use ganc::recommender::pop::MostPopular;
+//! use ganc::core::{CoverageKind, GancBuilder};
+//!
+//! // 1. Data: a small synthetic catalog with real-world popularity skew.
+//! let data = DatasetProfile::tiny().generate(42);
+//! let split = data.split_per_user(0.5, 7).unwrap();
+//!
+//! // 2. Learn per-user long-tail preference θ^G from the train set.
+//! let theta = GeneralizedConfig::default().estimate(&split.train);
+//!
+//! // 3. Re-rank a base recommender with GANC(ARec, θ^G, Dyn).
+//! let arec = MostPopular::fit(&split.train);
+//! let top = GancBuilder::new(10)
+//!     .coverage(CoverageKind::Dynamic)
+//!     .build_topn(&arec, &theta, &split.train, 0xC0FFEE);
+//! assert_eq!(top.lists().len(), split.train.n_users() as usize);
+//! ```
+
+pub use ganc_core as core;
+pub use ganc_dataset as dataset;
+pub use ganc_eval as eval;
+pub use ganc_linalg as linalg;
+pub use ganc_metrics as metrics;
+pub use ganc_preference as preference;
+pub use ganc_recommender as recommender;
+pub use ganc_rerank as rerank;

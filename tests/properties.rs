@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) over the core invariants the paper's
+//! machinery rests on: submodularity of the Dyn objective, metric bounds,
+//! split conservation, selection correctness, and estimator ranges.
+
+use ganc::core::coverage::DynCoverage;
+use ganc::dataset::dataset::{DatasetBuilder, RatingScale};
+use ganc::dataset::stats::LongTail;
+use ganc::dataset::{Interactions, ItemId, UserId};
+use ganc::metrics::coverage::gini_of_frequencies;
+use ganc::preference::simple::theta_normalized;
+use ganc::preference::tfidf::theta_tfidf;
+use ganc::preference::GeneralizedConfig;
+use ganc::recommender::topn::select_top_n;
+use proptest::prelude::*;
+
+/// Random small rating datasets: up to 12 users × 10 items.
+fn arb_dataset() -> impl Strategy<Value = Interactions> {
+    proptest::collection::vec(
+        (0u32..12, 0u32..10, 1u32..=5),
+        1..120,
+    )
+    .prop_map(|triples| {
+        let mut b = DatasetBuilder::new("prop", RatingScale::stars_1_5());
+        for (u, i, r) in triples {
+            b.push(UserId(u), ItemId(i), r as f32).unwrap();
+        }
+        b.build().unwrap().interactions()
+    })
+}
+
+proptest! {
+    /// Appendix B's driver: the marginal coverage gain of any item never
+    /// increases as more recommendations are assigned (submodularity).
+    #[test]
+    fn dyn_coverage_gains_are_diminishing(
+        assignments in proptest::collection::vec(0u32..8, 0..60),
+        probe in 0u32..8,
+    ) {
+        let mut cov = DynCoverage::new(8);
+        let mut last = cov.score(ItemId(probe));
+        for a in assignments {
+            cov.observe(&[ItemId(a)]);
+            let now = cov.score(ItemId(probe));
+            prop_assert!(now <= last + 1e-12, "gain increased: {now} > {last}");
+            last = now;
+        }
+    }
+
+    /// Gini is always in [0, 1]; 0 exactly for uniform positive vectors.
+    #[test]
+    fn gini_bounds_hold(freqs in proptest::collection::vec(0u32..1000, 1..200)) {
+        let mut f = freqs.clone();
+        let g = gini_of_frequencies(&mut f);
+        prop_assert!((0.0..=1.0).contains(&g), "gini {g}");
+    }
+
+    #[test]
+    fn gini_uniform_is_zero(n in 1usize..100, v in 1u32..50) {
+        let mut f = vec![v; n];
+        let g = gini_of_frequencies(&mut f);
+        prop_assert!(g.abs() < 1e-9);
+    }
+
+    /// Per-user split conserves every rating on exactly one side.
+    #[test]
+    fn split_conserves_ratings(
+        triples in proptest::collection::vec((0u32..8, 0u32..12, 1u32..=5), 1..80),
+        kappa in 0.1f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut b = DatasetBuilder::new("prop", RatingScale::stars_1_5());
+        for (u, i, r) in triples {
+            b.push(UserId(u), ItemId(i), r as f32).unwrap();
+        }
+        let d = b.build().unwrap();
+        let s = d.split_per_user(kappa, seed).unwrap();
+        prop_assert_eq!(s.train.nnz() + s.test.nnz(), d.n_ratings());
+        for r in d.ratings() {
+            let in_train = s.train.contains(r.user, r.item);
+            let in_test = s.test.contains(r.user, r.item);
+            prop_assert!(in_train ^ in_test);
+        }
+        // every user with ratings keeps a train rating
+        for u in 0..d.n_users() {
+            let total = s.train.user_degree(UserId(u)) + s.test.user_degree(UserId(u));
+            if total > 0 {
+                prop_assert!(s.train.user_degree(UserId(u)) >= 1);
+            }
+        }
+    }
+
+    /// select_top_n matches a naive sort on arbitrary score vectors.
+    #[test]
+    fn selection_matches_naive_sort(
+        scores in proptest::collection::vec(-1e3f64..1e3, 1..60),
+        n in 0usize..20,
+    ) {
+        let fast = select_top_n(&scores, 0..scores.len() as u32, n);
+        let mut naive: Vec<u32> = (0..scores.len() as u32).collect();
+        naive.sort_by(|&a, &b| {
+            scores[b as usize]
+                .total_cmp(&scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        naive.truncate(n);
+        prop_assert_eq!(fast, naive.into_iter().map(ItemId).collect::<Vec<_>>());
+    }
+
+    /// Every preference estimator maps into [0, 1] on arbitrary data.
+    #[test]
+    fn theta_estimators_stay_in_unit_interval(train in arb_dataset()) {
+        let lt = LongTail::pareto(&train);
+        for theta in [
+            theta_normalized(&train, &lt),
+            theta_tfidf(&train),
+            GeneralizedConfig::default().estimate(&train),
+        ] {
+            prop_assert!(theta.iter().all(|&t| (0.0..=1.0).contains(&t)));
+            prop_assert_eq!(theta.len(), train.n_users() as usize);
+        }
+    }
+
+    /// The long-tail set always carries at most the tail share of ratings.
+    #[test]
+    fn long_tail_mass_is_bounded(train in arb_dataset()) {
+        let lt = LongTail::pareto(&train);
+        let pop = train.item_popularity();
+        let total: u64 = pop.iter().map(|&p| p as u64).sum();
+        let tail_mass: u64 = (0..pop.len())
+            .filter(|&i| lt.contains(ItemId(i as u32)))
+            .map(|i| pop[i] as u64)
+            .sum();
+        // Sorted-by-popularity construction ⇒ tail mass ≤ 20% of total
+        // (+1 item of slack for the boundary item).
+        let max_single: u64 = pop.iter().map(|&p| p as u64).max().unwrap_or(0);
+        prop_assert!(
+            tail_mass <= (total as f64 * 0.2).ceil() as u64 + max_single,
+            "tail mass {tail_mass} of {total}"
+        );
+    }
+
+    /// Interactions round-trip: user-major and item-major views agree.
+    #[test]
+    fn csr_views_agree(train in arb_dataset()) {
+        for u in 0..train.n_users() {
+            let (items, vals) = train.user_row(UserId(u));
+            for (&i, &v) in items.iter().zip(vals) {
+                let (users, uvals) = train.item_col(ItemId(i));
+                let k = users.binary_search(&u).expect("row entry must exist in column view");
+                prop_assert_eq!(uvals[k], v);
+            }
+        }
+        let by_rows: usize = (0..train.n_users())
+            .map(|u| train.user_degree(UserId(u)))
+            .sum();
+        let by_cols: usize = (0..train.n_items())
+            .map(|i| train.item_degree(ItemId(i)))
+            .sum();
+        prop_assert_eq!(by_rows, train.nnz());
+        prop_assert_eq!(by_cols, train.nnz());
+    }
+}
