@@ -1,0 +1,189 @@
+//! Serving-path benchmarks: single-request latency (cold and cached),
+//! batched throughput, micro-batcher throughput, and artifact load time.
+//!
+//! Besides the criterion-style console output, the measured distribution is
+//! written as JSON (default `BENCH_serve.json` at the repo root, override
+//! with `GANC_BENCH_OUT`) so the perf trajectory is tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_dataset::UserId;
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::pop::MostPopular;
+use ganc_serve::{
+    BatchConfig, EngineConfig, FitConfig, FittedModel, MicroBatcher, ModelBundle, SaveLoad,
+    ServingEngine,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct LatencyStats {
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    requests: usize,
+}
+
+fn latency_stats(mut samples_ns: Vec<f64>) -> LatencyStats {
+    samples_ns.sort_by(f64::total_cmp);
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * (samples_ns.len() as f64 - 1.0)).round() as usize;
+        samples_ns[idx.min(samples_ns.len() - 1)] / 1_000.0
+    };
+    LatencyStats {
+        mean_us: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64 / 1_000.0,
+        p50_us: rank(50.0),
+        p99_us: rank(99.0),
+        requests: samples_ns.len(),
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("GANC_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(18);
+    let split = data.split_per_user(0.5, 4).unwrap();
+    let train = split.train;
+    let n_users = train.n_users();
+    let theta = GeneralizedConfig::default().estimate(&train);
+    let pop = MostPopular::fit(&train);
+    let cfg = FitConfig {
+        sample_size: 500,
+        ..FitConfig::new(10)
+    };
+    let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, train.clone(), &cfg);
+    let bundle_bytes = bundle.to_bytes().unwrap().len();
+
+    // Artifact load time.
+    let bytes = bundle.to_bytes().unwrap();
+    let load_start = Instant::now();
+    let loaded = ModelBundle::from_bytes(&bytes).unwrap();
+    let load_us = load_start.elapsed().as_nanos() as f64 / 1_000.0;
+
+    let engine = Arc::new(ServingEngine::new(loaded, EngineConfig::default()));
+
+    // ---- latency distributions (explicit, feeds the JSON artifact) ----
+    let cold_requests = if fast_mode() { 200 } else { 3_000 };
+    let mut cold_ns = Vec::with_capacity(cold_requests);
+    for k in 0..cold_requests {
+        let u = UserId((k as u32 * 193) % n_users);
+        engine.flush_cache();
+        let start = Instant::now();
+        black_box(engine.recommend(u).unwrap());
+        cold_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let cold = latency_stats(cold_ns);
+
+    let cached_requests = if fast_mode() { 200 } else { 20_000 };
+    engine.recommend(UserId(0)).unwrap();
+    let mut cached_ns = Vec::with_capacity(cached_requests);
+    for _ in 0..cached_requests {
+        let start = Instant::now();
+        black_box(engine.recommend(UserId(0)).unwrap());
+        cached_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let cached = latency_stats(cached_ns);
+
+    // ---- batched throughput ----
+    let users: Vec<UserId> = (0..n_users).map(UserId).collect();
+    engine.flush_cache();
+    let batch_start = Instant::now();
+    let answers = engine.recommend_batch(&users);
+    let batch_s = batch_start.elapsed().as_secs_f64();
+    assert!(answers.iter().all(|a| a.is_ok()));
+    let batch_rps = users.len() as f64 / batch_s;
+
+    // ---- micro-batcher throughput under concurrent callers ----
+    let mb_requests: u32 = if fast_mode() { 400 } else { 8_000 };
+    let batcher = MicroBatcher::spawn(Arc::clone(&engine), BatchConfig::default());
+    engine.flush_cache();
+    let mb_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            let batcher = &batcher;
+            scope.spawn(move || {
+                for k in 0..mb_requests / 4 {
+                    let u = UserId((t * 7919 + k * 31) % n_users);
+                    black_box(batcher.request(u).unwrap());
+                }
+            });
+        }
+    });
+    let mb_rps = mb_requests as f64 / mb_start.elapsed().as_secs_f64();
+    drop(batcher);
+
+    // ---- criterion-style measurements for the console ----
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(if fast_mode() { 10 } else { 60 })
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    let mut k = 0u32;
+    g.bench_function("single_request_cold", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(193);
+            engine.flush_cache();
+            black_box(engine.recommend(UserId(k % n_users)).unwrap())
+        })
+    });
+    g.bench_function("single_request_cached", |b| {
+        engine.recommend(UserId(1)).unwrap();
+        b.iter(|| black_box(engine.recommend(UserId(1)).unwrap()))
+    });
+    g.bench_function("batch_all_users", |b| {
+        b.iter(|| {
+            engine.flush_cache();
+            black_box(engine.recommend_batch(&users))
+        })
+    });
+    g.finish();
+
+    // ---- JSON artifact ----
+    let out_path = std::env::var("GANC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"dataset\": {{\"users\": {users}, \"items\": {items}, \"ratings\": {nnz}}},\n",
+            "  \"n\": 10,\n",
+            "  \"bundle_bytes\": {bundle_bytes},\n",
+            "  \"load_us\": {load_us:.1},\n",
+            "  \"single_request_cold\": {{\"mean_us\": {cm:.2}, \"p50_us\": {c50:.2}, ",
+            "\"p99_us\": {c99:.2}, \"requests\": {creq}}},\n",
+            "  \"single_request_cached\": {{\"mean_us\": {hm:.3}, \"p50_us\": {h50:.3}, ",
+            "\"p99_us\": {h99:.3}, \"requests\": {hreq}}},\n",
+            "  \"batch\": {{\"batch_size\": {bsize}, \"throughput_rps\": {brps:.0}}},\n",
+            "  \"micro_batcher\": {{\"concurrent_callers\": 4, \"requests\": {mreq}, ",
+            "\"throughput_rps\": {mrps:.0}}}\n",
+            "}}\n"
+        ),
+        users = n_users,
+        items = train.n_items(),
+        nnz = train.nnz(),
+        bundle_bytes = bundle_bytes,
+        load_us = load_us,
+        cm = cold.mean_us,
+        c50 = cold.p50_us,
+        c99 = cold.p99_us,
+        creq = cold.requests,
+        hm = cached.mean_us,
+        h50 = cached.p50_us,
+        h99 = cached.p99_us,
+        hreq = cached.requests,
+        bsize = users.len(),
+        brps = batch_rps,
+        mreq = mb_requests,
+        mrps = mb_rps,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use ganc_recommender::topn::{select_top_n, train_item_mask, unseen_train_candida
 use ganc_recommender::Recommender;
 
 /// How a base recommender is adapted to `[0, 1]` accuracy scores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum AccuracyMode {
     /// Per-user min–max normalization of raw scores.
     Normalized,
@@ -58,7 +58,7 @@ impl AccuracyScorer for NormalizedScores<'_> {
 pub struct TopNIndicator<'a> {
     base: &'a dyn Recommender,
     train: &'a Interactions,
-    in_train: Vec<bool>,
+    in_train: std::borrow::Cow<'a, [bool]>,
     n: usize,
 }
 
@@ -68,7 +68,25 @@ impl<'a> TopNIndicator<'a> {
         TopNIndicator {
             base,
             train,
-            in_train: train_item_mask(train),
+            in_train: std::borrow::Cow::Owned(train_item_mask(train)),
+            n,
+        }
+    }
+
+    /// Like [`TopNIndicator::new`], borrowing an already-computed item mask
+    /// (from [`ganc_recommender::topn::train_item_mask`]) instead of
+    /// rebuilding it — the serving path constructs one adapter per request
+    /// and must not re-walk the train set each time.
+    pub fn with_mask(
+        base: &'a dyn Recommender,
+        train: &'a Interactions,
+        in_train: &'a [bool],
+        n: usize,
+    ) -> TopNIndicator<'a> {
+        TopNIndicator {
+            base,
+            train,
+            in_train: std::borrow::Cow::Borrowed(in_train),
             n,
         }
     }
@@ -83,7 +101,7 @@ impl AccuracyScorer for TopNIndicator<'_> {
         self.base.score_items(user, out);
         let top = select_top_n(
             out,
-            unseen_train_candidates(self.train, &self.in_train, user),
+            unseen_train_candidates(self.train, self.in_train.as_ref(), user),
             self.n,
         );
         out.iter_mut().for_each(|o| *o = 0.0);

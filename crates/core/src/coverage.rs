@@ -6,7 +6,7 @@ use ganc_dataset::{Interactions, ItemId, UserId};
 use ganc_recommender::random::unit_hash;
 
 /// Which coverage recommender a GANC variant uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CoverageKind {
     /// `c(i) ~ unif(0,1)` — maximal-coverage control (Rand).
     Random,
@@ -30,7 +30,7 @@ impl CoverageKind {
 
 /// Random coverage: a deterministic per-`(seed, user, item)` uniform score.
 /// The paper redraws per run; vary the seed across runs to reproduce that.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RandCoverage {
     seed: u64,
 }
@@ -53,7 +53,7 @@ impl RandCoverage {
 /// `c(i) = 1/√(f_i^R + 1)` (§III-B). The gain of recommending an item is
 /// constant — the paper shows this focuses on a small subset of tail items
 /// and is the weakest coverage recommender.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StatCoverage {
     scores: Vec<f64>,
 }
@@ -61,8 +61,14 @@ pub struct StatCoverage {
 impl StatCoverage {
     /// Precompute from the train set.
     pub fn fit(train: &Interactions) -> StatCoverage {
-        let scores = train
-            .item_popularity()
+        StatCoverage::from_popularity(&train.item_popularity())
+    }
+
+    /// Rebuild from a raw popularity vector `f^R` (one count per item).
+    /// The serving path uses this to refresh coverage after ingesting new
+    /// interactions without re-walking the train set.
+    pub fn from_popularity(popularity: &[u32]) -> StatCoverage {
+        let scores = popularity
             .iter()
             .map(|&f| 1.0 / ((f as f64) + 1.0).sqrt())
             .collect();
@@ -89,7 +95,7 @@ impl StatCoverage {
 /// is unrecommended and decays as it spreads — which makes the aggregate
 /// objective submodular (Appendix B) and drives the coverage gains of
 /// GANC(·,·,Dyn).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DynCoverage {
     counts: Vec<u32>,
 }
@@ -142,6 +148,107 @@ impl DynCoverage {
     }
 }
 
+/// The assignment-frequency snapshots OSLG's sequential phase produces —
+/// `F(θ_s)` for each sampled user `s` (Algorithm 1, line 8), kept sorted by
+/// θ so any user can be served from the snapshot of the nearest sampled θ
+/// (lines 11–15).
+///
+/// This is the shared coverage state an online query path scores against:
+/// it is immutable after the sequential phase, so any number of concurrent
+/// single-user queries can read it without coordination.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoverageSnapshots {
+    thetas: Vec<f64>,
+    counts: Vec<Box<[u32]>>,
+}
+
+impl CoverageSnapshots {
+    /// An empty snapshot store (no sampled users yet).
+    pub fn new() -> CoverageSnapshots {
+        CoverageSnapshots {
+            thetas: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Append one `(θ_s, F(θ_s))` pair. Callers must push in increasing θ
+    /// (the OSLG ordering produces this for free); [`CoverageSnapshots::sort_by_theta`]
+    /// restores the invariant for arbitrary-order ablations.
+    pub fn push(&mut self, theta: f64, snapshot: Box<[u32]>) {
+        self.thetas.push(theta);
+        self.counts.push(snapshot);
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.thetas.len()
+    }
+
+    /// Whether no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.thetas.is_empty()
+    }
+
+    /// Re-sort the store by θ (stable), for snapshots pushed out of order.
+    pub fn sort_by_theta(&mut self) {
+        let mut order: Vec<usize> = (0..self.thetas.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.thetas[a]
+                .partial_cmp(&self.thetas[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.thetas = order.iter().map(|&k| self.thetas[k]).collect();
+        self.counts = order.iter().map(|&k| self.counts[k].clone()).collect();
+    }
+
+    /// Index of the snapshot whose θ is nearest to `t`. Ties prefer the
+    /// lower θ — the earlier, less tail-discounted snapshot.
+    ///
+    /// # Panics
+    /// If the store is empty.
+    pub fn nearest_idx(&self, t: f64) -> usize {
+        let thetas = &self.thetas;
+        assert!(!thetas.is_empty(), "no snapshots stored");
+        let pos = thetas.partition_point(|&s| s < t);
+        if pos == 0 {
+            return 0;
+        }
+        if pos >= thetas.len() {
+            return thetas.len() - 1;
+        }
+        let below = pos - 1;
+        if (t - thetas[below]) <= (thetas[pos] - t) {
+            below
+        } else {
+            pos
+        }
+    }
+
+    /// The raw assignment frequencies of the snapshot nearest to `t`.
+    pub fn nearest_counts(&self, t: f64) -> &[u32] {
+        &self.counts[self.nearest_idx(t)]
+    }
+
+    /// Fill `out` with coverage scores `1/√(f+1)` from the snapshot nearest
+    /// to `t`.
+    pub fn scores_near(&self, t: f64, out: &mut [f64]) {
+        for (&f, o) in self.nearest_counts(t).iter().zip(out.iter_mut()) {
+            *o = 1.0 / ((f as f64) + 1.0).sqrt();
+        }
+    }
+
+    /// The stored θ values, ascending.
+    pub fn thetas(&self) -> &[f64] {
+        &self.thetas
+    }
+}
+
+impl Default for CoverageSnapshots {
+    fn default() -> CoverageSnapshots {
+        CoverageSnapshots::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,7 +262,7 @@ mod tests {
         b.push(UserId(0), ItemId(1), 4.0).unwrap();
         let d = b.build().unwrap();
         // Widen the item space so item 2 exists but is unrated.
-        Interactions::from_ratings(d.n_users(), 3, &d.ratings().to_vec())
+        Interactions::from_ratings(d.n_users(), 3, d.ratings())
     }
 
     #[test]
@@ -220,13 +327,53 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_nearest_picks_closest_theta() {
+        let mut s = CoverageSnapshots::new();
+        for (t, item) in [(0.1, 0u32), (0.4, 1), (0.9, 2)] {
+            let mut c = DynCoverage::new(3);
+            c.observe(&[ItemId(item)]);
+            s.push(t, c.snapshot());
+        }
+        assert_eq!(s.nearest_idx(0.0), 0);
+        assert_eq!(s.nearest_idx(0.3), 1);
+        assert_eq!(s.nearest_idx(0.2), 0); // closer to 0.1
+        assert_eq!(s.nearest_idx(0.95), 2);
+        assert_eq!(s.nearest_idx(0.65), 1);
+        // Exact tie 0.25 between 0.1 and 0.4 prefers the lower θ.
+        assert_eq!(s.nearest_idx(0.25), 0);
+        assert_eq!(s.nearest_counts(0.95), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn snapshots_sort_restores_theta_order() {
+        let mut s = CoverageSnapshots::new();
+        s.push(0.8, vec![8].into_boxed_slice());
+        s.push(0.2, vec![2].into_boxed_slice());
+        s.push(0.5, vec![5].into_boxed_slice());
+        s.sort_by_theta();
+        assert_eq!(s.thetas(), &[0.2, 0.5, 0.8]);
+        assert_eq!(s.nearest_counts(0.19), &[2]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn snapshots_scores_match_dyn_formula() {
+        let mut s = CoverageSnapshots::new();
+        s.push(0.5, vec![0, 3, 8].into_boxed_slice());
+        let mut buf = vec![0.0; 3];
+        s.scores_near(0.5, &mut buf);
+        assert_eq!(buf, vec![1.0, 0.5, 1.0 / 3.0]);
+    }
+
+    #[test]
     fn scores_into_matches_pointwise() {
         let mut c = DynCoverage::new(4);
         c.observe(&[ItemId(2)]);
         let mut buf = vec![0.0; 4];
         c.scores_into(&mut buf);
-        for i in 0..4 {
-            assert_eq!(buf[i], c.score(ItemId(i as u32)));
+        for (i, &s) in buf.iter().enumerate() {
+            assert_eq!(s, c.score(ItemId(i as u32)));
         }
     }
 }

@@ -8,8 +8,9 @@
 use crate::accuracy::{AccuracyMode, AccuracyScorer, NormalizedScores, TopNIndicator};
 use crate::coverage::{CoverageKind, RandCoverage, StatCoverage};
 use crate::oslg::{oslg_topn, OslgConfig, UserOrdering};
+use crate::query::{CoverageProvider, UserQuery};
 use ganc_dataset::{Interactions, ItemId, UserId};
-use ganc_recommender::topn::{select_top_n, train_item_mask, unseen_train_candidates};
+use ganc_recommender::topn::train_item_mask;
 use ganc_recommender::Recommender;
 
 /// A produced top-N collection: one list per user.
@@ -155,32 +156,27 @@ impl GancBuilder {
             }
             CoverageKind::Static => {
                 let stat = StatCoverage::fit(train);
-                self.independent_topn(arec, theta, train, |_u, buf| {
-                    buf.copy_from_slice(stat.scores())
-                })
+                self.independent_topn(arec, theta, train, &stat)
             }
             CoverageKind::Random => {
                 let rand = RandCoverage::new(seed);
-                self.independent_topn(arec, theta, train, |u, buf| rand.scores_for(u, buf))
+                self.independent_topn(arec, theta, train, &rand)
             }
         };
         TopNLists::new(self.n, lists)
     }
 
     /// Exact per-user optimization for decoupled coverage recommenders,
-    /// parallel over user chunks.
-    fn independent_topn<F>(
+    /// parallel over user chunks. Each worker runs the same
+    /// [`UserQuery`] computation the online serving path uses.
+    fn independent_topn(
         &self,
         arec: &dyn AccuracyScorer,
         theta: &[f64],
         train: &Interactions,
-        coverage_for: F,
-    ) -> Vec<Vec<ItemId>>
-    where
-        F: Fn(UserId, &mut [f64]) + Sync,
-    {
+        coverage: &(dyn CoverageProvider + Sync),
+    ) -> Vec<Vec<ItemId>> {
         let n_users = train.n_users() as usize;
-        let n_items = train.n_items() as usize;
         assert_eq!(theta.len(), n_users, "one θ per user required");
         let in_train = train_item_mask(train);
         let mut lists: Vec<Vec<ItemId>> = vec![Vec::new(); n_users];
@@ -190,22 +186,12 @@ impl GancBuilder {
         std::thread::scope(|scope| {
             for (t, out_chunk) in lists.chunks_mut(chunk).enumerate() {
                 let in_train = &in_train;
-                let coverage_for = &coverage_for;
                 scope.spawn(move || {
-                    let mut a_buf = vec![0.0f64; n_items];
-                    let mut c_buf = vec![0.0f64; n_items];
-                    let mut s_buf = vec![0.0f64; n_items];
+                    let mut query = UserQuery::new(arec, train, in_train, n);
                     let base = t * chunk;
                     for (off, slot) in out_chunk.iter_mut().enumerate() {
                         let u = UserId((base + off) as u32);
-                        arec.accuracy_scores(u, &mut a_buf);
-                        coverage_for(u, &mut c_buf);
-                        let w = theta[base + off];
-                        for ((s, &a), &c) in s_buf.iter_mut().zip(&a_buf).zip(&c_buf) {
-                            *s = (1.0 - w) * a + w * c;
-                        }
-                        *slot =
-                            select_top_n(&s_buf, unseen_train_candidates(train, in_train, u), n);
+                        *slot = query.topn(u, theta[base + off], coverage);
                     }
                 });
             }

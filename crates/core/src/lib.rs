@@ -26,8 +26,10 @@ pub mod accuracy;
 pub mod coverage;
 pub mod ganc;
 pub mod oslg;
+pub mod query;
 
 pub use accuracy::{AccuracyMode, AccuracyScorer, NormalizedScores, TopNIndicator};
-pub use coverage::{CoverageKind, DynCoverage, RandCoverage, StatCoverage};
+pub use coverage::{CoverageKind, CoverageSnapshots, DynCoverage, RandCoverage, StatCoverage};
 pub use ganc::{GancBuilder, TopNLists};
-pub use oslg::{OslgConfig, UserOrdering};
+pub use oslg::{oslg_seed_phase, OslgConfig, OslgSeed, UserOrdering};
+pub use query::{CoverageProvider, UserQuery};

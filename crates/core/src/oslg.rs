@@ -19,10 +19,11 @@
 //! nearest sampled θ (lines 11–15).
 
 use crate::accuracy::AccuracyScorer;
-use crate::coverage::DynCoverage;
+use crate::coverage::{CoverageSnapshots, DynCoverage};
+use crate::query::UserQuery;
 use ganc_dataset::{Interactions, ItemId, UserId};
 use ganc_preference::kde::sample_users_by_kde;
-use ganc_recommender::topn::{select_top_n, train_item_mask, unseen_train_candidates};
+use ganc_recommender::topn::train_item_mask;
 
 /// Processing order of the sequential phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,35 +64,53 @@ impl OslgConfig {
     }
 }
 
-/// Combined GANC score `(1−θ)a + θc` written into `out`.
-#[inline]
-fn combine_into(theta_u: f64, a: &[f64], c: &[f64], out: &mut [f64]) {
-    let w_a = 1.0 - theta_u;
-    for ((o, &av), &cv) in out.iter_mut().zip(a).zip(c) {
-        *o = w_a * av + theta_u * cv;
+/// The output of OSLG's sequential phase (Algorithm 1, lines 2–10): the
+/// sampled users' assignments and the θ-sorted frequency snapshots every
+/// remaining user is served from.
+///
+/// This is the state an online serving path persists: the snapshots are
+/// immutable after the sequential phase, so single-user queries
+/// ([`crate::query::UserQuery`]) can run against them concurrently — and
+/// `ganc-serve` stores exactly this structure in its model bundles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OslgSeed {
+    /// Sampled users in processing order with their assigned top-N lists.
+    /// A user drawn more than once by the KDE sampler appears once per
+    /// draw; the final draw's list is the one the batch output keeps.
+    pub assignments: Vec<(UserId, Vec<ItemId>)>,
+    /// Snapshots `F(θ_s)`, sorted by θ.
+    pub snapshots: CoverageSnapshots,
+}
+
+impl OslgSeed {
+    /// Whether `user` was drawn into the sequential sample.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.assignments.iter().any(|(u, _)| *u == user)
     }
 }
 
-/// Coverage scores from a raw frequency snapshot.
-#[inline]
-fn snapshot_scores(snapshot: &[u32], out: &mut [f64]) {
-    for (&f, o) in snapshot.iter().zip(out.iter_mut()) {
-        *o = 1.0 / ((f as f64) + 1.0).sqrt();
-    }
-}
-
-/// Run GANC(ARec, θ, Dyn) with OSLG optimization; returns one list per user.
-pub fn oslg_topn(
+/// Run OSLG's sequential phase only (Algorithm 1, lines 2–10): sample users
+/// by KDE(θ), order them, and run the coupled greedy, recording snapshots.
+pub fn oslg_seed_phase(
     arec: &dyn AccuracyScorer,
     theta: &[f64],
     train: &Interactions,
     cfg: &OslgConfig,
-) -> Vec<Vec<ItemId>> {
+) -> OslgSeed {
+    seed_phase_with_mask(arec, theta, train, cfg, &train_item_mask(train))
+}
+
+/// Seed phase over a caller-provided item mask, so [`oslg_topn`] builds the
+/// mask once for both phases.
+fn seed_phase_with_mask(
+    arec: &dyn AccuracyScorer,
+    theta: &[f64],
+    train: &Interactions,
+    cfg: &OslgConfig,
+    in_train: &[bool],
+) -> OslgSeed {
     let n_users = train.n_users() as usize;
-    let n_items = train.n_items() as usize;
     assert_eq!(theta.len(), n_users, "one θ per user required");
-    let in_train = train_item_mask(train);
-    let mut lists: Vec<Vec<ItemId>> = vec![Vec::new(); n_users];
 
     // ---- line 2: sample users proportional to KDE(θ) ----
     let mut sample = sample_users_by_kde(theta, cfg.sample_size.max(1), cfg.seed);
@@ -107,98 +126,70 @@ pub fn oslg_topn(
 
     // ---- lines 4-10: sequential greedy over the sample ----
     let mut dyn_cov = DynCoverage::new(train.n_items());
-    let mut a_buf = vec![0.0f64; n_items];
-    let mut c_buf = vec![0.0f64; n_items];
-    let mut s_buf = vec![0.0f64; n_items];
-    // Snapshots F(θ_u), kept sorted by θ for the nearest-θ lookup below
-    // (the increasing-θ order makes them sorted by construction; the
-    // Arbitrary ablation sorts afterwards).
-    let mut snap_theta: Vec<f64> = Vec::with_capacity(sample.len());
-    let mut snapshots: Vec<Box<[u32]>> = Vec::with_capacity(sample.len());
-    let mut in_sample = vec![false; n_users];
+    let mut query = UserQuery::new(arec, train, in_train, cfg.n);
+    // Increasing-θ order keeps the snapshots sorted by construction; the
+    // Arbitrary ablation sorts afterwards.
+    let mut snapshots = CoverageSnapshots::new();
+    let mut assignments: Vec<(UserId, Vec<ItemId>)> = Vec::with_capacity(sample.len());
     for &u in &sample {
-        in_sample[u.idx()] = true;
-        arec.accuracy_scores(u, &mut a_buf);
-        dyn_cov.scores_into(&mut c_buf);
-        combine_into(theta[u.idx()], &a_buf, &c_buf, &mut s_buf);
-        let list = select_top_n(
-            &s_buf,
-            unseen_train_candidates(train, &in_train, u),
-            cfg.n,
-        );
+        let list = query.topn(u, theta[u.idx()], &dyn_cov);
         dyn_cov.observe(&list);
-        snap_theta.push(theta[u.idx()]);
-        snapshots.push(dyn_cov.snapshot());
-        lists[u.idx()] = list;
+        snapshots.push(theta[u.idx()], dyn_cov.snapshot());
+        assignments.push((u, list));
     }
     if cfg.ordering == UserOrdering::Arbitrary {
-        let mut order: Vec<usize> = (0..snap_theta.len()).collect();
-        order.sort_by(|&a, &b| {
-            snap_theta[a]
-                .partial_cmp(&snap_theta[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        snap_theta = order.iter().map(|&k| snap_theta[k]).collect();
-        snapshots = order.iter().map(|&k| snapshots[k].clone()).collect();
+        snapshots.sort_by_theta();
+    }
+    OslgSeed {
+        assignments,
+        snapshots,
+    }
+}
+
+/// Run GANC(ARec, θ, Dyn) with OSLG optimization; returns one list per user.
+pub fn oslg_topn(
+    arec: &dyn AccuracyScorer,
+    theta: &[f64],
+    train: &Interactions,
+    cfg: &OslgConfig,
+) -> Vec<Vec<ItemId>> {
+    let n_users = train.n_users() as usize;
+    let in_train = train_item_mask(train);
+    let seed = seed_phase_with_mask(arec, theta, train, cfg, &in_train);
+    let mut lists: Vec<Vec<ItemId>> = vec![Vec::new(); n_users];
+    let mut in_sample = vec![false; n_users];
+    let sample_len = seed.assignments.len();
+    for (u, list) in seed.assignments {
+        in_sample[u.idx()] = true;
+        lists[u.idx()] = list;
     }
 
     // ---- lines 11-15: parallel phase for users outside the sample ----
-    if sample.len() < n_users {
+    if sample_len < n_users {
         let threads = cfg.threads.max(1);
         let chunk = n_users.div_ceil(threads);
-        let snap_theta = &snap_theta;
-        let snapshots = &snapshots;
+        let snapshots = &seed.snapshots;
         let in_sample = &in_sample;
         let in_train = &in_train;
         std::thread::scope(|scope| {
             for (t, out_chunk) in lists.chunks_mut(chunk).enumerate() {
                 scope.spawn(move || {
-                    let mut a_buf = vec![0.0f64; n_items];
-                    let mut c_buf = vec![0.0f64; n_items];
-                    let mut s_buf = vec![0.0f64; n_items];
+                    let mut query = UserQuery::new(arec, train, in_train, cfg.n);
                     let base = t * chunk;
                     for (off, slot) in out_chunk.iter_mut().enumerate() {
                         let uid = base + off;
                         if in_sample[uid] {
                             continue;
                         }
-                        let u = UserId(uid as u32);
-                        // line 12: nearest sampled θ
-                        let snap = nearest_snapshot(snap_theta, theta[uid]);
-                        snapshot_scores(&snapshots[snap], &mut c_buf);
-                        arec.accuracy_scores(u, &mut a_buf);
-                        combine_into(theta[uid], &a_buf, &c_buf, &mut s_buf);
-                        *slot = select_top_n(
-                            &s_buf,
-                            unseen_train_candidates(train, in_train, u),
-                            cfg.n,
-                        );
+                        // line 12: score against the nearest sampled θ's
+                        // snapshot.
+                        *slot = query.topn(UserId(uid as u32), theta[uid], snapshots);
                     }
                 });
             }
         });
     }
     lists
-}
-
-/// Index of the snapshot whose θ is nearest to `t` (`snap_theta` sorted
-/// ascending, non-empty). Ties prefer the lower θ, i.e. the earlier, less
-/// tail-discounted snapshot.
-fn nearest_snapshot(snap_theta: &[f64], t: f64) -> usize {
-    debug_assert!(!snap_theta.is_empty());
-    let pos = snap_theta.partition_point(|&s| s < t);
-    if pos == 0 {
-        return 0;
-    }
-    if pos >= snap_theta.len() {
-        return snap_theta.len() - 1;
-    }
-    let below = pos - 1;
-    if (t - snap_theta[below]) <= (snap_theta[pos] - t) {
-        below
-    } else {
-        pos
-    }
 }
 
 /// The assignment-order objective value `Σ_u v_u(P_u)` (Eq. III.2) of a
@@ -245,13 +236,31 @@ mod tests {
     }
 
     #[test]
-    fn nearest_snapshot_picks_closest() {
-        let t = [0.1, 0.4, 0.9];
-        assert_eq!(nearest_snapshot(&t, 0.0), 0);
-        assert_eq!(nearest_snapshot(&t, 0.3), 1);
-        assert_eq!(nearest_snapshot(&t, 0.2), 0); // closer to 0.1
-        assert_eq!(nearest_snapshot(&t, 0.95), 2);
-        assert_eq!(nearest_snapshot(&t, 0.65), 1);
+    fn seed_phase_matches_batch_for_sampled_users() {
+        let (_, train, theta) = setup();
+        let pop = MostPopular::fit(&train);
+        let arec = NormalizedScores::new(&pop);
+        let cfg = OslgConfig {
+            sample_size: 30,
+            ..OslgConfig::new(5)
+        };
+        let seed = oslg_seed_phase(&arec, &theta, &train, &cfg);
+        let batch = oslg_topn(&arec, &theta, &train, &cfg);
+        assert!(!seed.assignments.is_empty());
+        assert_eq!(seed.assignments.len(), seed.snapshots.len());
+        // The batch keeps the final draw's list for each sampled user, so
+        // compare against the last occurrence per user.
+        let mut last: std::collections::HashMap<UserId, &Vec<ItemId>> = Default::default();
+        for (u, list) in &seed.assignments {
+            assert!(seed.contains(*u));
+            last.insert(*u, list);
+        }
+        for (u, list) in last {
+            assert_eq!(&batch[u.idx()], list, "user {u:?}");
+        }
+        // Snapshot thetas are sorted ascending under the OSLG ordering.
+        let thetas = seed.snapshots.thetas();
+        assert!(thetas.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
@@ -372,14 +381,9 @@ mod tests {
         };
         let obj_ordered =
             assignment_order_objective(&ordered, &theta_order, &theta, &arec, train.n_items());
-        let sample_order = sample_users_by_kde(&theta, n_users, 0x05_1_6);
-        let obj_arbitrary = assignment_order_objective(
-            &arbitrary,
-            &sample_order,
-            &theta,
-            &arec,
-            train.n_items(),
-        );
+        let sample_order = sample_users_by_kde(&theta, n_users, 0x0516);
+        let obj_arbitrary =
+            assignment_order_objective(&arbitrary, &sample_order, &theta, &arec, train.n_items());
         assert!(
             obj_ordered >= 0.95 * obj_arbitrary,
             "ordered {obj_ordered:.2} vs arbitrary {obj_arbitrary:.2}"
@@ -415,9 +419,8 @@ mod tests {
                 ..OslgConfig::new(5)
             },
         );
-        let obj = |lists| {
-            assignment_order_objective(lists, &theta_order, &theta, &arec, train.n_items())
-        };
+        let obj =
+            |lists| assignment_order_objective(lists, &theta_order, &theta, &arec, train.n_items());
         let (f, s) = (obj(&full), obj(&sampled));
         assert!(
             s > 0.8 * f,

@@ -1,0 +1,251 @@
+//! The per-request GANC query path: compute **one** user's top-N against
+//! shared, read-only coverage state, without running the batch optimizer.
+//!
+//! The paper's value function `v_u(P_u) = (1−θ_u)·a(P_u) + θ_u·c(P_u)`
+//! (Eq. III.1) is separable per user once the coverage term is fixed, and
+//! OSLG's own parallel phase (Algorithm 1, lines 11–15) already serves
+//! every non-sampled user independently from the frequency snapshot of the
+//! nearest sampled θ. [`UserQuery`] extracts exactly that computation as a
+//! reusable API so an online serving path can answer single requests — the
+//! batch paths in [`crate::oslg`] and [`crate::ganc`] are built on it, which
+//! makes "single-user query equals batch output" true by construction.
+
+use crate::accuracy::AccuracyScorer;
+use crate::coverage::{CoverageSnapshots, DynCoverage, RandCoverage, StatCoverage};
+use ganc_dataset::{Interactions, ItemId, UserId};
+use ganc_recommender::topn::{select_top_n, unseen_train_candidates};
+
+/// Shared coverage state a single-user query scores against.
+///
+/// Implementations fill `out[i] = c(i) ∈ (0, 1]` for one request. They are
+/// read-only by design: the same provider value can back any number of
+/// concurrent queries.
+pub trait CoverageProvider: Sync {
+    /// Fill per-item coverage scores for a request by `user` with
+    /// long-tail preference `theta_u`.
+    fn coverage_into(&self, user: UserId, theta_u: f64, out: &mut [f64]);
+}
+
+impl CoverageProvider for StatCoverage {
+    fn coverage_into(&self, _user: UserId, _theta_u: f64, out: &mut [f64]) {
+        out.copy_from_slice(self.scores());
+    }
+}
+
+impl CoverageProvider for RandCoverage {
+    fn coverage_into(&self, user: UserId, _theta_u: f64, out: &mut [f64]) {
+        self.scores_for(user, out);
+    }
+}
+
+impl CoverageProvider for DynCoverage {
+    fn coverage_into(&self, _user: UserId, _theta_u: f64, out: &mut [f64]) {
+        self.scores_into(out);
+    }
+}
+
+impl CoverageProvider for CoverageSnapshots {
+    fn coverage_into(&self, _user: UserId, theta_u: f64, out: &mut [f64]) {
+        self.scores_near(theta_u, out);
+    }
+}
+
+/// Combined GANC score `(1−θ)a + θc` written into `out` (Eq. III.1).
+#[inline]
+pub fn combine_into(theta_u: f64, a: &[f64], c: &[f64], out: &mut [f64]) {
+    let w_a = 1.0 - theta_u;
+    for ((o, &av), &cv) in out.iter_mut().zip(a).zip(c) {
+        *o = w_a * av + theta_u * cv;
+    }
+}
+
+/// A reusable single-user top-N computation.
+///
+/// Owns the per-request score buffers, so a long-lived worker allocates
+/// once and serves any number of requests. Not `Sync` (the buffers are
+/// mutable state); create one per worker thread.
+///
+/// ```
+/// use ganc_core::accuracy::NormalizedScores;
+/// use ganc_core::coverage::StatCoverage;
+/// use ganc_core::query::UserQuery;
+/// use ganc_dataset::synth::DatasetProfile;
+/// use ganc_dataset::UserId;
+/// use ganc_recommender::pop::MostPopular;
+/// use ganc_recommender::topn::train_item_mask;
+///
+/// let data = DatasetProfile::tiny().generate(3);
+/// let split = data.split_per_user(0.5, 1).unwrap();
+/// let pop = MostPopular::fit(&split.train);
+/// let arec = NormalizedScores::new(&pop);
+/// let stat = StatCoverage::fit(&split.train);
+/// let in_train = train_item_mask(&split.train);
+///
+/// let mut q = UserQuery::new(&arec, &split.train, &in_train, 5);
+/// let list = q.topn(UserId(0), 0.3, &stat);
+/// assert_eq!(list.len(), 5);
+/// ```
+pub struct UserQuery<'a> {
+    arec: &'a dyn AccuracyScorer,
+    train: &'a Interactions,
+    in_train: &'a [bool],
+    n: usize,
+    a_buf: Vec<f64>,
+    c_buf: Vec<f64>,
+    s_buf: Vec<f64>,
+}
+
+impl<'a> UserQuery<'a> {
+    /// A query context over an accuracy scorer and the train set whose
+    /// unseen items form the candidate pool. `in_train` is the item mask
+    /// from [`ganc_recommender::topn::train_item_mask`] (passed in so many
+    /// workers can share one).
+    pub fn new(
+        arec: &'a dyn AccuracyScorer,
+        train: &'a Interactions,
+        in_train: &'a [bool],
+        n: usize,
+    ) -> UserQuery<'a> {
+        let n_items = train.n_items() as usize;
+        assert_eq!(in_train.len(), n_items, "item mask must cover the catalog");
+        UserQuery {
+            arec,
+            train,
+            in_train,
+            n,
+            a_buf: vec![0.0; n_items],
+            c_buf: vec![0.0; n_items],
+            s_buf: vec![0.0; n_items],
+        }
+    }
+
+    /// List size `N` this query produces.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The user's top-N under `v_u = (1−θ_u)·a + θ_u·c` against the given
+    /// coverage state.
+    pub fn topn(
+        &mut self,
+        user: UserId,
+        theta_u: f64,
+        coverage: &dyn CoverageProvider,
+    ) -> Vec<ItemId> {
+        self.topn_excluding(user, theta_u, coverage, &[])
+    }
+
+    /// Like [`UserQuery::topn`], additionally excluding `extra_seen`
+    /// (sorted, deduplicated item ids) from the candidate pool — the hook
+    /// for interactions ingested after the train snapshot was frozen.
+    pub fn topn_excluding(
+        &mut self,
+        user: UserId,
+        theta_u: f64,
+        coverage: &dyn CoverageProvider,
+        extra_seen: &[u32],
+    ) -> Vec<ItemId> {
+        debug_assert!(extra_seen.windows(2).all(|w| w[0] < w[1]));
+        self.arec.accuracy_scores(user, &mut self.a_buf);
+        coverage.coverage_into(user, theta_u, &mut self.c_buf);
+        combine_into(theta_u, &self.a_buf, &self.c_buf, &mut self.s_buf);
+        let candidates = unseen_train_candidates(self.train, self.in_train, user)
+            .filter(|i| extra_seen.binary_search(i).is_err());
+        select_top_n(&self.s_buf, candidates, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::NormalizedScores;
+    use ganc_dataset::synth::DatasetProfile;
+    use ganc_preference::GeneralizedConfig;
+    use ganc_recommender::pop::MostPopular;
+    use ganc_recommender::topn::train_item_mask;
+
+    fn setup() -> (Interactions, Vec<f64>, MostPopular) {
+        let data = DatasetProfile::small().generate(33);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let pop = MostPopular::fit(&split.train);
+        (split.train, theta, pop)
+    }
+
+    #[test]
+    fn query_respects_topn_contract() {
+        let (train, theta, pop) = setup();
+        let arec = NormalizedScores::new(&pop);
+        let in_train = train_item_mask(&train);
+        let stat = StatCoverage::fit(&train);
+        let mut q = UserQuery::new(&arec, &train, &in_train, 5);
+        for u in 0..train.n_users() {
+            let list = q.topn(UserId(u), theta[u as usize], &stat);
+            assert_eq!(list.len(), 5);
+            let mut ids: Vec<u32> = list.iter().map(|i| i.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 5, "user {u} has duplicates");
+            for item in &list {
+                assert!(!train.contains(UserId(u), *item));
+            }
+        }
+    }
+
+    #[test]
+    fn theta_extremes_switch_objective() {
+        let (train, _, pop) = setup();
+        let arec = NormalizedScores::new(&pop);
+        let in_train = train_item_mask(&train);
+        let stat = StatCoverage::fit(&train);
+        let mut q = UserQuery::new(&arec, &train, &in_train, 5);
+        let u = UserId(0);
+        // θ=0 ranks purely by accuracy; θ=1 purely by coverage. On skewed
+        // data the two orderings should differ.
+        let acc_only = q.topn(u, 0.0, &stat);
+        let cov_only = q.topn(u, 1.0, &stat);
+        assert_ne!(acc_only, cov_only);
+    }
+
+    #[test]
+    fn exclusions_drop_items_without_shrinking_list() {
+        let (train, theta, pop) = setup();
+        let arec = NormalizedScores::new(&pop);
+        let in_train = train_item_mask(&train);
+        let stat = StatCoverage::fit(&train);
+        let mut q = UserQuery::new(&arec, &train, &in_train, 5);
+        let u = UserId(1);
+        let base = q.topn(u, theta[1], &stat);
+        let mut excluded: Vec<u32> = base.iter().map(|i| i.0).collect();
+        excluded.sort_unstable();
+        let next = q.topn_excluding(u, theta[1], &stat, &excluded);
+        assert_eq!(next.len(), 5, "catalog is large enough to refill");
+        for item in &next {
+            assert!(!base.contains(item), "{item:?} was excluded");
+        }
+    }
+
+    #[test]
+    fn snapshot_provider_matches_manual_combination() {
+        let (train, theta, pop) = setup();
+        let arec = NormalizedScores::new(&pop);
+        let in_train = train_item_mask(&train);
+        let n_items = train.n_items() as usize;
+        let mut snaps = CoverageSnapshots::new();
+        let mut cov = DynCoverage::new(train.n_items());
+        cov.observe(&[ItemId(0), ItemId(0), ItemId(1)]);
+        snaps.push(0.5, cov.snapshot());
+        let mut q = UserQuery::new(&arec, &train, &in_train, 5);
+        let via_provider = q.topn(UserId(2), theta[2], &snaps);
+
+        // Manual: same scores assembled by hand.
+        let mut a = vec![0.0; n_items];
+        let mut c = vec![0.0; n_items];
+        let mut s = vec![0.0; n_items];
+        arec.accuracy_scores(UserId(2), &mut a);
+        cov.scores_into(&mut c);
+        combine_into(theta[2], &a, &c, &mut s);
+        let manual = select_top_n(&s, unseen_train_candidates(&train, &in_train, UserId(2)), 5);
+        assert_eq!(via_provider, manual);
+    }
+}

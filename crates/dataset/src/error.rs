@@ -71,7 +71,9 @@ mod tests {
         };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("[1, 5]"));
-        assert!(DataError::InvalidSplitRatio(0.0).to_string().contains("κ=0"));
+        assert!(DataError::InvalidSplitRatio(0.0)
+            .to_string()
+            .contains("κ=0"));
         let p = DataError::Parse {
             line: 12,
             message: "bad field".into(),

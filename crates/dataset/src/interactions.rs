@@ -11,7 +11,7 @@ use crate::{ItemId, UserId};
 
 /// One compressed-sparse orientation: `ptr` has `n_rows + 1` offsets into the
 /// parallel `idx`/`val` arrays.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct Csr {
     ptr: Box<[u32]>,
     idx: Box<[u32]>,
@@ -63,7 +63,12 @@ impl Csr {
                 continue;
             }
             scratch.clear();
-            scratch.extend(self.idx[lo..hi].iter().copied().zip(self.val[lo..hi].iter().copied()));
+            scratch.extend(
+                self.idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(self.val[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for (k, &(c, v)) in scratch.iter().enumerate() {
                 self.idx[lo + k] = c;
@@ -86,7 +91,7 @@ impl Csr {
 }
 
 /// Immutable user×item interaction matrix with both orientations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Interactions {
     n_users: u32,
     n_items: u32,
@@ -181,7 +186,7 @@ impl Interactions {
         if self.nnz() == 0 {
             return 0.0;
         }
-        let sum: f64 = self.by_user.val.iter().map(|&v| v as f64) .sum();
+        let sum: f64 = self.by_user.val.iter().map(|&v| v as f64).sum();
         sum / self.nnz() as f64
     }
 

@@ -44,11 +44,15 @@ pub use split::TrainTest;
 ///
 /// All per-user state in the workspace is stored in flat vectors indexed by
 /// this id, so lookups never touch a hash map on a hot path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct UserId(pub u32);
 
 /// Dense item identifier: an index into `0..n_items`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ItemId(pub u32);
 
 impl UserId {

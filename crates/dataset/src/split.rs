@@ -57,8 +57,9 @@ impl TrainTest {
                 let mut order: Vec<usize> = (0..n).collect();
                 // Mix the user id into the stream so each user gets an
                 // independent, reproducible permutation.
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64
-                    .wrapping_mul(user.0 as u64 + 1)));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(user.0 as u64 + 1)),
+                );
                 order.shuffle(&mut rng);
                 for (k, &pos) in order.iter().enumerate() {
                     if k < keep {

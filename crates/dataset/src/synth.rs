@@ -329,8 +329,7 @@ impl Generator {
         // Popularity-correlated item bias: z-score of log-weight.
         let log_w: Vec<f64> = weights.iter().map(|&w| w.ln()).collect();
         let mean_lw = log_w.iter().sum::<f64>() / log_w.len() as f64;
-        let sd_lw = (log_w.iter().map(|x| (x - mean_lw).powi(2)).sum::<f64>()
-            / log_w.len() as f64)
+        let sd_lw = (log_w.iter().map(|x| (x - mean_lw).powi(2)).sum::<f64>() / log_w.len() as f64)
             .sqrt()
             .max(1e-12);
         let item_bias: Vec<f64> = (0..p.n_items as usize)
@@ -347,16 +346,15 @@ impl Generator {
         let center = p.scale.min as f64 + 0.64 * span;
         let spread = span / 4.0; // 1.0 on the 1–5 scale
 
-        let mut builder = DatasetBuilder::new(p.name.clone(), p.scale)
-            .with_capacity(p.target_ratings as usize);
+        let mut builder =
+            DatasetBuilder::new(p.name.clone(), p.scale).with_capacity(p.target_ratings as usize);
         let mut chosen: HashSet<u32> = HashSet::new();
         for u in 0..p.n_users as usize {
             let act = activities[u] as usize;
             chosen.clear();
             chosen.reserve(act);
             let explore = (p.exploration_base
-                + p.exploration_activity_boost * (activities[u].max(1) as f64).ln()
-                    / max_log_act
+                + p.exploration_activity_boost * (activities[u].max(1) as f64).ln() / max_log_act
                 + normal(&mut self.rng, 0.0, 0.04))
             .clamp(0.02, 0.95);
             let mut attempts = 0usize;
@@ -389,7 +387,9 @@ impl Generator {
                 let dot: f64 = pu.iter().zip(qi).map(|(a, b)| a * b).sum();
                 let raw = center
                     + spread
-                        * (user_bias[u] + item_bias[i as usize] + dot
+                        * (user_bias[u]
+                            + item_bias[i as usize]
+                            + dot
                             + normal(&mut self.rng, 0.0, self.profile.noise));
                 let value = p.scale.quantize(raw);
                 builder

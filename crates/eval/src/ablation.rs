@@ -63,7 +63,11 @@ pub fn run(cfg: &ExpConfig) -> String {
             );
             let topn = ganc_metrics::TopN::new(5, lists.clone());
             let m = evaluate_topn(&topn, &bundle.ctx);
-            t.row(vec![label.into(), format!("{:.1}", objective(&lists)), f4(m.coverage)]);
+            t.row(vec![
+                label.into(),
+                format!("{:.1}", objective(&lists)),
+                f4(m.coverage),
+            ]);
         }
         out.push_str(&format!("\n1. user ordering (S = |U|)\n{}", t.render()));
     }

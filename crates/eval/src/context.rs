@@ -158,7 +158,11 @@ mod tests {
         assert!(b.data.scale().max <= 5.0);
         assert!(b.is_sparse());
         // every rating on [1,5]
-        assert!(b.data.ratings().iter().all(|r| (1.0..=5.0).contains(&r.value)));
+        assert!(b
+            .data
+            .ratings()
+            .iter()
+            .all(|r| (1.0..=5.0).contains(&r.value)));
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub fn run(cfg: &ExpConfig) -> String {
             bundle.profile.name,
             first,
             last,
-            if first > last { "falls, as in the paper" } else { "NOT falling" },
+            if first > last {
+                "falls, as in the paper"
+            } else {
+                "NOT falling"
+            },
             t.render()
         ));
     }

@@ -39,11 +39,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         for (label, theta) in &thetas {
             let (mean, std) = moments(theta);
             let h = histogram(theta, BINS);
-            let mut cells = vec![
-                label.to_string(),
-                format!("{mean:.3}"),
-                format!("{std:.3}"),
-            ];
+            let mut cells = vec![label.to_string(), format!("{mean:.3}"), format!("{std:.3}")];
             cells.extend(h.iter().map(|c| c.to_string()));
             t.row(cells);
         }

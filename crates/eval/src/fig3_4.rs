@@ -63,8 +63,8 @@ pub fn run(cfg: &ExpConfig, dataset: &str) -> String {
             series.push((s, f, c));
             t.row(vec![s.to_string(), f4(f), f4(c)]);
         }
-        let cov_rises = series.first().map(|p| p.2).unwrap_or(0.0)
-            <= series.last().map(|p| p.2).unwrap_or(0.0);
+        let cov_rises =
+            series.first().map(|p| p.2).unwrap_or(0.0) <= series.last().map(|p| p.2).unwrap_or(0.0);
         out.push_str(&format!(
             "\nARec = {} ({})\n{}",
             arec.name(),
@@ -96,7 +96,9 @@ mod tests {
         // shape on the smoke-scale data (Pop's indicator scores can be
         // degenerate at tiny scale).
         assert!(
-            out.matches("coverage grows with S, as in the paper").count() >= 3,
+            out.matches("coverage grows with S, as in the paper")
+                .count()
+                >= 3,
             "{out}"
         );
     }

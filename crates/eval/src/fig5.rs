@@ -85,7 +85,13 @@ pub fn run(cfg: &ExpConfig) -> String {
     );
     for (arec, mode) in arecs {
         let mut t = TextTable::new(&[
-            "variant", "N", "F", "StratRecall", "LTAcc", "Coverage", "Gini",
+            "variant",
+            "N",
+            "F",
+            "StratRecall",
+            "LTAcc",
+            "Coverage",
+            "Gini",
         ]);
         for &n in &NS {
             // Row 1: the pure accuracy recommender.

@@ -83,9 +83,7 @@ pub fn run(cfg: &ExpConfig) -> String {
             CoverageKind::Static,
             CoverageKind::Random,
         ] {
-            let runs = ganc_runs(
-                arec, arec_mode, &theta, &bundle, N, kind, sample_size, cfg,
-            );
+            let runs = ganc_runs(arec, arec_mode, &theta, &bundle, N, kind, sample_size, cfg);
             add(
                 format!("GANC({arec_name}, θG, {})", kind.label()),
                 mean_of(&runs, |r| evaluate_topn(r, &bundle.ctx).f_measure),

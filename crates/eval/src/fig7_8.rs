@@ -11,6 +11,7 @@
 use crate::context::{DataBundle, ExpConfig};
 use crate::models::{train_psvd, train_rankmf, train_rsvd};
 use crate::tables::{f4, TextTable};
+use ganc_dataset::{Interactions, UserId};
 use ganc_metrics::protocol::train_item_mask;
 use ganc_metrics::{evaluate_topn, RankingProtocol, TopN};
 use ganc_recommender::pop::MostPopular;
@@ -18,7 +19,6 @@ use ganc_recommender::random::RandomRec;
 use ganc_recommender::rsvd::{Rsvd, RsvdConfig};
 use ganc_recommender::topn::select_top_n;
 use ganc_recommender::Recommender;
-use ganc_dataset::{Interactions, UserId};
 
 const N: usize = 5;
 
@@ -84,17 +84,8 @@ pub fn run(cfg: &ExpConfig, dataset: &str) -> String {
         "Figure {figure} — protocol comparison on {} (top-5)\n",
         bundle.profile.name
     );
-    for protocol in [
-        RankingProtocol::AllUnrated,
-        RankingProtocol::RatedTestItems,
-    ] {
-        let mut t = TextTable::new(&[
-            "model",
-            "Precision@5",
-            "F@5",
-            "Coverage@5",
-            "LTAcc@5",
-        ]);
+    for protocol in [RankingProtocol::AllUnrated, RankingProtocol::RatedTestItems] {
+        let mut t = TextTable::new(&["model", "Precision@5", "F@5", "Coverage@5", "LTAcc@5"]);
         for rec in &models {
             let topn = topn_under_protocol(*rec, train, test, protocol, N, cfg.threads);
             let m = evaluate_topn(&topn, &bundle.ctx);

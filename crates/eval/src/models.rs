@@ -98,7 +98,12 @@ pub fn ganc_runs(
                 .accuracy_mode(mode)
                 .sample_size(sample_size)
                 .threads(cfg.threads)
-                .build_topn(base, theta, &bundle.split.train, cfg.seed ^ (run as u64) << 8)
+                .build_topn(
+                    base,
+                    theta,
+                    &bundle.split.train,
+                    cfg.seed ^ (run as u64) << 8,
+                )
                 .into_lists();
             TopN::new(n, lists)
         })

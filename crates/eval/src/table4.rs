@@ -50,8 +50,20 @@ fn evaluate_dataset(cfg: &ExpConfig, bundle: &DataBundle) -> Vec<Row> {
     let rerankers: Vec<Box<dyn Reranker>> = vec![
         Box::new(FiveD::new(train, "RSVD")),
         Box::new(FiveD::with_options(train, "RSVD", true, true)),
-        Box::new(Rbt::with_params(train, RbtCriterion::Popularity, "RSVD", 4.5, th)),
-        Box::new(Rbt::with_params(train, RbtCriterion::AverageRating, "RSVD", 4.5, th)),
+        Box::new(Rbt::with_params(
+            train,
+            RbtCriterion::Popularity,
+            "RSVD",
+            4.5,
+            th,
+        )),
+        Box::new(Rbt::with_params(
+            train,
+            RbtCriterion::AverageRating,
+            "RSVD",
+            4.5,
+            th,
+        )),
         Box::new(Pra::new(train, "RSVD", 10)),
         Box::new(Pra::new(train, "RSVD", 20)),
     ];

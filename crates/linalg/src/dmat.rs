@@ -5,7 +5,7 @@
 //! dot-product kernels without copies.
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DMat {
     rows: usize,
     cols: usize,

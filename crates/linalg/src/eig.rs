@@ -79,7 +79,11 @@ pub fn symmetric_eigen(a: &DMat) -> SymEigen {
     // Extract and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = DMat::from_fn(n, n, |r, c| v.get(r, order[c]));
     SymEigen { values, vectors }

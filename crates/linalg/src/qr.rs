@@ -86,7 +86,11 @@ mod tests {
         let q = thin_qr(&a);
         assert_eq!(q.rows(), 6);
         assert_eq!(q.cols(), 3);
-        assert!(orthonormality_error(&q) < 1e-10, "{}", orthonormality_error(&q));
+        assert!(
+            orthonormality_error(&q) < 1e-10,
+            "{}",
+            orthonormality_error(&q)
+        );
     }
 
     #[test]

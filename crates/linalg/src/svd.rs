@@ -108,9 +108,7 @@ pub fn randomized_svd<A: LinOp>(a: &A, config: SvdConfig) -> Svd {
     let k = config.rank.max(1).min(m.min(n));
     let sketch = (k + config.oversample).min(m.min(n));
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let omega = DMat::from_fn(n, sketch, |_, _| {
-        ganc_gaussian(&mut rng)
-    });
+    let omega = DMat::from_fn(n, sketch, |_, _| ganc_gaussian(&mut rng));
     // Stage A: range finding with power iterations.
     let mut q = thin_qr(&a.apply(&omega));
     for _ in 0..config.power_iters {

@@ -82,7 +82,7 @@ mod tests {
         }
         b.push(UserId(0), ItemId(1), 4.0).unwrap();
         let d = b.build().unwrap();
-        Interactions::from_ratings(4, 3, &d.ratings().to_vec())
+        Interactions::from_ratings(4, 3, d.ratings())
     }
 
     #[test]

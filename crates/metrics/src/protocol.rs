@@ -71,11 +71,7 @@ impl RankingProtocol {
 
 /// Mask of items that appear in the train set (`I^R`), indexed by item id.
 pub fn train_item_mask(train: &Interactions) -> Vec<bool> {
-    train
-        .item_popularity()
-        .iter()
-        .map(|&f| f > 0)
-        .collect()
+    train.item_popularity().iter().map(|&f| f > 0).collect()
 }
 
 #[cfg(test)]
@@ -142,7 +138,7 @@ mod tests {
         tr.push(UserId(0), ItemId(0), 4.0).unwrap();
         tr.push(UserId(1), ItemId(2), 4.0).unwrap();
         let d = tr.build().unwrap();
-        let m = Interactions::from_ratings(2, 4, &d.ratings().to_vec());
+        let m = Interactions::from_ratings(2, 4, d.ratings());
         assert_eq!(train_item_mask(&m), vec![true, false, true, false]);
     }
 

@@ -79,7 +79,13 @@ mod tests {
     fn rmse_penalizes_outliers_more() {
         let h = held_out();
         // Biased predictor with one large error.
-        let f = |u: UserId, i: ItemId| if u.0 == 1 { 1.0 } else { h.get(u, i).unwrap() as f64 };
+        let f = |u: UserId, i: ItemId| {
+            if u.0 == 1 {
+                1.0
+            } else {
+                h.get(u, i).unwrap() as f64
+            }
+        };
         assert!(rmse(&h, f) > mae(&h, f));
     }
 }

@@ -129,7 +129,7 @@ mod tests {
         let train = tr.build().unwrap().interactions();
         let test = {
             let d = te.build().unwrap();
-            Interactions::from_ratings(train.n_users(), train.n_items(), &d.ratings().to_vec())
+            Interactions::from_ratings(train.n_users(), train.n_items(), d.ratings())
         };
         (train, test)
     }

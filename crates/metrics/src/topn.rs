@@ -75,7 +75,11 @@ impl TopN {
     pub fn contract_violation(&self, train: &Interactions) -> Option<String> {
         for (u, list) in self.lists.iter().enumerate() {
             if list.len() > self.n {
-                return Some(format!("user {u}: list length {} > N={}", list.len(), self.n));
+                return Some(format!(
+                    "user {u}: list length {} > N={}",
+                    list.len(),
+                    self.n
+                ));
             }
             let mut sorted: Vec<u32> = list.iter().map(|i| i.0).collect();
             sorted.sort_unstable();

@@ -10,11 +10,7 @@ use rand::{RngExt, SeedableRng};
 /// (§II-B). Heavily right-skewed on sparse data because most users rate only
 /// a few items (Figure 2).
 pub fn theta_activity(train: &Interactions) -> Vec<f64> {
-    let mut theta: Vec<f64> = train
-        .user_activity()
-        .iter()
-        .map(|&a| a as f64)
-        .collect();
+    let mut theta: Vec<f64> = train.user_activity().iter().map(|&a| a as f64).collect();
     min_max_normalize(&mut theta);
     theta
 }

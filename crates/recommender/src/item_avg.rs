@@ -7,7 +7,7 @@ use ganc_dataset::{Interactions, ItemId, UserId};
 
 /// Item-average scoring with Bayesian damping toward the global mean, so a
 /// single 5-star rating does not outrank a thousand 4.5-star ratings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ItemAvg {
     means: Vec<f64>,
 }

@@ -38,7 +38,7 @@ impl Default for ItemKnnConfig {
 
 /// A fitted item-kNN model: per item, its top-k neighbours with
 /// similarities.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ItemKnn {
     /// Flattened neighbour lists: `neighbors[i]` holds `(item, sim)` sorted
     /// by descending similarity.

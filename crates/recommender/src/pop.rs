@@ -9,7 +9,7 @@ use crate::Recommender;
 use ganc_dataset::{Interactions, UserId};
 
 /// Most-popular recommender: scores every item by its train popularity.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MostPopular {
     scores: Vec<f64>,
 }
@@ -17,11 +17,16 @@ pub struct MostPopular {
 impl MostPopular {
     /// Fit from a train set: score = `f_i^R` (popularity), min–max scaled.
     pub fn fit(train: &Interactions) -> MostPopular {
-        let mut scores: Vec<f64> = train
-            .item_popularity()
-            .iter()
-            .map(|&f| f as f64)
-            .collect();
+        let mut scores: Vec<f64> = train.item_popularity().iter().map(|&f| f as f64).collect();
+        ganc_dataset::stats::min_max_normalize(&mut scores);
+        MostPopular { scores }
+    }
+
+    /// Rebuild from a raw popularity vector `f^R` (one count per item).
+    /// The serving path uses this to refresh Pop after ingesting new
+    /// interactions without re-walking the train set.
+    pub fn from_popularity(popularity: &[u32]) -> MostPopular {
+        let mut scores: Vec<f64> = popularity.iter().map(|&f| f as f64).collect();
         ganc_dataset::stats::min_max_normalize(&mut scores);
         MostPopular { scores }
     }

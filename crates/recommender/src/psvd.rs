@@ -60,7 +60,7 @@ impl LinOp for CsrOp<'_> {
 }
 
 /// A fitted PureSVD model: `score(u, i) = (U_k Σ_k)_u · (V_k)_i`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Psvd {
     /// `n_users × k` — left singular vectors scaled by Σ.
     user_factors: DMat,
@@ -93,7 +93,10 @@ impl Psvd {
     /// Association score between a user and an item.
     #[inline]
     pub fn score(&self, u: UserId, i: ItemId) -> f64 {
-        ganc_linalg::dmat::dot(self.user_factors.row(u.idx()), self.item_factors.row(i.idx()))
+        ganc_linalg::dmat::dot(
+            self.user_factors.row(u.idx()),
+            self.item_factors.row(i.idx()),
+        )
     }
 }
 

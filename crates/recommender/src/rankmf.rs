@@ -42,7 +42,7 @@ impl Default for RankMfConfig {
 }
 
 /// A trained pairwise ranking MF model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RankMf {
     factors: usize,
     /// `n_users × factors`.

@@ -46,7 +46,7 @@ impl Default for RsvdConfig {
 }
 
 /// A trained RSVD model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Rsvd {
     factors: usize,
     global_mean: f64,
@@ -94,7 +94,11 @@ impl Rsvd {
         };
         let mut model = Rsvd {
             factors: k,
-            global_mean: if cfg.use_biases { train.global_mean() } else { 0.0 },
+            global_mean: if cfg.use_biases {
+                train.global_mean()
+            } else {
+                0.0
+            },
             user_bias: vec![0.0; n_users],
             item_bias: vec![0.0; n_items],
             p: init(&mut rng, n_users * k),
@@ -102,8 +106,7 @@ impl Rsvd {
             name: format!("RSVD{}", if cfg.non_negative { "N" } else { "" }),
         };
         // Materialize triplets once; shuffle an index array per epoch.
-        let triplets: Vec<(u32, u32, f32)> =
-            train.iter().map(|(u, i, r)| (u.0, i.0, r)).collect();
+        let triplets: Vec<(u32, u32, f32)> = train.iter().map(|(u, i, r)| (u.0, i.0, r)).collect();
         let mut order: Vec<u32> = (0..triplets.len() as u32).collect();
         let lr = cfg.learning_rate;
         let reg = cfg.reg;
@@ -252,7 +255,10 @@ mod tests {
         let split = data.split_per_user(0.5, 2).unwrap();
         let a = Rsvd::train(&split.train, quick_cfg());
         let b = Rsvd::train(&split.train, quick_cfg());
-        assert_eq!(a.predict(UserId(0), ItemId(0)), b.predict(UserId(0), ItemId(0)));
+        assert_eq!(
+            a.predict(UserId(0), ItemId(0)),
+            b.predict(UserId(0), ItemId(0))
+        );
     }
 
     #[test]
@@ -290,8 +296,8 @@ mod tests {
         let model = Rsvd::train(&split.train, quick_cfg());
         let mut buf = vec![0.0; split.train.n_items() as usize];
         model.score_items(UserId(3), &mut buf);
-        for i in 0..buf.len() {
-            assert!((buf[i] - model.predict(UserId(3), ItemId(i as u32))).abs() < 1e-12);
+        for (i, &s) in buf.iter().enumerate() {
+            assert!((s - model.predict(UserId(3), ItemId(i as u32))).abs() < 1e-12);
         }
     }
 

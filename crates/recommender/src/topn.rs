@@ -117,11 +117,7 @@ pub fn generate_topn_lists(
                 for (off, slot) in out_chunk.iter_mut().enumerate() {
                     let u = UserId((base + off) as u32);
                     rec.score_items(u, &mut scores);
-                    *slot = select_top_n(
-                        &scores,
-                        unseen_train_candidates(train, in_train, u),
-                        n,
-                    );
+                    *slot = select_top_n(&scores, unseen_train_candidates(train, in_train, u), n);
                 }
             });
         }
@@ -151,7 +147,7 @@ mod tests {
     #[test]
     fn select_respects_candidate_filter() {
         let scores = vec![0.9, 0.8, 0.7];
-        let top = select_top_n(&scores, [1u32, 2].into_iter(), 2);
+        let top = select_top_n(&scores, [1u32, 2], 2);
         assert_eq!(top, vec![ItemId(1), ItemId(2)]);
     }
 

@@ -74,8 +74,7 @@ impl FiveD {
                 if vals.is_empty() {
                     return 0.0;
                 }
-                let mean: f64 =
-                    vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+                let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
                 mean / (vals.len() as f64)
             })
             .collect();

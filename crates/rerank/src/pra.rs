@@ -61,8 +61,7 @@ impl Pra {
             pops.sort_by(f64::total_cmp);
             pops.truncate(10.min(pops.len()).max(1));
             let mean = pops.iter().sum::<f64>() / pops.len() as f64;
-            let var = pops.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-                / pops.len() as f64;
+            let var = pops.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / pops.len() as f64;
             target.push(mean);
             deviation.push(var.sqrt().max(0.02));
         }
@@ -116,11 +115,8 @@ impl Reranker for Pra {
         }
         let target = self.target[user.idx()];
         let dev = self.deviation[user.idx()];
-        let mut mean_pop = list
-            .iter()
-            .map(|&i| self.pop_norm[i as usize])
-            .sum::<f64>()
-            / list_len as f64;
+        let mut mean_pop =
+            list.iter().map(|&i| self.pop_norm[i as usize]).sum::<f64>() / list_len as f64;
         for _ in 0..self.max_steps {
             if (mean_pop - target).abs() <= dev {
                 break; // inside the tendency band
@@ -142,10 +138,7 @@ impl Reranker for Pra {
             match best {
                 Some((lp, pp, _)) => {
                     std::mem::swap(&mut list[lp], &mut pool[pp]);
-                    mean_pop = list
-                        .iter()
-                        .map(|&i| self.pop_norm[i as usize])
-                        .sum::<f64>()
+                    mean_pop = list.iter().map(|&i| self.pop_norm[i as usize]).sum::<f64>()
                         / list_len as f64;
                 }
                 None => break, // no improving swap
@@ -187,11 +180,7 @@ mod tests {
         let scores = vec![5.0, 4.5, 4.0, 3.5, 3.4];
         let list = pra.rerank(UserId(9), &scores, &[0, 1, 2, 3], 2);
         let mean_pop_base = (1.0 + 6.0 / 9.0) / 2.0; // items 0,1
-        let mean_pop_new: f64 = list
-            .iter()
-            .map(|i| pra.pop_norm[i.idx()])
-            .sum::<f64>()
-            / 2.0;
+        let mean_pop_new: f64 = list.iter().map(|i| pra.pop_norm[i.idx()]).sum::<f64>() / 2.0;
         assert!(
             mean_pop_new < mean_pop_base,
             "PRA should lower mean popularity: {mean_pop_new} vs {mean_pop_base}"

@@ -126,11 +126,7 @@ impl Reranker for Rbt {
                 .total_cmp(&base_scores[a as usize])
                 .then(a.cmp(&b))
         });
-        head.into_iter()
-            .chain(tail)
-            .take(n)
-            .map(ItemId)
-            .collect()
+        head.into_iter().chain(tail).take(n).map(ItemId).collect()
     }
 }
 
@@ -160,10 +156,7 @@ mod tests {
         let scores = vec![4.5, 4.2, 4.8, 3.0];
         let list = rbt.rerank(UserId(0), &scores, &[0, 1, 2, 3], 4);
         // head sorted by ascending popularity: 2 (pop1), 1 (pop2), 0 (pop4)
-        assert_eq!(
-            list,
-            vec![ItemId(2), ItemId(1), ItemId(0), ItemId(3)]
-        );
+        assert_eq!(list, vec![ItemId(2), ItemId(1), ItemId(0), ItemId(3)]);
     }
 
     #[test]
@@ -181,10 +174,7 @@ mod tests {
         let scores = vec![4.5, 4.2, 4.8, 3.0];
         // nothing clears 4.9 → pure prediction order
         let list = rbt.rerank(UserId(0), &scores, &[0, 1, 2, 3], 4);
-        assert_eq!(
-            list,
-            vec![ItemId(2), ItemId(0), ItemId(1), ItemId(3)]
-        );
+        assert_eq!(list, vec![ItemId(2), ItemId(0), ItemId(1), ItemId(3)]);
     }
 
     #[test]
@@ -202,10 +192,7 @@ mod tests {
         let rbt = Rbt::with_params(&train(), RbtCriterion::Popularity, "X", 5.01, 0);
         let scores = vec![4.5, 4.2, 4.8, 3.0];
         let list = rbt.rerank(UserId(0), &scores, &[0, 1, 2, 3], 4);
-        assert_eq!(
-            list,
-            vec![ItemId(2), ItemId(0), ItemId(1), ItemId(3)]
-        );
+        assert_eq!(list, vec![ItemId(2), ItemId(0), ItemId(1), ItemId(3)]);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Micro-batching front door: coalesce concurrent single-user requests
+//! into engine batches.
+//!
+//! Callers block on [`MicroBatcher::request`]; a background worker drains
+//! the queue, waits up to `max_wait` for up to `max_batch` requests to
+//! accumulate, and answers them with one
+//! [`ServingEngine::recommend_batch`] call — so each serving worker's
+//! scorer/buffer setup is amortized over the whole batch instead of paid
+//! per request.
+
+use crate::engine::{ServeError, ServingEngine};
+use ganc_dataset::{ItemId, UserId};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Largest batch handed to the engine at once.
+    pub max_batch: usize,
+    /// Longest a request waits for companions before the batch flushes.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+struct Request {
+    user: UserId,
+    reply: mpsc::Sender<Result<Arc<Vec<ItemId>>, ServeError>>,
+}
+
+/// A handle submitting requests into the batching queue.
+///
+/// Dropping the batcher closes the queue and joins the worker.
+pub struct MicroBatcher {
+    tx: Option<mpsc::Sender<Request>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Start a batching worker over `engine`.
+    pub fn spawn(engine: Arc<ServingEngine>, cfg: BatchConfig) -> MicroBatcher {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let max_batch = cfg.max_batch.max(1);
+        let max_wait = cfg.max_wait;
+        let worker = std::thread::spawn(move || {
+            // Block for the first request of each batch; then collect
+            // companions until the window closes or the batch fills.
+            while let Ok(first) = rx.recv() {
+                let mut pending = vec![first];
+                let deadline = Instant::now() + max_wait;
+                while pending.len() < max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(req) => pending.push(req),
+                        Err(_) => break,
+                    }
+                }
+                let users: Vec<UserId> = pending.iter().map(|r| r.user).collect();
+                let answers = engine.recommend_batch(&users);
+                for (req, answer) in pending.into_iter().zip(answers) {
+                    // A receiver that gave up is not an error for the batch.
+                    let _ = req.reply.send(answer);
+                }
+            }
+        });
+        MicroBatcher {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit one request and block for its answer.
+    pub fn request(&self, user: UserId) -> Result<Arc<Vec<ItemId>>, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("batcher running")
+            .send(Request {
+                user,
+                reply: reply_tx,
+            })
+            .expect("batch worker alive");
+        reply_rx.recv().expect("batch worker answers")
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{FitConfig, FittedModel, ModelBundle};
+    use crate::engine::EngineConfig;
+    use ganc_dataset::synth::DatasetProfile;
+    use ganc_preference::GeneralizedConfig;
+    use ganc_recommender::pop::MostPopular;
+
+    fn engine() -> Arc<ServingEngine> {
+        let data = DatasetProfile::tiny().generate(7);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let pop = MostPopular::fit(&split.train);
+        let cfg = FitConfig {
+            sample_size: 10,
+            ..FitConfig::new(5)
+        };
+        let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg);
+        Arc::new(ServingEngine::new(bundle, EngineConfig::default()))
+    }
+
+    #[test]
+    fn batched_answers_match_direct_requests() {
+        let e = engine();
+        let batcher = MicroBatcher::spawn(Arc::clone(&e), BatchConfig::default());
+        let n_users = e.n_users();
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let batcher = &batcher;
+                let e = Arc::clone(&e);
+                scope.spawn(move || {
+                    for k in 0..50u32 {
+                        let u = UserId((t * 13 + k) % n_users);
+                        let batched = batcher.request(u).unwrap();
+                        let direct = e.recommend(u).unwrap();
+                        assert_eq!(batched, direct, "user {u:?}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_user_error_propagates_through_batch() {
+        let e = engine();
+        let batcher = MicroBatcher::spawn(Arc::clone(&e), BatchConfig::default());
+        let bad = UserId(e.n_users() + 5);
+        assert_eq!(batcher.request(bad), Err(ServeError::UnknownUser(bad)));
+    }
+
+    #[test]
+    fn drop_joins_worker_cleanly() {
+        let e = engine();
+        let batcher = MicroBatcher::spawn(e, BatchConfig::default());
+        batcher.request(UserId(0)).unwrap();
+        drop(batcher); // must not hang or panic
+    }
+}

@@ -1,0 +1,511 @@
+//! The concurrent serving engine: answer single-user top-N requests from a
+//! loaded [`ModelBundle`], cache responses, batch concurrent work, and
+//! ingest new interactions online.
+//!
+//! Concurrency model:
+//!
+//! * the fitted state sits behind one `RwLock` — reads (requests) share it,
+//!   ingestion takes the write side briefly;
+//! * the LRU response cache has its own mutex so cache hits never touch the
+//!   model state at all;
+//! * [`ServingEngine::recommend_batch`] fans a request batch across worker
+//!   threads, each of which builds its scorer and score buffers **once**
+//!   per batch — the amortization that makes micro-batching pay.
+//!
+//! Staleness contract: ingesting an interaction immediately (a) removes the
+//! item from that user's candidate pool, (b) refreshes popularity-derived
+//! state (the Pop model's scores and Stat coverage), and (c) invalidates
+//! that user's cached response. Other users' cached responses may serve
+//! scores from before the ingest until they expire from the LRU — bounded
+//! staleness, the standard serving trade-off. [`ServingEngine::flush_cache`]
+//! forces global freshness.
+
+use crate::bundle::{make_scorer_with_mask, CoverageState, FittedModel, ModelBundle};
+use crate::lru::LruCache;
+use ganc_core::coverage::StatCoverage;
+use ganc_core::query::UserQuery;
+use ganc_dataset::{ItemId, UserId};
+use ganc_recommender::pop::MostPopular;
+use ganc_recommender::topn::train_item_mask;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum cached responses (LRU-evicted beyond this).
+    pub cache_capacity: usize,
+    /// Worker threads for batched requests.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_capacity: 16_384,
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        }
+    }
+}
+
+/// A snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Requests that computed a fresh list.
+    pub cache_misses: u64,
+    /// Interactions ingested.
+    pub ingested: u64,
+    /// Cache entries invalidated by ingestion.
+    pub invalidated: u64,
+    /// Entries currently cached.
+    pub cached: usize,
+}
+
+/// Why a request or ingest was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The user id is outside the bundle's user space.
+    UnknownUser(UserId),
+    /// The item id is outside the bundle's catalog.
+    UnknownItem(ItemId),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownUser(u) => write!(f, "unknown user {}", u.0),
+            ServeError::UnknownItem(i) => write!(f, "unknown item {}", i.0),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Model-side state guarded by the engine's `RwLock`.
+struct EngineState {
+    bundle: ModelBundle,
+    /// Items with ≥1 train rating (the candidate mask), shared by workers.
+    in_train: Vec<bool>,
+    /// Per-user items ingested after fit (sorted), excluded from candidates.
+    extra_seen: Vec<Vec<u32>>,
+    /// Live popularity: train counts plus ingested interactions.
+    pop_counts: Vec<u32>,
+    /// user id → index into `bundle.seed_lists`; entries are dropped when
+    /// ingestion staledates a sampled user's precomputed list.
+    seed_index: HashMap<u32, usize>,
+}
+
+impl EngineState {
+    fn new(bundle: ModelBundle) -> EngineState {
+        let in_train = train_item_mask(&bundle.train);
+        let pop_counts = bundle.train.item_popularity();
+        let extra_seen = vec![Vec::new(); bundle.train.n_users() as usize];
+        let seed_index = bundle
+            .seed_lists
+            .iter()
+            .enumerate()
+            .map(|(k, (u, _))| (u.0, k))
+            .collect();
+        EngineState {
+            bundle,
+            in_train,
+            extra_seen,
+            pop_counts,
+            seed_index,
+        }
+    }
+
+    /// Compute one user's list the way the batch optimizer would.
+    fn compute(&self, user: UserId) -> Vec<ItemId> {
+        let b = &self.bundle;
+        if matches!(b.coverage, CoverageState::Dynamic(_)) {
+            if let Some(&k) = self.seed_index.get(&user.0) {
+                return b.seed_lists[k].1.clone();
+            }
+        }
+        let bound = b.model.bind(&b.train);
+        let scorer = make_scorer_with_mask(&bound, b.accuracy_mode, &b.train, &self.in_train, b.n);
+        let mut query = UserQuery::new(scorer.as_ref(), &b.train, &self.in_train, b.n);
+        query.topn_excluding(
+            user,
+            b.theta[user.idx()],
+            b.coverage.provider(),
+            &self.extra_seen[user.idx()],
+        )
+    }
+}
+
+/// A thread-safe online server over one [`ModelBundle`].
+pub struct ServingEngine {
+    state: RwLock<EngineState>,
+    cache: Mutex<LruCache<u32, Arc<Vec<ItemId>>>>,
+    /// Bumped by every ingest, *before* its cache invalidation. A response
+    /// computed under an older version is never inserted into the cache —
+    /// otherwise a compute that raced an ingest could re-insert a stale
+    /// list right after the ingest invalidated it, and it would then be
+    /// served from cache indefinitely.
+    version: AtomicU64,
+    threads: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    ingested: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl ServingEngine {
+    /// Start serving a bundle.
+    pub fn new(bundle: ModelBundle, cfg: EngineConfig) -> ServingEngine {
+        ServingEngine {
+            state: RwLock::new(EngineState::new(bundle)),
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            version: AtomicU64::new(0),
+            threads: cfg.threads.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// Answer one user's top-N request.
+    pub fn recommend(&self, user: UserId) -> Result<Arc<Vec<ItemId>>, ServeError> {
+        if let Some(hit) = self.cache.lock().unwrap().get(&user.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let version = self.version.load(Ordering::SeqCst);
+        let state = self.state.read().unwrap();
+        if user.idx() >= state.bundle.n_users() as usize {
+            return Err(ServeError::UnknownUser(user));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let list = Arc::new(state.compute(user));
+        drop(state);
+        let mut cache = self.cache.lock().unwrap();
+        if self.version.load(Ordering::SeqCst) == version {
+            cache.insert(user.0, Arc::clone(&list));
+        }
+        drop(cache);
+        Ok(list)
+    }
+
+    /// Answer a batch of requests, fanning cache misses across worker
+    /// threads. Results come back in request order; unknown users get the
+    /// per-request error.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch(&self, users: &[UserId]) -> Vec<Result<Arc<Vec<ItemId>>, ServeError>> {
+        let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
+            vec![None; users.len()];
+        // Serve cache hits under one short lock.
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (k, u) in users.iter().enumerate() {
+                if let Some(hit) = cache.get(&u.0) {
+                    results[k] = Some(Ok(Arc::clone(hit)));
+                } else {
+                    miss_idx.push(k);
+                }
+            }
+        }
+        self.hits
+            .fetch_add((users.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        if miss_idx.is_empty() {
+            return results.into_iter().map(|r| r.unwrap()).collect();
+        }
+
+        let version = self.version.load(Ordering::SeqCst);
+        let state = self.state.read().unwrap();
+        // Reject unknown users up front so the miss counter only covers
+        // requests that actually compute (matching `recommend`).
+        let n_users = state.bundle.n_users() as usize;
+        miss_idx.retain(|&k| {
+            if users[k].idx() >= n_users {
+                results[k] = Some(Err(ServeError::UnknownUser(users[k])));
+                false
+            } else {
+                true
+            }
+        });
+        self.misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+        if miss_idx.is_empty() {
+            drop(state);
+            return results.into_iter().map(|r| r.unwrap()).collect();
+        }
+
+        // Compute misses in parallel; each worker sets up its scorer and
+        // buffers once for its whole chunk.
+        let mut computed: Vec<(usize, Arc<Vec<ItemId>>)> = Vec::with_capacity(miss_idx.len());
+        let threads = self.threads.min(miss_idx.len());
+        let chunk = miss_idx.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for piece in miss_idx.chunks(chunk) {
+                let state = &state;
+                handles.push(scope.spawn(move || {
+                    let b = &state.bundle;
+                    let bound = b.model.bind(&b.train);
+                    let scorer = make_scorer_with_mask(
+                        &bound,
+                        b.accuracy_mode,
+                        &b.train,
+                        &state.in_train,
+                        b.n,
+                    );
+                    let mut query = UserQuery::new(scorer.as_ref(), &b.train, &state.in_train, b.n);
+                    let mut out = Vec::with_capacity(piece.len());
+                    for &k in piece {
+                        let user = users[k];
+                        let list = if matches!(b.coverage, CoverageState::Dynamic(_)) {
+                            match state.seed_index.get(&user.0) {
+                                Some(&s) => b.seed_lists[s].1.clone(),
+                                None => query.topn_excluding(
+                                    user,
+                                    b.theta[user.idx()],
+                                    b.coverage.provider(),
+                                    &state.extra_seen[user.idx()],
+                                ),
+                            }
+                        } else {
+                            query.topn_excluding(
+                                user,
+                                b.theta[user.idx()],
+                                b.coverage.provider(),
+                                &state.extra_seen[user.idx()],
+                            )
+                        };
+                        out.push((k, Arc::new(list)));
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                computed.extend(h.join().expect("serving worker panicked"));
+            }
+        });
+        drop(state);
+
+        let mut cache = self.cache.lock().unwrap();
+        let fresh = self.version.load(Ordering::SeqCst) == version;
+        for (k, list) in computed {
+            if fresh {
+                cache.insert(users[k].0, Arc::clone(&list));
+            }
+            results[k] = Some(Ok(list));
+        }
+        drop(cache);
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// Ingest one observed interaction: the item leaves the user's
+    /// candidate pool, popularity-derived state refreshes, and the user's
+    /// cached response is invalidated (see the module docs for the
+    /// staleness contract).
+    pub fn ingest(&self, user: UserId, item: ItemId, _rating: f32) -> Result<(), ServeError> {
+        let mut state = self.state.write().unwrap();
+        if user.idx() >= state.bundle.n_users() as usize {
+            return Err(ServeError::UnknownUser(user));
+        }
+        if item.idx() >= state.bundle.n_items() as usize {
+            return Err(ServeError::UnknownItem(item));
+        }
+        if !state.bundle.train.contains(user, item) {
+            let extra = &mut state.extra_seen[user.idx()];
+            if let Err(pos) = extra.binary_search(&item.0) {
+                extra.insert(pos, item.0);
+            }
+        }
+        state.pop_counts[item.idx()] += 1;
+        if matches!(state.bundle.model, FittedModel::Pop(_)) {
+            state.bundle.model = FittedModel::Pop(MostPopular::from_popularity(&state.pop_counts));
+        }
+        if matches!(state.bundle.coverage, CoverageState::Static(_)) {
+            state.bundle.coverage =
+                CoverageState::Static(StatCoverage::from_popularity(&state.pop_counts));
+        }
+        // The sampled user's precomputed list no longer reflects their
+        // candidate pool; fall back to the snapshot query path for them.
+        state.seed_index.remove(&user.0);
+        drop(state);
+        // Bump before invalidating: in-flight computes that started under
+        // the old version will see the new one at insert time and skip the
+        // cache, so the invalidation below cannot be undone by a racer.
+        self.version.fetch_add(1, Ordering::SeqCst);
+        if self.cache.lock().unwrap().remove_entry(&user.0).is_some() {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drop every cached response (force global freshness after a burst of
+    /// ingestion).
+    pub fn flush_cache(&self) {
+        self.cache.lock().unwrap().clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            cached: self.cache.lock().unwrap().len(),
+        }
+    }
+
+    /// List size `N` this engine serves.
+    pub fn n(&self) -> usize {
+        self.state.read().unwrap().bundle.n
+    }
+
+    /// Number of users the bundle covers.
+    pub fn n_users(&self) -> u32 {
+        self.state.read().unwrap().bundle.n_users()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::FitConfig;
+    use ganc_core::coverage::CoverageKind;
+    use ganc_dataset::synth::DatasetProfile;
+    use ganc_preference::GeneralizedConfig;
+
+    fn engine(kind: CoverageKind) -> ServingEngine {
+        let data = DatasetProfile::tiny().generate(5);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let pop = MostPopular::fit(&split.train);
+        let cfg = FitConfig {
+            coverage: kind,
+            sample_size: 12,
+            ..FitConfig::new(5)
+        };
+        let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg);
+        ServingEngine::new(bundle, EngineConfig::default())
+    }
+
+    #[test]
+    fn recommend_serves_and_caches() {
+        let e = engine(CoverageKind::Dynamic);
+        let a = e.recommend(UserId(0)).unwrap();
+        assert_eq!(a.len(), 5);
+        let b = e.recommend(UserId(0)).unwrap();
+        assert_eq!(a, b);
+        let s = e.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cached, 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let e = engine(CoverageKind::Static);
+        let u_bad = UserId(e.n_users() + 10);
+        assert_eq!(e.recommend(u_bad), Err(ServeError::UnknownUser(u_bad)));
+        assert_eq!(
+            e.ingest(UserId(0), ItemId(1_000_000), 5.0),
+            Err(ServeError::UnknownItem(ItemId(1_000_000)))
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_requests() {
+        let e = engine(CoverageKind::Dynamic);
+        let users: Vec<UserId> = (0..e.n_users()).map(UserId).collect();
+        let batch = e.recommend_batch(&users);
+        for (u, got) in users.iter().zip(&batch) {
+            let single = e.recommend(*u).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &single, "user {u:?}");
+        }
+    }
+
+    #[test]
+    fn batch_counts_misses_only_for_served_users() {
+        let e = engine(CoverageKind::Dynamic);
+        let bad = UserId(e.n_users() + 1);
+        let batch = e.recommend_batch(&[UserId(0), bad, UserId(1)]);
+        assert!(batch[0].is_ok());
+        assert_eq!(batch[1], Err(ServeError::UnknownUser(bad)));
+        assert!(batch[2].is_ok());
+        let s = e.stats();
+        assert_eq!(s.cache_misses, 2, "unknown users must not count as misses");
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn ingest_removes_item_from_user_lists() {
+        let e = engine(CoverageKind::Dynamic);
+        let u = UserId(1);
+        let before = e.recommend(u).unwrap();
+        let consumed = before[0];
+        e.ingest(u, consumed, 5.0).unwrap();
+        let after = e.recommend(u).unwrap();
+        assert!(
+            !after.contains(&consumed),
+            "{consumed:?} was consumed and must not be re-recommended"
+        );
+        assert_eq!(after.len(), 5);
+        let s = e.stats();
+        assert_eq!(s.ingested, 1);
+        assert_eq!(s.invalidated, 1);
+    }
+
+    #[test]
+    fn ingest_refreshes_pop_scores() {
+        let e = engine(CoverageKind::Static);
+        // Hammer one tail item with ratings from every user; its popularity
+        // should now dominate Pop scores for users who haven't seen it.
+        let tail = {
+            let state = e.state.read().unwrap();
+            // Pick the least popular item.
+            let (idx, _) = state
+                .pop_counts
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| c)
+                .unwrap();
+            ItemId(idx as u32)
+        };
+        for u in 0..e.n_users() {
+            e.ingest(UserId(u), tail, 5.0).unwrap();
+            // Re-ingesting the same pair still counts popularity but the
+            // candidate exclusion stays deduplicated.
+            e.ingest(UserId(u), tail, 4.0).unwrap();
+        }
+        let state = e.state.read().unwrap();
+        let max = *state.pop_counts.iter().max().unwrap();
+        assert_eq!(state.pop_counts[tail.idx()], max, "tail item now hottest");
+    }
+
+    #[test]
+    fn concurrent_requests_and_ingests_hold_up() {
+        let e = Arc::new(engine(CoverageKind::Dynamic));
+        let n_users = e.n_users();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let e = Arc::clone(&e);
+                scope.spawn(move || {
+                    for k in 0..200u32 {
+                        let u = UserId((t * 7 + k) % n_users);
+                        let list = e.recommend(u).unwrap();
+                        assert_eq!(list.len(), 5);
+                        if k % 17 == 0 {
+                            e.ingest(u, list[0], 5.0).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let s = e.stats();
+        assert_eq!(s.cache_hits + s.cache_misses, 800);
+        assert!(s.ingested > 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # ganc-serve
+//!
+//! The online serving subsystem: persist fitted GANC state and answer
+//! per-user top-N requests without re-running the batch optimizer.
+//!
+//! Three layers:
+//!
+//! 1. **Persistence** ([`saveload`], [`bundle`]) — every fitted component
+//!    (base recommenders, θ estimates, coverage state) serializes through a
+//!    versioned binary envelope; a [`ModelBundle`] packages a complete
+//!    serving configuration into one artifact.
+//! 2. **Query path** — single-user requests run
+//!    [`ganc_core::query::UserQuery`] against the bundle's frozen coverage
+//!    state; for `Dyn` coverage that is exactly OSLG's parallel phase
+//!    (Algorithm 1, lines 11–15), so served lists match batch output.
+//! 3. **Engine** ([`engine`], [`batch`]) — a thread-safe
+//!    [`ServingEngine`] with an LRU response cache, batched request
+//!    fan-out, interaction ingestion with cache invalidation, and a
+//!    [`MicroBatcher`] coalescing concurrent callers.
+//!
+//! ## Quickstart: fit → save → load → serve
+//!
+//! ```
+//! use ganc_serve::{
+//!     EngineConfig, FitConfig, FittedModel, ModelBundle, SaveLoad, ServingEngine,
+//! };
+//! use ganc_dataset::synth::DatasetProfile;
+//! use ganc_dataset::UserId;
+//! use ganc_preference::GeneralizedConfig;
+//! use ganc_recommender::pop::MostPopular;
+//!
+//! // Fit: data → θ → base model → bundle (runs OSLG's sequential phase).
+//! let data = DatasetProfile::tiny().generate(42);
+//! let split = data.split_per_user(0.5, 7).unwrap();
+//! let theta = GeneralizedConfig::default().estimate(&split.train);
+//! let pop = MostPopular::fit(&split.train);
+//! let cfg = FitConfig { sample_size: 20, ..FitConfig::new(10) };
+//! let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg);
+//!
+//! // Save and load the artifact.
+//! let bytes = bundle.to_bytes().unwrap();
+//! let restored = ModelBundle::from_bytes(&bytes).unwrap();
+//!
+//! // Serve single requests — no batch optimization happens here.
+//! let engine = ServingEngine::new(restored, EngineConfig::default());
+//! let list = engine.recommend(UserId(3)).unwrap();
+//! assert_eq!(list.len(), 10);
+//! ```
+
+pub mod batch;
+pub mod bundle;
+pub mod engine;
+pub mod lru;
+pub mod saveload;
+
+pub use batch::{BatchConfig, MicroBatcher};
+pub use bundle::{make_scorer, BoundModel, CoverageState, FitConfig, FittedModel, ModelBundle};
+pub use engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
+pub use lru::LruCache;
+pub use saveload::{PersistError, SaveLoad, FORMAT_VERSION, MAGIC};

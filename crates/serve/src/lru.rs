@@ -1,0 +1,216 @@
+//! A fixed-capacity LRU map for the response cache: O(1) get / insert /
+//! remove via an intrusive doubly-linked list over a slab of entries.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with a hard capacity.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Look up a key, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        if self.head != slot {
+            self.detach(slot);
+            self.attach_front(slot);
+        }
+        Some(&self.slots[slot].value)
+    }
+
+    /// Insert or replace; returns the evicted `(key, value)` if the cache
+    /// was full.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            if self.head != slot {
+                self.detach(slot);
+                self.attach_front(slot);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let old_key = self.slots[lru].key;
+            self.map.remove(&old_key);
+            self.free.push(lru);
+            // Take the value out by swapping in the new entry below.
+            Some((lru, old_key))
+        } else {
+            None
+        };
+        let slot = if let Some(free) = self.free.pop() {
+            self.slots[free].key = key;
+            free
+        } else {
+            self.slots.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, self.slots.len() - 1);
+            self.attach_front(self.slots.len() - 1);
+            return None;
+        };
+        let old_value = std::mem::replace(&mut self.slots[slot].value, value);
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+        evicted.map(|(_, k)| (k, old_value))
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+impl<K: Eq + Hash + Copy, V: Default> LruCache<K, V> {
+    /// Remove one key, returning its value (`V: Default` supplies the
+    /// placeholder left in the freed slab slot until it is reused).
+    pub fn remove_entry(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        self.detach(slot);
+        self.free.push(slot);
+        Some(std::mem::take(&mut self.slots[slot].value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        assert!(c.insert(1, "a".into()).is_none());
+        assert!(c.insert(2, "b".into()).is_none());
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&1).unwrap(), "a");
+        let evicted = c.insert(3, "c".into()).unwrap();
+        assert_eq!(evicted.0, 2);
+        assert_eq!(evicted.1, "b");
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_updates_value_without_eviction() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        c.insert(1, "a".into());
+        assert!(c.insert(1, "a2".into()).is_none());
+        assert_eq!(c.get(&1).unwrap(), "a2");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_entry_frees_slot_for_reuse() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert_eq!(c.remove_entry(&1).unwrap(), "a");
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.len(), 1);
+        // Reuses the freed slot without evicting 2.
+        assert!(c.insert(3, "c".into()).is_none());
+        assert_eq!(c.get(&2).unwrap(), "b");
+        assert_eq!(c.get(&3).unwrap(), "c");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c: LruCache<u32, String> = LruCache::new(4);
+        for k in 0..4 {
+            c.insert(k, k.to_string());
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&0).is_none());
+        c.insert(9, "x".into());
+        assert_eq!(c.get(&9).unwrap(), "x");
+    }
+
+    #[test]
+    fn heavy_churn_keeps_capacity_invariant() {
+        let mut c: LruCache<u32, u32> = LruCache::new(8);
+        for k in 0..1000u32 {
+            c.insert(k % 64, k);
+            assert!(c.len() <= 8);
+            if k % 7 == 0 {
+                c.remove_entry(&(k % 64));
+            }
+        }
+        // The 8 most recent distinct keys that weren't removed are present.
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for `bincode` 1.x: a compact little-endian binary
+//! encoding of the vendor-`serde` data model.
+//!
+//! Layout rules:
+//! * fixed-width little-endian primitives (`bool` and `u8` as one byte),
+//! * `usize` and sequence lengths as `u64`,
+//! * strings as `u64` length + UTF-8 bytes,
+//! * enum variants as a `u32` tag,
+//! * struct fields positionally, no field names, no padding.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bincode: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encode a value to bytes.
+pub fn serialize<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut w = ByteWriter { buf: Vec::new() };
+    value.serialize(&mut w)?;
+    Ok(w.buf)
+}
+
+/// Decode a value from bytes. Trailing bytes are an error — a truncated or
+/// over-long buffer almost always means a corrupt artifact.
+pub fn deserialize<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
+    let mut r = ByteReader { bytes, pos: 0 };
+    let value = T::deserialize(&mut r)?;
+    if r.pos != bytes.len() {
+        return Err(Error(format!(
+            "{} trailing bytes after value",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl Serializer for ByteWriter {
+    type Error = Error;
+
+    fn put_bool(&mut self, v: bool) -> Result<()> {
+        self.buf.push(v as u8);
+        Ok(())
+    }
+    fn put_u8(&mut self, v: u8) -> Result<()> {
+        self.buf.push(v);
+        Ok(())
+    }
+    fn put_u32(&mut self, v: u32) -> Result<()> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn put_u64(&mut self, v: u64) -> Result<()> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn put_i64(&mut self, v: i64) -> Result<()> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn put_f32(&mut self, v: f32) -> Result<()> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn put_f64(&mut self, v: f64) -> Result<()> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn put_str(&mut self, v: &str) -> Result<()> {
+        self.put_u64(v.len() as u64)?;
+        self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn begin_seq(&mut self, len: usize) -> Result<()> {
+        self.put_u64(len as u64)
+    }
+    fn put_variant(&mut self, index: u32) -> Result<()> {
+        self.put_u32(index)
+    }
+}
+
+struct ByteReader<'de> {
+    bytes: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> ByteReader<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(Error(format!(
+                "unexpected end of input at byte {} (wanted {n} more)",
+                self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        Ok(self.take(N)?.try_into().expect("length checked"))
+    }
+}
+
+impl<'de> Deserializer<'de> for ByteReader<'de> {
+    type Error = Error;
+
+    fn get_bool(&mut self) -> Result<bool> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Error(format!("invalid bool byte {b}"))),
+        }
+    }
+    fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+    fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+    fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.array()?))
+    }
+    fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.array()?))
+    }
+    fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.array()?))
+    }
+    fn get_string(&mut self) -> Result<String> {
+        let len = self.get_u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| Error(format!("invalid utf-8: {e}")))
+    }
+    fn get_seq_len(&mut self) -> Result<usize> {
+        let len = self.get_u64()?;
+        // A length exceeding the remaining input is corrupt (each element
+        // needs at least one byte); fail here instead of OOM-ing in a
+        // with_capacity downstream.
+        if len > (self.bytes.len() - self.pos) as u64 {
+            return Err(Error(format!("sequence length {len} exceeds input")));
+        }
+        Ok(len as usize)
+    }
+    fn get_variant(&mut self) -> Result<u32> {
+        self.get_u32()
+    }
+    fn invalid(&self, what: &str) -> Error {
+        Error(format!("invalid {what} at byte {}", self.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Demo {
+        a: u32,
+        b: f64,
+        name: String,
+        xs: Vec<u64>,
+        opt: Option<f32>,
+        pair: (u32, bool),
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Pair(u32, f64);
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+        Gamma,
+    }
+
+    #[test]
+    fn round_trip_named_struct() {
+        let v = Demo {
+            a: 7,
+            b: -1.5,
+            name: "héllo".into(),
+            xs: vec![1, 2, 3],
+            opt: Some(0.25),
+            pair: (9, true),
+        };
+        let bytes = serialize(&v).unwrap();
+        assert_eq!(deserialize::<Demo>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn round_trip_tuple_struct_and_enum() {
+        let bytes = serialize(&Pair(3, 4.5)).unwrap();
+        assert_eq!(deserialize::<Pair>(&bytes).unwrap(), Pair(3, 4.5));
+        for k in [Kind::Alpha, Kind::Beta, Kind::Gamma] {
+            let bytes = serialize(&k).unwrap();
+            assert_eq!(deserialize::<Kind>(&bytes).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = serialize(&7u32).unwrap();
+        bytes.push(0);
+        assert!(deserialize::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = serialize(&vec![1u64, 2, 3]).unwrap();
+        assert!(deserialize::<Vec<u64>>(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        // A u64 length far beyond the buffer must error, not allocate.
+        let bytes = u64::MAX.to_le_bytes().to_vec();
+        assert!(deserialize::<Vec<u8>>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for `criterion`: a wall-clock micro-benchmark harness
+//! with the criterion API shape (`criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`).
+//!
+//! Each sample times one invocation of the routine; the harness reports
+//! mean / p50 / p99 per benchmark. Set `GANC_BENCH_FAST=1` to cap warm-up
+//! and measurement at a few milliseconds (used to smoke-test bench targets
+//! without paying full measurement time).
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that import `black_box` from criterion.
+pub use std::hint::black_box;
+
+/// Summary statistics of one benchmark, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean of the collected samples.
+    pub mean_ns: f64,
+    /// Median (p50).
+    pub p50_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+/// Percentile by nearest-rank over a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn summarize(mut samples: Vec<f64>) -> Summary {
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Summary {
+        mean_ns: mean,
+        p50_ns: percentile(&samples, 50.0),
+        p99_ns: percentile(&samples, 99.0),
+        samples: samples.len(),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("GANC_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Times individual executions of a routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `f` once and record its wall-clock duration as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        black_box(out);
+        self.samples.push(elapsed.as_nanos() as f64);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Config {
+    fn effective(&self) -> Config {
+        if fast_mode() {
+            Config {
+                sample_size: self.sample_size.min(10),
+                warm_up: Duration::from_millis(1),
+                measurement: Duration::from_millis(10),
+            }
+        } else {
+            *self
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(3),
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, cfg: &Config, mut f: F) -> Summary {
+    let cfg = cfg.effective();
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    // Warm-up: run and discard.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < cfg.warm_up {
+        f(&mut b);
+        if b.samples.is_empty() {
+            break; // routine never called iter; avoid spinning forever
+        }
+    }
+    b.samples.clear();
+    let measure_start = Instant::now();
+    while b.samples.len() < cfg.sample_size && measure_start.elapsed() < cfg.measurement {
+        f(&mut b);
+        if b.samples.is_empty() {
+            break;
+        }
+    }
+    if b.samples.is_empty() {
+        // Routine never called Bencher::iter — record a zero sample so the
+        // summary is well-formed instead of NaN.
+        b.samples.push(0.0);
+    }
+    let summary = summarize(b.samples);
+    println!(
+        "bench {name:<50} mean {:>10}  p50 {:>10}  p99 {:>10}  ({} samples)",
+        format_ns(summary.mean_ns),
+        format_ns(summary.p50_ns),
+        format_ns(summary.p99_ns),
+        summary.samples
+    );
+    summary
+}
+
+/// A named group of benchmarks sharing measurement configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Measure one routine under this group's configuration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, &self.cfg, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: Config::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Measure one routine under default configuration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&id.into(), &Config::default(), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a callable group, mirroring criterion's
+/// simple (non-configured) form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let s = summarize((1..=100).map(|x| x as f64).collect());
+        assert_eq!(s.samples, 100);
+        assert!(s.p50_ns <= s.p99_ns);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.samples[0] >= 0.0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for `serde`.
+//!
+//! A deliberately small serialization framework with serde-shaped traits:
+//! [`Serialize`] / [`Deserialize`] driven by a [`Serializer`] /
+//! [`Deserializer`] pair over a fixed, non-self-describing data model
+//! (primitives, sequences, variant tags). The `bincode` vendor crate
+//! provides the byte-oriented implementation; `serde_derive` provides
+//! `#[derive(Serialize, Deserialize)]` for plain structs and unit enums.
+//!
+//! The wire format is *positional*: field names are never written, so struct
+//! evolution requires explicit versioning (which `ganc-serve`'s
+//! `ModelBundle` header provides).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be written to any [`Serializer`].
+pub trait Serialize {
+    /// Write `self` into `s`.
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error>;
+}
+
+/// A sink for the data model's primitive events.
+pub trait Serializer {
+    /// Error produced by the sink.
+    type Error;
+
+    /// Write a `bool`.
+    fn put_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    /// Write a `u8`.
+    fn put_u8(&mut self, v: u8) -> Result<(), Self::Error>;
+    /// Write a `u32`.
+    fn put_u32(&mut self, v: u32) -> Result<(), Self::Error>;
+    /// Write a `u64`.
+    fn put_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    /// Write an `i64`.
+    fn put_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    /// Write an `f32`.
+    fn put_f32(&mut self, v: f32) -> Result<(), Self::Error>;
+    /// Write an `f64`.
+    fn put_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    /// Write a string.
+    fn put_str(&mut self, v: &str) -> Result<(), Self::Error>;
+    /// Announce a sequence of `len` elements (elements follow).
+    fn begin_seq(&mut self, len: usize) -> Result<(), Self::Error>;
+    /// Write an enum variant tag (variant payload follows).
+    fn put_variant(&mut self, index: u32) -> Result<(), Self::Error>;
+}
+
+/// A value that can be read back from any [`Deserializer`].
+///
+/// The lifetime mirrors real serde's `Deserialize<'de>` so bounds like
+/// `for<'de> Deserialize<'de>` written against the real crate keep working.
+pub trait Deserialize<'de>: Sized {
+    /// Read a value from `d`.
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error>;
+}
+
+/// A source of the data model's primitive events.
+pub trait Deserializer<'de> {
+    /// Error produced by the source.
+    type Error;
+
+    /// Read a `bool`.
+    fn get_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Read a `u8`.
+    fn get_u8(&mut self) -> Result<u8, Self::Error>;
+    /// Read a `u32`.
+    fn get_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Read a `u64`.
+    fn get_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Read an `i64`.
+    fn get_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Read an `f32`.
+    fn get_f32(&mut self) -> Result<f32, Self::Error>;
+    /// Read an `f64`.
+    fn get_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Read a string.
+    fn get_string(&mut self) -> Result<String, Self::Error>;
+    /// Read a sequence length (elements follow).
+    fn get_seq_len(&mut self) -> Result<usize, Self::Error>;
+    /// Read an enum variant tag.
+    fn get_variant(&mut self) -> Result<u32, Self::Error>;
+    /// Build an error for invalid data (derive-generated code uses this
+    /// for unknown variant tags).
+    fn invalid(&self, what: &str) -> Self::Error;
+}
+
+macro_rules! primitive_impls {
+    ($($t:ty => $put:ident, $get:ident;)*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.$put(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            #[inline]
+            fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+                d.$get()
+            }
+        }
+    )*};
+}
+
+primitive_impls! {
+    bool => put_bool, get_bool;
+    u8 => put_u8, get_u8;
+    u32 => put_u32, get_u32;
+    u64 => put_u64, get_u64;
+    i64 => put_i64, get_i64;
+    f32 => put_f32, get_f32;
+    f64 => put_f64, get_f64;
+}
+
+impl Serialize for usize {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    #[inline]
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(d.get_u64()? as usize)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.get_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.get_seq_len()?;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.begin_seq(self.len())?;
+        for v in self {
+            v.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_ref().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_boxed_slice())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        match self {
+            None => s.put_u8(0),
+            Some(v) => {
+                s.put_u8(1)?;
+                v.serialize(s)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        match d.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(d)?)),
+            _ => Err(d.invalid("Option tag")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+                $(self.$n.serialize(s)?;)+
+                Ok(())
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: &mut De) -> Result<Self, De::Error> {
+                Ok(($($t::deserialize(d)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` (no `syn`/`quote` in the
+//! offline environment): the input item is tokenized manually and the impl
+//! is emitted as a string. Supported shapes — everything this workspace
+//! derives on:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic tuple structs,
+//! * non-generic enums with unit variants only.
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+//! Fields are serialized positionally in declaration order; there is no
+//! attribute support (`#[serde(...)]` attributes are rejected loudly).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    /// Struct with named fields (field names in declaration order).
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum with unit variants only (variant names in declaration order).
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split a field/variant list group at top-level commas. Tracks `<`/`>`
+/// nesting so commas inside generic arguments don't split; parens/brackets
+/// arrive as single `Group` tokens and need no tracking.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                // `->` in fn-pointer types can unbalance a naive count;
+                // clamp at zero so a stray `>` cannot push us negative.
+                '>' => angle = (angle - 1).max(0),
+                ',' if angle == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Drop leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// from a token chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` then the bracket group.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let body = strip_attrs_and_vis(&tokens);
+    let mut iter = body.iter();
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    let next = iter.next();
+    if let Some(TokenTree::Punct(p)) = next {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stand-in: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    match (kind.as_str(), next) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let mut fields = Vec::new();
+            for chunk in split_top_level(g.stream().into_iter().collect()) {
+                let rest = strip_attrs_and_vis(&chunk);
+                match rest.first() {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    other => return Err(format!("unsupported field shape: {other:?}")),
+                }
+            }
+            Ok(Parsed {
+                name,
+                shape: Shape::Named(fields),
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = split_top_level(g.stream().into_iter().collect()).len();
+            Ok(Parsed {
+                name,
+                shape: Shape::Tuple(n),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let mut variants = Vec::new();
+            for chunk in split_top_level(g.stream().into_iter().collect()) {
+                let rest = strip_attrs_and_vis(&chunk);
+                match rest {
+                    [TokenTree::Ident(id)] => variants.push(id.to_string()),
+                    _ => {
+                        return Err(format!(
+                            "serde_derive stand-in: enum `{name}` has a non-unit \
+                             variant; implement Serialize/Deserialize by hand"
+                        ))
+                    }
+                }
+            }
+            Ok(Parsed {
+                name,
+                shape: Shape::UnitEnum(variants),
+            })
+        }
+        _ => Err(format!(
+            "serde_derive stand-in: unsupported item shape for `{name}`"
+        )),
+    }
+}
+
+/// `#[derive(Serialize)]` — positional field serialization.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, s)?;"))
+            .collect::<String>(),
+        Shape::Tuple(n) => (0..*n)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i}, s)?;"))
+            .collect::<String>(),
+        Shape::UnitEnum(variants) => {
+            let arms = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("{name}::{v} => {i}u32,"))
+                .collect::<String>();
+            format!("s.put_variant(match self {{ {arms} }})?;")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, s: &mut S) \
+                 -> ::core::result::Result<(), S::Error> {{\n\
+                 {body}\n\
+                 ::core::result::Result::Ok(())\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]` — positional field deserialization.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(d)?,"))
+                .collect::<String>();
+            format!("::core::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Tuple(n) => {
+            let inits = (0..*n)
+                .map(|_| "::serde::Deserialize::deserialize(d)?,".to_string())
+                .collect::<String>();
+            format!("::core::result::Result::Ok({name}({inits}))")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("{i}u32 => {name}::{v},"))
+                .collect::<String>();
+            format!(
+                "::core::result::Result::Ok(match d.get_variant()? {{\n\
+                     {arms}\n\
+                     _ => return ::core::result::Result::Err(d.invalid(\"variant tag\")),\n\
+                 }})"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(d: &mut D) \
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

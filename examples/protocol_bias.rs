@@ -58,10 +58,7 @@ fn main() {
     );
     let models: Vec<&dyn Recommender> = vec![&rand, &pop, &rsvd];
 
-    for protocol in [
-        RankingProtocol::AllUnrated,
-        RankingProtocol::RatedTestItems,
-    ] {
+    for protocol in [RankingProtocol::AllUnrated, RankingProtocol::RatedTestItems] {
         println!("\nprotocol: {}", protocol.label());
         println!(
             "{:<6} {:>12} {:>9} {:>9} {:>9}",
@@ -81,7 +78,10 @@ fn main() {
         }
     }
 
-    let rand_all = evaluate_topn(&topn_under(&rand, &split, RankingProtocol::AllUnrated), &ctx);
+    let rand_all = evaluate_topn(
+        &topn_under(&rand, &split, RankingProtocol::AllUnrated),
+        &ctx,
+    );
     let rand_rated = evaluate_topn(
         &topn_under(&rand, &split, RankingProtocol::RatedTestItems),
         &ctx,

@@ -71,5 +71,8 @@ fn main() {
         m_ganc.coverage > m_raw.coverage,
         "GANC should widen item-space coverage"
     );
-    println!("\nGANC covered {:.1}× more of the catalog.", m_ganc.coverage / m_raw.coverage.max(1e-9));
+    println!(
+        "\nGANC covered {:.1}× more of the catalog.",
+        m_ganc.coverage / m_raw.coverage.max(1e-9)
+    );
 }

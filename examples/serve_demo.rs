@@ -1,0 +1,105 @@
+//! The serving lifecycle end to end: fit a GANC configuration, persist it
+//! as a model bundle, reload it (as a serving process would on startup),
+//! answer requests, ingest live interactions, and watch the engine react.
+//!
+//! Run with `cargo run --release --example serve_demo`.
+
+use ganc::dataset::synth::DatasetProfile;
+use ganc::dataset::UserId;
+use ganc::preference::generalized::GeneralizedConfig;
+use ganc::recommender::pop::MostPopular;
+use ganc::serve::{
+    BatchConfig, EngineConfig, FitConfig, FittedModel, MicroBatcher, ModelBundle, SaveLoad,
+    ServingEngine,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // ---- fit ----
+    let data = DatasetProfile::small().generate(2024);
+    let split = data.split_per_user(0.5, 9).unwrap();
+    let train = split.train;
+    println!(
+        "fitting on {} users × {} items ({} ratings)",
+        train.n_users(),
+        train.n_items(),
+        train.nnz()
+    );
+    let theta = GeneralizedConfig::default().estimate(&train);
+    let pop = MostPopular::fit(&train);
+    let fit_start = Instant::now();
+    let cfg = FitConfig {
+        sample_size: 200,
+        ..FitConfig::new(10)
+    };
+    let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, train, &cfg);
+    println!(
+        "fit GANC({}, θ^G, {:?}) in {:.1?} — {} sampled users frozen",
+        bundle.model_name,
+        bundle.coverage.kind(),
+        fit_start.elapsed(),
+        bundle.seed_lists.len()
+    );
+
+    // ---- save → load ----
+    let path = std::env::temp_dir().join("ganc_serve_demo.bundle");
+    bundle.save(&path).unwrap();
+    let on_disk = std::fs::metadata(&path).unwrap().len();
+    let load_start = Instant::now();
+    let restored = ModelBundle::load(&path).unwrap();
+    println!(
+        "bundle: {:.1} KiB on disk, loaded in {:.1?}",
+        on_disk as f64 / 1024.0,
+        load_start.elapsed()
+    );
+    assert_eq!(restored, bundle);
+
+    // ---- serve ----
+    let engine = Arc::new(ServingEngine::new(restored, EngineConfig::default()));
+    let user = UserId(17);
+    let first = engine.recommend(user).unwrap();
+    println!("user {}: top-{} = {:?}", user.0, first.len(), &first[..5]);
+
+    // Cache demonstration: the same request again is a hit.
+    engine.recommend(user).unwrap();
+
+    // ---- ingest: the user consumes their top recommendation ----
+    let consumed = first[0];
+    engine.ingest(user, consumed, 5.0).unwrap();
+    let after = engine.recommend(user).unwrap();
+    assert!(!after.contains(&consumed));
+    println!(
+        "after consuming item {}: top-5 = {:?}",
+        consumed.0,
+        &after[..5]
+    );
+
+    // ---- micro-batched concurrent traffic ----
+    let batcher = MicroBatcher::spawn(Arc::clone(&engine), BatchConfig::default());
+    let n_users = engine.n_users();
+    let traffic_start = Instant::now();
+    let requests = 2_000u32;
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            let batcher = &batcher;
+            scope.spawn(move || {
+                for k in 0..requests / 4 {
+                    let u = UserId((t * 911 + k * 7) % n_users);
+                    batcher.request(u).unwrap();
+                }
+            });
+        }
+    });
+    let elapsed = traffic_start.elapsed();
+    let stats = engine.stats();
+    println!(
+        "{requests} concurrent requests in {:.1?} ({:.0} req/s) — {} hits / {} misses, {} cached",
+        elapsed,
+        requests as f64 / elapsed.as_secs_f64(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cached
+    );
+    std::fs::remove_file(&path).ok();
+}

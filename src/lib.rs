@@ -17,6 +17,9 @@
 //! * [`rerank`] — the RBT / 5D / PRA baselines ([`ganc_rerank`])
 //! * [`eval`] — the experiment harness regenerating every paper table and
 //!   figure ([`ganc_eval`])
+//! * [`serve`] — the online serving subsystem: model persistence, a
+//!   per-request incremental query path, and a concurrent serving engine
+//!   ([`ganc_serve`])
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,33 @@
 //!     .build_topn(&arec, &theta, &split.train, 0xC0FFEE);
 //! assert_eq!(top.lists().len(), split.train.n_users() as usize);
 //! ```
+//!
+//! ## Serving: fit → save → load → serve
+//!
+//! Batch runs throw their trained state away; the serving subsystem
+//! persists it and answers single-user requests online:
+//!
+//! ```
+//! use ganc::dataset::synth::DatasetProfile;
+//! use ganc::dataset::UserId;
+//! use ganc::preference::generalized::GeneralizedConfig;
+//! use ganc::recommender::pop::MostPopular;
+//! use ganc::serve::{
+//!     EngineConfig, FitConfig, FittedModel, ModelBundle, SaveLoad, ServingEngine,
+//! };
+//!
+//! let data = DatasetProfile::tiny().generate(42);
+//! let split = data.split_per_user(0.5, 7).unwrap();
+//! let theta = GeneralizedConfig::default().estimate(&split.train);
+//! let pop = MostPopular::fit(&split.train);
+//!
+//! // Fit once (OSLG sequential phase only), persist, reload, serve.
+//! let cfg = FitConfig { sample_size: 20, ..FitConfig::new(10) };
+//! let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg);
+//! let restored = ModelBundle::from_bytes(&bundle.to_bytes().unwrap()).unwrap();
+//! let engine = ServingEngine::new(restored, EngineConfig::default());
+//! assert_eq!(engine.recommend(UserId(3)).unwrap().len(), 10);
+//! ```
 
 pub use ganc_core as core;
 pub use ganc_dataset as dataset;
@@ -49,3 +79,4 @@ pub use ganc_metrics as metrics;
 pub use ganc_preference as preference;
 pub use ganc_recommender as recommender;
 pub use ganc_rerank as rerank;
+pub use ganc_serve as serve;

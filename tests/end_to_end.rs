@@ -12,11 +12,7 @@ use ganc::recommender::rsvd::{Rsvd, RsvdConfig};
 use ganc::recommender::topn::generate_topn_lists;
 use ganc::recommender::Recommender;
 
-fn pipeline() -> (
-    ganc::dataset::TrainTest,
-    EvalContext,
-    Vec<f64>,
-) {
+fn pipeline() -> (ganc::dataset::TrainTest, EvalContext, Vec<f64>) {
     let data = DatasetProfile::small().generate(101);
     let split = data.split_per_user(0.5, 11).unwrap();
     let ctx = EvalContext::new(&split.train, &split.test);
@@ -53,10 +49,7 @@ fn ganc_improves_coverage_while_keeping_reasonable_accuracy() {
         m_ganc.gini,
         m_raw.gini
     );
-    assert!(
-        m_ganc.lt_accuracy > m_raw.lt_accuracy,
-        "novelty must rise"
-    );
+    assert!(m_ganc.lt_accuracy > m_raw.lt_accuracy, "novelty must rise");
 }
 
 #[test]
@@ -76,12 +69,7 @@ fn every_base_recommender_passes_the_topn_contract() {
     let models: Vec<&dyn Recommender> = vec![&pop, &rsvd, &psvd];
     for rec in models {
         let topn = TopN::new(5, generate_topn_lists(rec, train, 5, 3));
-        assert_eq!(
-            topn.contract_violation(train),
-            None,
-            "model {}",
-            rec.name()
-        );
+        assert_eq!(topn.contract_violation(train), None, "model {}", rec.name());
     }
 }
 

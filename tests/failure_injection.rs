@@ -120,7 +120,8 @@ fn theta_extremes_are_safe() {
     for u in 0..10u32 {
         for i in 0..8u32 {
             if (u * 3 + i) % 4 != 0 {
-                b.push(UserId(u), ItemId(i), 1.0 + ((u + i) % 5) as f32).unwrap();
+                b.push(UserId(u), ItemId(i), 1.0 + ((u + i) % 5) as f32)
+                    .unwrap();
             }
         }
     }
@@ -151,13 +152,13 @@ fn test_only_items_do_not_break_metrics() {
     tr.push(UserId(1), ItemId(1), 5.0).unwrap();
     let train = {
         let d = tr.build().unwrap();
-        Interactions::from_ratings(2, 4, &d.ratings().to_vec())
+        Interactions::from_ratings(2, 4, d.ratings())
     };
     let mut te = DatasetBuilder::new("te", RatingScale::stars_1_5());
     te.push(UserId(0), ItemId(3), 5.0).unwrap(); // item 3 absent from train
     let test = {
         let d = te.build().unwrap();
-        Interactions::from_ratings(2, 4, &d.ratings().to_vec())
+        Interactions::from_ratings(2, 4, d.ratings())
     };
     let ctx = EvalContext::new(&train, &test);
     // A list that hits the zero-popularity relevant item: stratified recall

@@ -15,11 +15,7 @@ use proptest::prelude::*;
 
 /// Random small rating datasets: up to 12 users × 10 items.
 fn arb_dataset() -> impl Strategy<Value = Interactions> {
-    proptest::collection::vec(
-        (0u32..12, 0u32..10, 1u32..=5),
-        1..120,
-    )
-    .prop_map(|triples| {
+    proptest::collection::vec((0u32..12, 0u32..10, 1u32..=5), 1..120).prop_map(|triples| {
         let mut b = DatasetBuilder::new("prop", RatingScale::stars_1_5());
         for (u, i, r) in triples {
             b.push(UserId(u), ItemId(i), r as f32).unwrap();
