@@ -1,0 +1,218 @@
+//! Hot-path benchmarks for the fused GANC query pipeline: cold and cached
+//! single-request latency, OSLG seed-phase (fit) wall time, and the
+//! delta-encoded snapshot footprint versus the dense v1 layout.
+//!
+//! Runs the medium-sim profile the serving bench uses (so
+//! `BENCH_query.json` is directly comparable with `BENCH_serve.json`'s
+//! 13.97µs cold baseline) plus a large-sim profile for catalog scale.
+//! Written as JSON (default `BENCH_query.json` at the repo root, override
+//! with `GANC_BENCH_OUT`) so the perf trajectory is tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_dataset::{Interactions, UserId};
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::pop::MostPopular;
+use ganc_serve::legacy::snapshots_to_v1_payload;
+use ganc_serve::{
+    CoverageState, EngineConfig, FitConfig, FittedModel, ModelBundle, SaveLoad, ServingEngine,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct LatencyStats {
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    requests: usize,
+}
+
+fn latency_stats(mut samples_ns: Vec<f64>) -> LatencyStats {
+    samples_ns.sort_by(f64::total_cmp);
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * (samples_ns.len() as f64 - 1.0)).round() as usize;
+        samples_ns[idx.min(samples_ns.len() - 1)] / 1_000.0
+    };
+    LatencyStats {
+        mean_us: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64 / 1_000.0,
+        p50_us: rank(50.0),
+        p99_us: rank(99.0),
+        requests: samples_ns.len(),
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("GANC_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+struct ProfileReport {
+    users: u32,
+    items: u32,
+    nnz: usize,
+    fit_ms: f64,
+    cold: LatencyStats,
+    cached: LatencyStats,
+    snapshot_bytes_v2: usize,
+    snapshot_bytes_v1_dense: usize,
+    bundle_bytes: usize,
+}
+
+impl ProfileReport {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"dataset\": {{\"users\": {users}, \"items\": {items}, ",
+                "\"ratings\": {nnz}}},\n",
+                "    \"n\": 10,\n",
+                "    \"sample_size\": 500,\n",
+                "    \"seed_phase_fit_ms\": {fit_ms:.1},\n",
+                "    \"single_request_cold\": {{\"mean_us\": {cm:.2}, \"p50_us\": {c50:.2}, ",
+                "\"p99_us\": {c99:.2}, \"requests\": {creq}}},\n",
+                "    \"single_request_cached\": {{\"mean_us\": {hm:.3}, \"p50_us\": {h50:.3}, ",
+                "\"p99_us\": {h99:.3}, \"requests\": {hreq}}},\n",
+                "    \"snapshot_bytes_v2\": {sv2},\n",
+                "    \"snapshot_bytes_v1_dense\": {sv1},\n",
+                "    \"snapshot_compression\": {comp:.1},\n",
+                "    \"bundle_bytes\": {bb}\n",
+                "  }}"
+            ),
+            users = self.users,
+            items = self.items,
+            nnz = self.nnz,
+            fit_ms = self.fit_ms,
+            cm = self.cold.mean_us,
+            c50 = self.cold.p50_us,
+            c99 = self.cold.p99_us,
+            creq = self.cold.requests,
+            hm = self.cached.mean_us,
+            h50 = self.cached.p50_us,
+            h99 = self.cached.p99_us,
+            hreq = self.cached.requests,
+            sv2 = self.snapshot_bytes_v2,
+            sv1 = self.snapshot_bytes_v1_dense,
+            comp = self.snapshot_bytes_v1_dense as f64 / self.snapshot_bytes_v2.max(1) as f64,
+            bb = self.bundle_bytes,
+        )
+    }
+}
+
+fn measure_profile(
+    train: Interactions,
+    cold_requests: usize,
+    cached_requests: usize,
+) -> (ProfileReport, ServingEngine) {
+    let n_users = train.n_users();
+    let theta = GeneralizedConfig::default().estimate(&train);
+    let pop = MostPopular::fit(&train);
+    let cfg = FitConfig {
+        sample_size: 500,
+        ..FitConfig::new(10)
+    };
+
+    let fit_start = Instant::now();
+    let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, train.clone(), &cfg);
+    let fit_ms = fit_start.elapsed().as_secs_f64() * 1_000.0;
+
+    let (snapshot_bytes_v2, snapshot_bytes_v1_dense) = match &bundle.coverage {
+        CoverageState::Dynamic(snaps) => (
+            snaps.to_bytes().expect("snapshot encode").len(),
+            snapshots_to_v1_payload(snaps).expect("v1 encode").len() + 6,
+        ),
+        _ => (0, 0),
+    };
+    let bundle_bytes = bundle.to_bytes().expect("bundle encode").len();
+
+    let engine = ServingEngine::new(bundle, EngineConfig::default());
+
+    let mut cold_ns = Vec::with_capacity(cold_requests);
+    for k in 0..cold_requests {
+        let u = UserId((k as u32 * 193) % n_users);
+        engine.flush_cache();
+        let start = Instant::now();
+        black_box(engine.recommend(u).unwrap());
+        cold_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let cold = latency_stats(cold_ns);
+
+    engine.recommend(UserId(0)).unwrap();
+    let mut cached_ns = Vec::with_capacity(cached_requests);
+    for _ in 0..cached_requests {
+        let start = Instant::now();
+        black_box(engine.recommend(UserId(0)).unwrap());
+        cached_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let cached = latency_stats(cached_ns);
+
+    (
+        ProfileReport {
+            users: n_users,
+            items: train.n_items(),
+            nnz: train.nnz(),
+            fit_ms,
+            cold,
+            cached,
+            snapshot_bytes_v2,
+            snapshot_bytes_v1_dense,
+            bundle_bytes,
+        },
+        engine,
+    )
+}
+
+fn bench_query(c: &mut Criterion) {
+    // Medium: the profile/seed/split BENCH_serve.json's cold baseline was
+    // measured on, so the two artifacts compare like for like.
+    let medium_split = DatasetProfile::medium()
+        .generate(18)
+        .split_per_user(0.5, 4)
+        .unwrap();
+    let cold_requests = if fast_mode() { 200 } else { 3_000 };
+    let cached_requests = if fast_mode() { 200 } else { 20_000 };
+    let (medium, engine) = measure_profile(medium_split.train, cold_requests, cached_requests);
+    let n_users = medium.users;
+
+    // Large: catalog scale (skipped in fast/smoke mode).
+    let large = if fast_mode() {
+        None
+    } else {
+        let split = DatasetProfile::large()
+            .generate(18)
+            .split_per_user(0.5, 4)
+            .unwrap();
+        Some(measure_profile(split.train, 1_000, 5_000).0)
+    };
+
+    // ---- criterion-style measurements for the console ----
+    let mut g = c.benchmark_group("query");
+    g.sample_size(if fast_mode() { 10 } else { 60 })
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    let mut k = 0u32;
+    g.bench_function("fused_cold_request_medium", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(193);
+            engine.flush_cache();
+            black_box(engine.recommend(UserId(k % n_users)).unwrap())
+        })
+    });
+    g.finish();
+
+    // ---- JSON artifact ----
+    let out_path = std::env::var("GANC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_query.json", env!("CARGO_MANIFEST_DIR")));
+    let large_json = large.as_ref().map_or("null".to_string(), |l| l.json());
+    let json = format!(
+        "{{\n  \"bench\": \"query\",\n  \"medium\": {},\n  \"large\": {}\n}}\n",
+        medium.json(),
+        large_json
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

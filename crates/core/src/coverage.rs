@@ -1,9 +1,25 @@
 //! Coverage recommenders (§III-B): the `c(i)` component of the GANC value
 //! function. All scores lie in `(0, 1]` so they share a scale with the
 //! accuracy component.
+//!
+//! The serving hot path never fills a full-catalog coverage buffer: every
+//! coverage state hands out a [`CoverageView`] — a cheap per-request view
+//! that scores *candidate items only*. `Stat` and `Dyn` keep their
+//! `1/√(f+1)` score vectors cached (updated incrementally on writes, so
+//! reads never pay a sqrt pass), and the OSLG frequency snapshots are
+//! stored delta-encoded (§III-C produces consecutive snapshots that differ
+//! by exactly the N items just assigned) with periodic dense checkpoints
+//! for `O(N·√S)`-style reconstruction instead of `O(S·|I|)` dense storage.
 
 use ganc_dataset::{Interactions, ItemId, UserId};
 use ganc_recommender::random::unit_hash;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The paper's coverage gain: `1/√(f + 1)`.
+#[inline]
+fn gain(frequency: u32) -> f64 {
+    1.0 / ((frequency as f64) + 1.0).sqrt()
+}
 
 /// Which coverage recommender a GANC variant uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -28,6 +44,85 @@ impl CoverageKind {
     }
 }
 
+/// One request's resolved coverage scores, consumed candidate-by-candidate
+/// by the fused scorer in [`crate::query::UserQuery`] — no full-catalog
+/// buffer is ever materialized.
+///
+/// Items must be scored in **ascending item id** order (the candidate
+/// iterators guarantee this); [`CoverageView::scorer`] returns the cursor
+/// that exploits it.
+#[derive(Debug)]
+pub enum CoverageView<'a> {
+    /// A cached dense score vector (Stat, Dyn, snapshot checkpoints).
+    Dense(&'a [f64]),
+    /// Scores hashed on demand per `(seed, user, item)` (Rand).
+    Hashed {
+        /// Run seed.
+        seed: u64,
+        /// Requesting user.
+        user: u32,
+    },
+    /// A checkpoint score vector plus a sparse overlay of `(item, score)`
+    /// pairs sorted by item id (delta-reconstructed snapshots).
+    Patched {
+        /// Dense checkpoint scores.
+        base: &'a [f64],
+        /// Items whose score differs from the checkpoint, ascending.
+        overlay: &'a [(u32, f64)],
+    },
+}
+
+impl<'a> CoverageView<'a> {
+    /// Random-access score of one item (tests and one-off lookups; the hot
+    /// path uses [`CoverageView::scorer`]).
+    pub fn score_at(&self, item: u32) -> f64 {
+        match self {
+            CoverageView::Dense(s) => s[item as usize],
+            CoverageView::Hashed { seed, user } => unit_hash(*seed, *user, item),
+            CoverageView::Patched { base, overlay } => {
+                match overlay.binary_search_by_key(&item, |e| e.0) {
+                    Ok(k) => overlay[k].1,
+                    Err(_) => base[item as usize],
+                }
+            }
+        }
+    }
+
+    /// A sequential scoring cursor. Items **must** be queried in ascending
+    /// id order; the overlay merge then costs `O(|overlay|)` for the whole
+    /// request instead of a binary search per candidate.
+    pub fn scorer<'v>(&'v self) -> ViewScorer<'v, 'a> {
+        ViewScorer { view: self, pos: 0 }
+    }
+}
+
+/// Sequential cursor over a [`CoverageView`] (ascending item ids).
+#[derive(Debug)]
+pub struct ViewScorer<'v, 'a> {
+    view: &'v CoverageView<'a>,
+    pos: usize,
+}
+
+impl ViewScorer<'_, '_> {
+    /// Coverage score of `item`; `item` must not decrease across calls.
+    #[inline]
+    pub fn score(&mut self, item: u32) -> f64 {
+        match self.view {
+            CoverageView::Dense(s) => s[item as usize],
+            CoverageView::Hashed { seed, user } => unit_hash(*seed, *user, item),
+            CoverageView::Patched { base, overlay } => {
+                while self.pos < overlay.len() && overlay[self.pos].0 < item {
+                    self.pos += 1;
+                }
+                match overlay.get(self.pos) {
+                    Some(&(i, s)) if i == item => s,
+                    _ => base[item as usize],
+                }
+            }
+        }
+    }
+}
+
 /// Random coverage: a deterministic per-`(seed, user, item)` uniform score.
 /// The paper redraws per run; vary the seed across runs to reproduce that.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -45,6 +140,14 @@ impl RandCoverage {
     pub fn scores_for(&self, user: UserId, out: &mut [f64]) {
         for (i, o) in out.iter_mut().enumerate() {
             *o = unit_hash(self.seed, user.0, i as u32);
+        }
+    }
+
+    /// The per-request view (hashes on demand, no buffer).
+    pub fn view_for(&self, user: UserId) -> CoverageView<'_> {
+        CoverageView::Hashed {
+            seed: self.seed,
+            user: user.0,
         }
     }
 }
@@ -65,14 +168,17 @@ impl StatCoverage {
     }
 
     /// Rebuild from a raw popularity vector `f^R` (one count per item).
-    /// The serving path uses this to refresh coverage after ingesting new
-    /// interactions without re-walking the train set.
     pub fn from_popularity(popularity: &[u32]) -> StatCoverage {
-        let scores = popularity
-            .iter()
-            .map(|&f| 1.0 / ((f as f64) + 1.0).sqrt())
-            .collect();
+        let scores = popularity.iter().map(|&f| gain(f)).collect();
         StatCoverage { scores }
+    }
+
+    /// Refresh one item's score after its popularity changed to `count` —
+    /// the `O(touched items)` ingestion path. Identical to a full
+    /// [`StatCoverage::from_popularity`] rebuild for that item.
+    #[inline]
+    pub fn set_count(&mut self, item: ItemId, count: u32) {
+        self.scores[item.idx()] = gain(count);
     }
 
     /// The static score of one item.
@@ -95,9 +201,15 @@ impl StatCoverage {
 /// is unrecommended and decays as it spreads — which makes the aggregate
 /// objective submodular (Appendix B) and drives the coverage gains of
 /// GANC(·,·,Dyn).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// The score vector is cached and maintained incrementally: an
+/// [`DynCoverage::observe`] of N items updates N cached scores, so reads
+/// (`O(|U|)` of them in the OSLG seed phase) never pay an `O(|I|)` sqrt
+/// pass.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynCoverage {
     counts: Vec<u32>,
+    scores: Vec<f64>,
 }
 
 impl DynCoverage {
@@ -105,12 +217,14 @@ impl DynCoverage {
     pub fn new(n_items: u32) -> DynCoverage {
         DynCoverage {
             counts: vec![0; n_items as usize],
+            scores: vec![1.0; n_items as usize],
         }
     }
 
     /// Resume from a stored assignment-frequency snapshot (OSLG's `F(θ_s)`).
     pub fn from_snapshot(counts: &[u32]) -> DynCoverage {
         DynCoverage {
+            scores: counts.iter().map(|&f| gain(f)).collect(),
             counts: counts.to_vec(),
         }
     }
@@ -118,20 +232,27 @@ impl DynCoverage {
     /// Current score of one item.
     #[inline]
     pub fn score(&self, item: ItemId) -> f64 {
-        1.0 / ((self.counts[item.idx()] as f64) + 1.0).sqrt()
+        self.scores[item.idx()]
+    }
+
+    /// The cached score vector, indexed by item id.
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
     }
 
     /// Fill a score buffer for the current state.
     pub fn scores_into(&self, out: &mut [f64]) {
-        for (c, o) in self.counts.iter().zip(out.iter_mut()) {
-            *o = 1.0 / ((*c as f64) + 1.0).sqrt();
-        }
+        out.copy_from_slice(&self.scores);
     }
 
-    /// Record an assigned top-N set (Algorithm 1, line 7).
+    /// Record an assigned top-N set (Algorithm 1, line 7): N count bumps
+    /// and N cached-score refreshes, independent of `|I|`.
     pub fn observe(&mut self, assigned: &[ItemId]) {
         for item in assigned {
-            self.counts[item.idx()] += 1;
+            let k = item.idx();
+            self.counts[k] += 1;
+            self.scores[k] = gain(self.counts[k]);
         }
     }
 
@@ -148,6 +269,90 @@ impl DynCoverage {
     }
 }
 
+// Hand-written serde: only the counts travel on the wire (the cached score
+// vector is derived state, rebuilt on decode). This keeps the wire shape
+// identical to the format-v1 encoding, so old artifacts stay readable.
+impl Serialize for DynCoverage {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.counts.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for DynCoverage {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let counts = Vec::<u32>::deserialize(d)?;
+        Ok(DynCoverage::from_snapshot(&counts))
+    }
+}
+
+/// Dense state every this many chain steps. Reconstruction of an arbitrary
+/// snapshot replays at most this many sparse deltas onto a checkpoint.
+/// Memory for the derived checkpoints is `O(S/K · |I|)` — at the paper's
+/// `S = 500` this is ~32 dense vectors instead of 500.
+const CHECKPOINT_EVERY: usize = 16;
+
+/// A dense materialization of one chain state (derived, never serialized).
+#[derive(Debug, Clone, PartialEq)]
+struct Checkpoint {
+    counts: Box<[u32]>,
+    scores: Box<[f64]>,
+}
+
+impl Checkpoint {
+    fn from_counts(counts: &[u32]) -> Checkpoint {
+        Checkpoint {
+            scores: counts.iter().map(|&f| gain(f)).collect(),
+            counts: counts.to_vec().into_boxed_slice(),
+        }
+    }
+}
+
+/// Fold a sparse delta into a sorted `(item, accumulated change)` list.
+fn merge_delta(running: &mut Vec<(u32, i64)>, delta: &[(u32, i64)]) {
+    if delta.is_empty() {
+        return;
+    }
+    let mut d: Vec<(u32, i64)> = delta.to_vec();
+    d.sort_unstable_by_key(|e| e.0);
+    d.dedup_by(|b, a| {
+        if a.0 == b.0 {
+            a.1 += b.1;
+            true
+        } else {
+            false
+        }
+    });
+    let mut merged = Vec::with_capacity(running.len() + d.len());
+    let (mut ai, mut bi) = (0usize, 0usize);
+    while ai < running.len() || bi < d.len() {
+        match (running.get(ai), d.get(bi)) {
+            (Some(&(ri, rc)), Some(&(di, dc))) => {
+                if ri < di {
+                    merged.push((ri, rc));
+                    ai += 1;
+                } else if di < ri {
+                    merged.push((di, dc));
+                    bi += 1;
+                } else {
+                    merged.push((ri, rc + dc));
+                    ai += 1;
+                    bi += 1;
+                }
+            }
+            (Some(&e), None) => {
+                merged.push(e);
+                ai += 1;
+            }
+            (None, Some(&e)) => {
+                merged.push(e);
+                bi += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    *running = merged;
+}
+
 /// The assignment-frequency snapshots OSLG's sequential phase produces —
 /// `F(θ_s)` for each sampled user `s` (Algorithm 1, line 8), kept sorted by
 /// θ so any user can be served from the snapshot of the nearest sampled θ
@@ -156,27 +361,155 @@ impl DynCoverage {
 /// This is the shared coverage state an online query path scores against:
 /// it is immutable after the sequential phase, so any number of concurrent
 /// single-user queries can read it without coordination.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// ## Storage
+///
+/// Consecutive sequential-phase snapshots differ by exactly the N items
+/// just assigned, so the store keeps **sparse signed deltas** in push
+/// order (the *chain*) instead of `S` dense count vectors — `O(|I| + S·N)`
+/// memory and serialized bytes instead of `O(S·|I|)`. Dense
+/// count+score checkpoints every [`CHECKPOINT_EVERY`] chain steps (derived
+/// state, rebuilt on load) bound per-request reconstruction to a bounded
+/// sparse overlay on top of a checkpoint. θ order is a permutation
+/// (`chain`) over the chain, so [`CoverageSnapshots::sort_by_theta`] never
+/// touches the deltas.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageSnapshots {
+    /// θ of each stored snapshot, ascending.
     thetas: Vec<f64>,
-    counts: Vec<Box<[u32]>>,
+    /// Chain position of the snapshot at each sorted-θ position.
+    chain: Vec<u32>,
+    /// Sparse signed deltas in push order: `deltas[k]` transforms chain
+    /// state `k−1` into state `k`; state `−1` is all-zero counts.
+    deltas: Vec<Box<[(u32, i64)]>>,
+    /// Catalog size (0 until the first push fixes it).
+    n_items: usize,
+    /// `checkpoints[j]` = dense chain state `j·CHECKPOINT_EVERY − 1`
+    /// (`j = 0` is the all-zero state). Derived, not serialized.
+    checkpoints: Vec<Checkpoint>,
+    /// `overlays[k]` = the sorted `(item, score)` pairs in which chain
+    /// state `k` differs from its segment's checkpoint — the per-request
+    /// view is a slice lookup, no reconstruction. Derived, not serialized.
+    overlays: Vec<Box<[(u32, f64)]>>,
+    /// Accumulated `(item, count change)` since the segment's checkpoint,
+    /// sorted by item (push-time bookkeeping for `overlays`).
+    running: Vec<(u32, i64)>,
+    /// Dense counts at the end of the chain (for delta computation).
+    tail: Vec<u32>,
 }
 
 impl CoverageSnapshots {
-    /// An empty snapshot store (no sampled users yet).
+    /// An empty snapshot store (no sampled users yet). The catalog size is
+    /// fixed by the first push.
     pub fn new() -> CoverageSnapshots {
         CoverageSnapshots {
             thetas: Vec::new(),
-            counts: Vec::new(),
+            chain: Vec::new(),
+            deltas: Vec::new(),
+            n_items: 0,
+            checkpoints: Vec::new(),
+            overlays: Vec::new(),
+            running: Vec::new(),
+            tail: Vec::new(),
         }
     }
 
-    /// Append one `(θ_s, F(θ_s))` pair. Callers must push in increasing θ
-    /// (the OSLG ordering produces this for free); [`CoverageSnapshots::sort_by_theta`]
-    /// restores the invariant for arbitrary-order ablations.
-    pub fn push(&mut self, theta: f64, snapshot: Box<[u32]>) {
+    /// An empty store over a known catalog, ready for
+    /// [`CoverageSnapshots::push_assigned`].
+    pub fn for_items(n_items: u32) -> CoverageSnapshots {
+        let mut s = CoverageSnapshots::new();
+        s.ensure_dims(n_items as usize);
+        s
+    }
+
+    fn ensure_dims(&mut self, n_items: usize) {
+        if self.n_items == 0 && self.tail.is_empty() {
+            self.n_items = n_items;
+            self.tail = vec![0; n_items];
+            self.checkpoints = vec![Checkpoint::from_counts(&self.tail)];
+        }
+    }
+
+    /// Append one `(θ_s, F(θ_s))` pair as a dense count vector; the sparse
+    /// delta against the previous push is computed here. Callers must push
+    /// in increasing θ (the OSLG ordering produces this for free);
+    /// [`CoverageSnapshots::sort_by_theta`] restores the invariant for
+    /// arbitrary-order ablations.
+    pub fn push(&mut self, theta: f64, snapshot: &[u32]) {
+        self.ensure_dims(snapshot.len());
+        assert_eq!(snapshot.len(), self.n_items, "snapshot must cover catalog");
+        let delta: Box<[(u32, i64)]> = self
+            .tail
+            .iter()
+            .zip(snapshot.iter())
+            .enumerate()
+            .filter(|(_, (&old, &new))| new != old)
+            .map(|(i, (&old, &new))| (i as u32, new as i64 - old as i64))
+            .collect();
+        self.apply(theta, delta);
+    }
+
+    /// Append one snapshot as the list just assigned (Algorithm 1, line 8):
+    /// the new state is the previous one plus one count per item in
+    /// `assigned`. `O(N)`, no dense vector touched.
+    pub fn push_assigned(&mut self, theta: f64, assigned: &[ItemId]) {
+        assert!(
+            self.n_items > 0 || assigned.is_empty(),
+            "use for_items(n) or a dense push before push_assigned"
+        );
+        let delta: Box<[(u32, i64)]> = assigned.iter().map(|i| (i.0, 1)).collect();
+        self.apply(theta, delta);
+    }
+
+    fn apply(&mut self, theta: f64, delta: Box<[(u32, i64)]>) {
+        let k = self.deltas.len();
+        self.chain.push(k as u32);
+        self.deltas.push(delta);
         self.thetas.push(theta);
-        self.counts.push(snapshot);
+        self.derive_step(k);
+    }
+
+    /// Fold chain step `k` (already present in `deltas`) into the derived
+    /// state: tail counts, the running since-checkpoint accumulator, and
+    /// either a fresh checkpoint or the step's precomputed overlay.
+    fn derive_step(&mut self, k: usize) {
+        for &(i, ch) in self.deltas[k].iter() {
+            let c = &mut self.tail[i as usize];
+            *c = (*c as i64 + ch).max(0) as u32;
+        }
+        merge_delta(&mut self.running, &self.deltas[k]);
+        if (k + 1).is_multiple_of(CHECKPOINT_EVERY) {
+            self.checkpoints.push(Checkpoint::from_counts(&self.tail));
+            self.running.clear();
+            self.overlays.push(Box::new([]));
+        } else {
+            let cp = self.checkpoints.last().expect("base checkpoint exists");
+            let overlay: Box<[(u32, f64)]> = self
+                .running
+                .iter()
+                .map(|&(i, ch)| {
+                    let count = (cp.counts[i as usize] as i64 + ch).max(0) as u32;
+                    (i, gain(count))
+                })
+                .collect();
+            self.overlays.push(overlay);
+        }
+    }
+
+    /// Rebuild the derived state (checkpoints, overlays, tail) from the
+    /// delta chain — after decode.
+    fn rebuild_derived(&mut self) {
+        self.tail = vec![0; self.n_items];
+        self.checkpoints.clear();
+        self.overlays.clear();
+        self.running.clear();
+        if self.n_items == 0 {
+            return;
+        }
+        self.checkpoints.push(Checkpoint::from_counts(&self.tail));
+        for k in 0..self.deltas.len() {
+            self.derive_step(k);
+        }
     }
 
     /// Number of stored snapshots.
@@ -189,7 +522,14 @@ impl CoverageSnapshots {
         self.thetas.is_empty()
     }
 
+    /// Catalog size the snapshots cover (0 for an empty store).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
     /// Re-sort the store by θ (stable), for snapshots pushed out of order.
+    /// Only the `(θ, chain position)` pairs move — the delta chain itself
+    /// is order-independent and is never copied.
     pub fn sort_by_theta(&mut self) {
         let mut order: Vec<usize> = (0..self.thetas.len()).collect();
         order.sort_by(|&a, &b| {
@@ -198,7 +538,7 @@ impl CoverageSnapshots {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         self.thetas = order.iter().map(|&k| self.thetas[k]).collect();
-        self.counts = order.iter().map(|&k| self.counts[k].clone()).collect();
+        self.chain = order.iter().map(|&k| self.chain[k]).collect();
     }
 
     /// Index of the snapshot whose θ is nearest to `t`. Ties prefer the
@@ -224,16 +564,58 @@ impl CoverageSnapshots {
         }
     }
 
-    /// The raw assignment frequencies of the snapshot nearest to `t`.
-    pub fn nearest_counts(&self, t: f64) -> &[u32] {
-        &self.counts[self.nearest_idx(t)]
+    /// Reconstruct the dense assignment frequencies of the snapshot at
+    /// sorted position `idx` (checkpoint + bounded delta replay).
+    pub fn counts_at(&self, idx: usize) -> Vec<u32> {
+        let k = self.chain[idx] as usize;
+        let j = (k + 1) / CHECKPOINT_EVERY;
+        let mut counts = self.checkpoints[j].counts.to_vec();
+        for d in &self.deltas[j * CHECKPOINT_EVERY..=k] {
+            for &(i, ch) in d.iter() {
+                let c = &mut counts[i as usize];
+                *c = (*c as i64 + ch).max(0) as u32;
+            }
+        }
+        counts
+    }
+
+    /// Reconstruct the dense assignment frequencies of the snapshot
+    /// nearest to `t`.
+    pub fn counts_near(&self, t: f64) -> Vec<u32> {
+        self.counts_at(self.nearest_idx(t))
+    }
+
+    /// The per-request coverage view of the snapshot nearest to `t`: its
+    /// segment checkpoint's score slice plus the snapshot's precomputed
+    /// sparse overlay — an index lookup, nothing is reconstructed. Scores
+    /// are bit-identical to a dense `1/√(f+1)` fill of the same snapshot.
+    pub fn view_near(&self, t: f64) -> CoverageView<'_> {
+        let k = self.chain[self.nearest_idx(t)] as usize;
+        let cp = &self.checkpoints[(k + 1) / CHECKPOINT_EVERY];
+        let overlay = &self.overlays[k];
+        if overlay.is_empty() {
+            CoverageView::Dense(&cp.scores)
+        } else {
+            CoverageView::Patched {
+                base: &cp.scores,
+                overlay,
+            }
+        }
     }
 
     /// Fill `out` with coverage scores `1/√(f+1)` from the snapshot nearest
-    /// to `t`.
+    /// to `t` (the dense reference path; the fused scorer uses
+    /// [`CoverageSnapshots::view_near`]).
     pub fn scores_near(&self, t: f64, out: &mut [f64]) {
-        for (&f, o) in self.nearest_counts(t).iter().zip(out.iter_mut()) {
-            *o = 1.0 / ((f as f64) + 1.0).sqrt();
+        match self.view_near(t) {
+            CoverageView::Dense(scores) => out.copy_from_slice(scores),
+            CoverageView::Patched { base, overlay } => {
+                out.copy_from_slice(base);
+                for &(i, s) in overlay {
+                    out[i as usize] = s;
+                }
+            }
+            CoverageView::Hashed { .. } => unreachable!("snapshots are never hashed"),
         }
     }
 
@@ -246,6 +628,94 @@ impl CoverageSnapshots {
 impl Default for CoverageSnapshots {
     fn default() -> CoverageSnapshots {
         CoverageSnapshots::new()
+    }
+}
+
+/// v2 wire sentinel: the first `u64` of a format-v1 payload is the θ vector
+/// length (bounded by the sample size), so `u64::MAX` unambiguously marks
+/// the delta-encoded layout.
+const DELTA_WIRE_SENTINEL: u64 = u64::MAX;
+
+// Hand-written serde. v2 writes the sentinel, catalog size, θs, the chain
+// permutation, and the sparse deltas — `O(|I| + S·N)` bytes. A payload
+// without the sentinel is the legacy dense v1 layout
+// (`thetas: Vec<f64>, counts: Vec<Box<[u32]>>`) and is converted to delta
+// form on decode. Checkpoints and tail are derived and rebuilt either way.
+impl Serialize for CoverageSnapshots {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_u64(DELTA_WIRE_SENTINEL)?;
+        s.put_u64(self.n_items as u64)?;
+        self.thetas.serialize(s)?;
+        self.chain.serialize(s)?;
+        s.begin_seq(self.deltas.len())?;
+        for d in &self.deltas {
+            s.begin_seq(d.len())?;
+            for &(i, ch) in d.iter() {
+                s.put_u32(i)?;
+                s.put_i64(ch)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'de> Deserialize<'de> for CoverageSnapshots {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let first = d.get_u64()?;
+        let mut out = CoverageSnapshots::new();
+        if first == DELTA_WIRE_SENTINEL {
+            out.n_items = d.get_u64()? as usize;
+            out.thetas = Vec::<f64>::deserialize(d)?;
+            out.chain = Vec::<u32>::deserialize(d)?;
+            let n_deltas = d.get_seq_len()?;
+            out.deltas = Vec::with_capacity(n_deltas);
+            for _ in 0..n_deltas {
+                let len = d.get_seq_len()?;
+                let mut delta = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let i = d.get_u32()?;
+                    let ch = d.get_i64()?;
+                    delta.push((i, ch));
+                }
+                out.deltas.push(delta.into_boxed_slice());
+            }
+            if out.thetas.len() != out.chain.len() || out.deltas.len() != out.chain.len() {
+                return Err(d.invalid("CoverageSnapshots chain lengths"));
+            }
+            // A corrupt payload must surface as a decode error, not a
+            // panic in derived-state rebuilding or a later request.
+            let n_deltas = out.deltas.len() as u32;
+            if out.chain.iter().any(|&k| k >= n_deltas) {
+                return Err(d.invalid("CoverageSnapshots chain index"));
+            }
+            let n_items = out.n_items as u32;
+            if out
+                .deltas
+                .iter()
+                .any(|delta| delta.iter().any(|&(i, _)| i >= n_items))
+            {
+                return Err(d.invalid("CoverageSnapshots delta item id"));
+            }
+        } else {
+            // Legacy dense v1 layout: `first` is the θ vector length.
+            let mut thetas = Vec::with_capacity((first as usize).min(1 << 20));
+            for _ in 0..first {
+                thetas.push(d.get_f64()?);
+            }
+            let counts = Vec::<Box<[u32]>>::deserialize(d)?;
+            if counts.len() != thetas.len() {
+                return Err(d.invalid("CoverageSnapshots v1 lengths"));
+            }
+            if counts.windows(2).any(|w| w[0].len() != w[1].len()) {
+                return Err(d.invalid("CoverageSnapshots v1 row length"));
+            }
+            for (theta, dense) in thetas.into_iter().zip(counts) {
+                out.push(theta, &dense);
+            }
+            return Ok(out);
+        }
+        out.rebuild_derived();
+        Ok(out)
     }
 }
 
@@ -274,6 +744,15 @@ mod tests {
     }
 
     #[test]
+    fn static_set_count_matches_full_rebuild() {
+        let mut pops = train().item_popularity();
+        let mut c = StatCoverage::from_popularity(&pops);
+        pops[1] += 5;
+        c.set_count(ItemId(1), pops[1]);
+        assert_eq!(c, StatCoverage::from_popularity(&pops));
+    }
+
+    #[test]
     fn dynamic_starts_at_one_and_decays() {
         let mut c = DynCoverage::new(3);
         assert_eq!(c.score(ItemId(0)), 1.0);
@@ -297,6 +776,17 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_cached_scores_match_formula() {
+        let mut c = DynCoverage::new(4);
+        c.observe(&[ItemId(2), ItemId(2), ItemId(0)]);
+        for i in 0..4u32 {
+            let f = c.frequency(ItemId(i));
+            assert_eq!(c.score(ItemId(i)), 1.0 / ((f as f64) + 1.0).sqrt());
+        }
+        assert_eq!(c.scores()[2], c.score(ItemId(2)));
+    }
+
+    #[test]
     fn snapshot_round_trips() {
         let mut c = DynCoverage::new(3);
         c.observe(&[ItemId(1), ItemId(2), ItemId(1)]);
@@ -304,6 +794,7 @@ mod tests {
         let resumed = DynCoverage::from_snapshot(&snap);
         assert_eq!(resumed.frequency(ItemId(1)), 2);
         assert_eq!(resumed.score(ItemId(1)), c.score(ItemId(1)));
+        assert_eq!(resumed, c);
     }
 
     #[test]
@@ -317,6 +808,12 @@ mod tests {
         c.scores_for(UserId(1), &mut b);
         assert_ne!(a, b);
         assert!(a.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let view = c.view_for(UserId(0));
+        let mut cursor = view.scorer();
+        for (i, &dense) in a.iter().enumerate() {
+            assert_eq!(cursor.score(i as u32), dense);
+            assert_eq!(view.score_at(i as u32), dense);
+        }
     }
 
     #[test]
@@ -332,7 +829,7 @@ mod tests {
         for (t, item) in [(0.1, 0u32), (0.4, 1), (0.9, 2)] {
             let mut c = DynCoverage::new(3);
             c.observe(&[ItemId(item)]);
-            s.push(t, c.snapshot());
+            s.push(t, &c.snapshot());
         }
         assert_eq!(s.nearest_idx(0.0), 0);
         assert_eq!(s.nearest_idx(0.3), 1);
@@ -341,18 +838,18 @@ mod tests {
         assert_eq!(s.nearest_idx(0.65), 1);
         // Exact tie 0.25 between 0.1 and 0.4 prefers the lower θ.
         assert_eq!(s.nearest_idx(0.25), 0);
-        assert_eq!(s.nearest_counts(0.95), &[0, 0, 1]);
+        assert_eq!(s.counts_near(0.95), &[0, 0, 1]);
     }
 
     #[test]
     fn snapshots_sort_restores_theta_order() {
         let mut s = CoverageSnapshots::new();
-        s.push(0.8, vec![8].into_boxed_slice());
-        s.push(0.2, vec![2].into_boxed_slice());
-        s.push(0.5, vec![5].into_boxed_slice());
+        s.push(0.8, &[8]);
+        s.push(0.2, &[2]);
+        s.push(0.5, &[5]);
         s.sort_by_theta();
         assert_eq!(s.thetas(), &[0.2, 0.5, 0.8]);
-        assert_eq!(s.nearest_counts(0.19), &[2]);
+        assert_eq!(s.counts_near(0.19), &[2]);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
     }
@@ -360,10 +857,139 @@ mod tests {
     #[test]
     fn snapshots_scores_match_dyn_formula() {
         let mut s = CoverageSnapshots::new();
-        s.push(0.5, vec![0, 3, 8].into_boxed_slice());
+        s.push(0.5, &[0, 3, 8]);
         let mut buf = vec![0.0; 3];
         s.scores_near(0.5, &mut buf);
         assert_eq!(buf, vec![1.0, 0.5, 1.0 / 3.0]);
+    }
+
+    #[test]
+    fn push_assigned_equals_dense_push() {
+        let mut dense = CoverageSnapshots::new();
+        let mut sparse = CoverageSnapshots::for_items(5);
+        let mut cov = DynCoverage::new(5);
+        let lists: Vec<Vec<ItemId>> = vec![
+            vec![ItemId(0), ItemId(2)],
+            vec![ItemId(2), ItemId(4)],
+            vec![ItemId(1), ItemId(2)],
+        ];
+        for (k, list) in lists.iter().enumerate() {
+            cov.observe(list);
+            let t = 0.1 + 0.3 * k as f64;
+            dense.push(t, &cov.snapshot());
+            sparse.push_assigned(t, list);
+        }
+        for (k, t) in [(0usize, 0.1f64), (1, 0.4), (2, 0.7)] {
+            assert_eq!(dense.counts_at(k), sparse.counts_at(k));
+            let mut a = vec![0.0; 5];
+            let mut b = vec![0.0; 5];
+            dense.scores_near(t, &mut a);
+            sparse.scores_near(t, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn view_matches_dense_scores_across_checkpoints() {
+        // Enough pushes to cross several checkpoint boundaries.
+        let n_items = 17u32;
+        let mut s = CoverageSnapshots::for_items(n_items);
+        let mut cov = DynCoverage::new(n_items);
+        let total = 3 * CHECKPOINT_EVERY + 5;
+        for k in 0..total {
+            let list = [
+                ItemId((k as u32 * 7) % n_items),
+                ItemId((k as u32 * 5 + 3) % n_items),
+            ];
+            cov.observe(&list);
+            s.push_assigned(k as f64 / total as f64, &list);
+        }
+        let mut dense = vec![0.0; n_items as usize];
+        for q in 0..=20 {
+            let t = q as f64 / 20.0;
+            s.scores_near(t, &mut dense);
+            let view = s.view_near(t);
+            let mut cursor = view.scorer();
+            for i in 0..n_items {
+                assert_eq!(view.score_at(i), dense[i as usize], "t={t} item {i}");
+                assert_eq!(cursor.score(i), dense[i as usize], "t={t} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_wire_round_trips_and_shrinks() {
+        let n_items = 200u32;
+        let mut s = CoverageSnapshots::for_items(n_items);
+        let mut cov = DynCoverage::new(n_items);
+        for k in 0..100u32 {
+            let list = [ItemId(k % n_items), ItemId((k * 13 + 1) % n_items)];
+            cov.observe(&list);
+            s.push_assigned(k as f64 / 100.0, &list);
+        }
+        let bytes = bincode::serialize(&s).unwrap();
+        let restored: CoverageSnapshots = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(restored, s);
+        // Dense layout would hold 100 × 200 u32 counts alone.
+        let dense_floor = 100 * 200 * 4;
+        assert!(
+            bytes.len() * 5 < dense_floor,
+            "{} bytes is not ≥5× below the {} dense floor",
+            bytes.len(),
+            dense_floor
+        );
+    }
+
+    #[test]
+    fn corrupt_wire_is_an_error_not_a_panic() {
+        // v2 payload whose delta references an item outside the catalog.
+        let mut p = bincode::serialize(&u64::MAX).unwrap();
+        p.extend(bincode::serialize(&3u64).unwrap()); // n_items
+        p.extend(bincode::serialize(&vec![0.5f64]).unwrap()); // thetas
+        p.extend(bincode::serialize(&vec![0u32]).unwrap()); // chain
+        p.extend(bincode::serialize(&1u64).unwrap()); // 1 delta
+        p.extend(bincode::serialize(&1u64).unwrap()); // of 1 entry
+        p.extend(bincode::serialize(&999u32).unwrap()); // item 999 ≥ 3
+        p.extend(bincode::serialize(&1i64).unwrap());
+        assert!(bincode::deserialize::<CoverageSnapshots>(&p).is_err());
+
+        // v2 payload whose chain points past the delta list.
+        let mut p = bincode::serialize(&u64::MAX).unwrap();
+        p.extend(bincode::serialize(&3u64).unwrap());
+        p.extend(bincode::serialize(&vec![0.5f64]).unwrap());
+        p.extend(bincode::serialize(&vec![7u32]).unwrap()); // chain idx 7 ≥ 1
+        p.extend(bincode::serialize(&1u64).unwrap());
+        p.extend(bincode::serialize(&1u64).unwrap());
+        p.extend(bincode::serialize(&0u32).unwrap());
+        p.extend(bincode::serialize(&1i64).unwrap());
+        assert!(bincode::deserialize::<CoverageSnapshots>(&p).is_err());
+
+        // v1 payload with ragged dense rows.
+        let thetas: Vec<f64> = vec![0.1, 0.2];
+        let counts: Vec<Box<[u32]>> =
+            vec![vec![1, 2].into_boxed_slice(), vec![1].into_boxed_slice()];
+        let mut p = bincode::serialize(&thetas).unwrap();
+        p.extend(bincode::serialize(&counts).unwrap());
+        assert!(bincode::deserialize::<CoverageSnapshots>(&p).is_err());
+    }
+
+    #[test]
+    fn legacy_dense_wire_is_readable() {
+        // Build the v1 payload by hand: thetas then dense counts.
+        let mut s = CoverageSnapshots::new();
+        s.push(0.2, &[1, 0, 3]);
+        s.push(0.7, &[1, 2, 3]);
+        let thetas: Vec<f64> = vec![0.2, 0.7];
+        let counts: Vec<Box<[u32]>> = vec![
+            vec![1, 0, 3].into_boxed_slice(),
+            vec![1, 2, 3].into_boxed_slice(),
+        ];
+        let mut v1 = bincode::serialize(&thetas).unwrap();
+        v1.extend(bincode::serialize(&counts).unwrap());
+        let restored: CoverageSnapshots = bincode::deserialize(&v1).unwrap();
+        assert_eq!(restored.thetas(), s.thetas());
+        assert_eq!(restored.counts_near(0.2), s.counts_near(0.2));
+        assert_eq!(restored.counts_near(0.7), s.counts_near(0.7));
     }
 
     #[test]

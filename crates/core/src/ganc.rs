@@ -3,7 +3,10 @@
 //!
 //! With `Rand` or `Stat` coverage the user value functions are independent
 //! and optimized exactly, per user, in parallel. With `Dyn` the users are
-//! coupled and the [`crate::oslg`] machinery takes over.
+//! coupled and the [`crate::oslg`] machinery takes over. Every per-user
+//! optimization — batch or serving — runs through the fused
+//! [`crate::query::UserQuery`] scorer, so the hot path is shared and
+//! "served output equals batch output" holds by construction.
 
 use crate::accuracy::{AccuracyMode, AccuracyScorer, NormalizedScores, TopNIndicator};
 use crate::coverage::{CoverageKind, RandCoverage, StatCoverage};

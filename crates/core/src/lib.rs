@@ -29,7 +29,9 @@ pub mod oslg;
 pub mod query;
 
 pub use accuracy::{AccuracyMode, AccuracyScorer, NormalizedScores, TopNIndicator};
-pub use coverage::{CoverageKind, CoverageSnapshots, DynCoverage, RandCoverage, StatCoverage};
+pub use coverage::{
+    CoverageKind, CoverageSnapshots, CoverageView, DynCoverage, RandCoverage, StatCoverage,
+};
 pub use ganc::{GancBuilder, TopNLists};
 pub use oslg::{oslg_seed_phase, OslgConfig, OslgSeed, UserOrdering};
-pub use query::{CoverageProvider, UserQuery};
+pub use query::{fused_select, CoverageProvider, UserQuery};

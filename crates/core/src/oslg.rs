@@ -80,12 +80,15 @@ pub struct OslgSeed {
     pub assignments: Vec<(UserId, Vec<ItemId>)>,
     /// Snapshots `F(θ_s)`, sorted by θ.
     pub snapshots: CoverageSnapshots,
+    /// Sampled user ids, sorted and deduplicated — the `O(log S)`
+    /// membership index behind [`OslgSeed::contains`].
+    sampled: Vec<u32>,
 }
 
 impl OslgSeed {
     /// Whether `user` was drawn into the sequential sample.
     pub fn contains(&self, user: UserId) -> bool {
-        self.assignments.iter().any(|(u, _)| *u == user)
+        self.sampled.binary_search(&user.0).is_ok()
     }
 }
 
@@ -128,21 +131,27 @@ fn seed_phase_with_mask(
     let mut dyn_cov = DynCoverage::new(train.n_items());
     let mut query = UserQuery::new(arec, train, in_train, cfg.n);
     // Increasing-θ order keeps the snapshots sorted by construction; the
-    // Arbitrary ablation sorts afterwards.
-    let mut snapshots = CoverageSnapshots::new();
+    // Arbitrary ablation sorts afterwards (a permutation update — the
+    // delta-encoded chain itself never moves). Each step records only the
+    // N-item delta instead of cloning a dense `O(|I|)` count vector.
+    let mut snapshots = CoverageSnapshots::for_items(train.n_items());
     let mut assignments: Vec<(UserId, Vec<ItemId>)> = Vec::with_capacity(sample.len());
     for &u in &sample {
         let list = query.topn(u, theta[u.idx()], &dyn_cov);
         dyn_cov.observe(&list);
-        snapshots.push(theta[u.idx()], dyn_cov.snapshot());
+        snapshots.push_assigned(theta[u.idx()], &list);
         assignments.push((u, list));
     }
     if cfg.ordering == UserOrdering::Arbitrary {
         snapshots.sort_by_theta();
     }
+    let mut sampled: Vec<u32> = sample.iter().map(|u| u.0).collect();
+    sampled.sort_unstable();
+    sampled.dedup();
     OslgSeed {
         assignments,
         snapshots,
+        sampled,
     }
 }
 

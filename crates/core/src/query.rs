@@ -9,48 +9,83 @@
 //! reusable API so an online serving path can answer single requests — the
 //! batch paths in [`crate::oslg`] and [`crate::ganc`] are built on it, which
 //! makes "single-user query equals batch output" true by construction.
+//!
+//! ## The fused hot path
+//!
+//! A request does **one** full-catalog pass (the accuracy scorer's, which
+//! is irreducible: per-user normalization needs the whole vector) and then
+//! streams candidates straight into the selection heap, evaluating
+//! `(1−θ)a + θc` per candidate against a [`CoverageView`]. No dense
+//! coverage buffer is filled, no combined-score buffer is written, and
+//! non-candidate items (the user's seen set) are never scored. The result
+//! is bit-identical to the three-buffer reference computation
+//! ([`combine_into`] over dense fills), which the property suite checks.
 
 use crate::accuracy::AccuracyScorer;
-use crate::coverage::{CoverageSnapshots, DynCoverage, RandCoverage, StatCoverage};
+use crate::coverage::{CoverageSnapshots, CoverageView, DynCoverage, RandCoverage, StatCoverage};
 use ganc_dataset::{Interactions, ItemId, UserId};
-use ganc_recommender::topn::{select_top_n, unseen_train_candidates};
+use ganc_recommender::random::unit_hash;
+use ganc_recommender::topn::{for_each_candidate_run, TopNCollector};
 
 /// Shared coverage state a single-user query scores against.
 ///
-/// Implementations fill `out[i] = c(i) ∈ (0, 1]` for one request. They are
-/// read-only by design: the same provider value can back any number of
-/// concurrent queries.
+/// Implementations resolve one request into a [`CoverageView`] with
+/// `c(i) ∈ (0, 1]` per item. They are read-only by design: the same
+/// provider value can back any number of concurrent queries.
 pub trait CoverageProvider: Sync {
-    /// Fill per-item coverage scores for a request by `user` with
-    /// long-tail preference `theta_u`.
+    /// Resolve the per-request view for `user` with long-tail preference
+    /// `theta_u`. Cheap: every state hands out borrowed slices or hash
+    /// parameters (snapshot overlays are precomputed at push/load time).
+    fn view(&self, user: UserId, theta_u: f64) -> CoverageView<'_>;
+
+    /// Fill dense per-item coverage scores for a request — the reference
+    /// path the fused scorer is checked against.
     fn coverage_into(&self, user: UserId, theta_u: f64, out: &mut [f64]);
 }
 
 impl CoverageProvider for StatCoverage {
+    fn view(&self, _user: UserId, _theta_u: f64) -> CoverageView<'_> {
+        CoverageView::Dense(self.scores())
+    }
+
     fn coverage_into(&self, _user: UserId, _theta_u: f64, out: &mut [f64]) {
         out.copy_from_slice(self.scores());
     }
 }
 
 impl CoverageProvider for RandCoverage {
+    fn view(&self, user: UserId, _theta_u: f64) -> CoverageView<'_> {
+        self.view_for(user)
+    }
+
     fn coverage_into(&self, user: UserId, _theta_u: f64, out: &mut [f64]) {
         self.scores_for(user, out);
     }
 }
 
 impl CoverageProvider for DynCoverage {
+    fn view(&self, _user: UserId, _theta_u: f64) -> CoverageView<'_> {
+        CoverageView::Dense(self.scores())
+    }
+
     fn coverage_into(&self, _user: UserId, _theta_u: f64, out: &mut [f64]) {
         self.scores_into(out);
     }
 }
 
 impl CoverageProvider for CoverageSnapshots {
+    fn view(&self, _user: UserId, theta_u: f64) -> CoverageView<'_> {
+        self.view_near(theta_u)
+    }
+
     fn coverage_into(&self, _user: UserId, theta_u: f64, out: &mut [f64]) {
         self.scores_near(theta_u, out);
     }
 }
 
-/// Combined GANC score `(1−θ)a + θc` written into `out` (Eq. III.1).
+/// Combined GANC score `(1−θ)a + θc` written into `out` (Eq. III.1) — the
+/// dense reference combiner; the fused path computes the same expression
+/// per candidate without materializing `out`.
 #[inline]
 pub fn combine_into(theta_u: f64, a: &[f64], c: &[f64], out: &mut [f64]) {
     let w_a = 1.0 - theta_u;
@@ -59,11 +94,93 @@ pub fn combine_into(theta_u: f64, a: &[f64], c: &[f64], out: &mut [f64]) {
     }
 }
 
+/// The fused selection core: stream the user's candidates (unseen train
+/// items minus `extra_seen`) through `(1−θ)a + θc` straight into the
+/// bounded top-N heap. One pass, no dense coverage or combined-score
+/// buffer, non-candidates never touched.
+///
+/// `non_train` is the sorted complement of the train-item mask
+/// ([`ganc_recommender::topn::non_train_items`]) — request-independent, so
+/// callers compute it once and the candidate space becomes contiguous id
+/// runs with no per-item mask branch. The exclusion merge costs
+/// `O(|seen| + |extra_seen| + |non_train|)` for the whole request.
+///
+/// The inner loops are monomorphized per [`CoverageView`] variant, and the
+/// scores are the exact expression [`combine_into`] computes, so results
+/// are bit-identical to the three-buffer reference.
+// The negated `!(cap <= floor)` is deliberate: it must also take the slow
+// path when either side is NaN, which `cap > floor` would skip.
+#[allow(clippy::too_many_arguments, clippy::neg_cmp_op_on_partial_ord)]
+pub fn fused_select(
+    n: usize,
+    theta_u: f64,
+    a: &[f64],
+    view: &CoverageView<'_>,
+    train: &Interactions,
+    non_train: &[u32],
+    user: UserId,
+    extra_seen: &[u32],
+) -> Vec<ItemId> {
+    debug_assert!(extra_seen.windows(2).all(|w| w[0] < w[1]));
+    let w_a = 1.0 - theta_u;
+    let mut col = TopNCollector::new(n);
+    // The collector's cached-minimum fast reject makes each losing offer a
+    // single well-predicted compare, so the dense loops just compute every
+    // candidate's score (two multiplies and an add — cheaper than a
+    // data-dependent branch). Only the hashed variant pre-prunes: coverage
+    // never exceeds 1, so `w_a·a + θ ≤ floor` proves a miss (exactly, in
+    // f64: `fl(θ·c) ≤ θ` and `fl` is monotone; at equality the candidate
+    // ties and the later-iterated, larger item id loses) and skips the hash
+    // call. NaN scores fall through every shortcut comparison (false) to
+    // the exact heap comparison. Each run is walked as zipped subslices so
+    // the per-item loads carry no bounds checks.
+    match view {
+        CoverageView::Dense(c) => {
+            for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+                let (l, h) = (lo as usize, hi as usize);
+                for (off, (&av, &cv)) in a[l..h].iter().zip(&c[l..h]).enumerate() {
+                    col.offer(lo + off as u32, w_a * av + theta_u * cv);
+                }
+            });
+        }
+        CoverageView::Hashed { seed, user: u } => {
+            for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+                let (l, h) = (lo as usize, hi as usize);
+                for (off, &av) in a[l..h].iter().enumerate() {
+                    let wav = w_a * av;
+                    if !(wav + theta_u <= col.current_floor()) {
+                        let i = lo + off as u32;
+                        col.offer(i, wav + theta_u * unit_hash(*seed, *u, i));
+                    }
+                }
+            });
+        }
+        CoverageView::Patched { base, overlay } => {
+            let mut pos = 0usize;
+            for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+                let (l, h) = (lo as usize, hi as usize);
+                for (off, (&av, &bv)) in a[l..h].iter().zip(&base[l..h]).enumerate() {
+                    let i = lo + off as u32;
+                    while pos < overlay.len() && overlay[pos].0 < i {
+                        pos += 1;
+                    }
+                    let cv = match overlay.get(pos) {
+                        Some(&(oi, os)) if oi == i => os,
+                        _ => bv,
+                    };
+                    col.offer(i, w_a * av + theta_u * cv);
+                }
+            });
+        }
+    }
+    col.finish()
+}
+
 /// A reusable single-user top-N computation.
 ///
-/// Owns the per-request score buffers, so a long-lived worker allocates
-/// once and serves any number of requests. Not `Sync` (the buffers are
-/// mutable state); create one per worker thread.
+/// Owns the per-request accuracy buffer and overlay scratch, so a
+/// long-lived worker allocates once and serves any number of requests. Not
+/// `Sync` (the buffers are mutable state); create one per worker thread.
 ///
 /// ```
 /// use ganc_core::accuracy::NormalizedScores;
@@ -88,11 +205,11 @@ pub fn combine_into(theta_u: f64, a: &[f64], c: &[f64], out: &mut [f64]) {
 pub struct UserQuery<'a> {
     arec: &'a dyn AccuracyScorer,
     train: &'a Interactions,
-    in_train: &'a [bool],
+    /// Sorted ids of items outside the train mask (excluded from every
+    /// candidate pool), derived once from `in_train`.
+    non_train: Vec<u32>,
     n: usize,
     a_buf: Vec<f64>,
-    c_buf: Vec<f64>,
-    s_buf: Vec<f64>,
 }
 
 impl<'a> UserQuery<'a> {
@@ -111,11 +228,9 @@ impl<'a> UserQuery<'a> {
         UserQuery {
             arec,
             train,
-            in_train,
+            non_train: ganc_recommender::topn::non_train_items(in_train),
             n,
             a_buf: vec![0.0; n_items],
-            c_buf: vec![0.0; n_items],
-            s_buf: vec![0.0; n_items],
         }
     }
 
@@ -138,6 +253,12 @@ impl<'a> UserQuery<'a> {
     /// Like [`UserQuery::topn`], additionally excluding `extra_seen`
     /// (sorted, deduplicated item ids) from the candidate pool — the hook
     /// for interactions ingested after the train snapshot was frozen.
+    ///
+    /// Fused candidate-only scoring: after the accuracy fill, each
+    /// candidate is scored and offered to the bounded selection heap in a
+    /// single pass. The candidate iterator yields ascending item ids, which
+    /// lets the coverage cursor merge any sparse overlay in `O(|overlay|)`
+    /// total.
     pub fn topn_excluding(
         &mut self,
         user: UserId,
@@ -145,13 +266,18 @@ impl<'a> UserQuery<'a> {
         coverage: &dyn CoverageProvider,
         extra_seen: &[u32],
     ) -> Vec<ItemId> {
-        debug_assert!(extra_seen.windows(2).all(|w| w[0] < w[1]));
         self.arec.accuracy_scores(user, &mut self.a_buf);
-        coverage.coverage_into(user, theta_u, &mut self.c_buf);
-        combine_into(theta_u, &self.a_buf, &self.c_buf, &mut self.s_buf);
-        let candidates = unseen_train_candidates(self.train, self.in_train, user)
-            .filter(|i| extra_seen.binary_search(i).is_err());
-        select_top_n(&self.s_buf, candidates, self.n)
+        let view = coverage.view(user, theta_u);
+        fused_select(
+            self.n,
+            theta_u,
+            &self.a_buf,
+            &view,
+            self.train,
+            &self.non_train,
+            user,
+            extra_seen,
+        )
     }
 }
 
@@ -162,7 +288,7 @@ mod tests {
     use ganc_dataset::synth::DatasetProfile;
     use ganc_preference::GeneralizedConfig;
     use ganc_recommender::pop::MostPopular;
-    use ganc_recommender::topn::train_item_mask;
+    use ganc_recommender::topn::{select_top_n, train_item_mask, unseen_train_candidates};
 
     fn setup() -> (Interactions, Vec<f64>, MostPopular) {
         let data = DatasetProfile::small().generate(33);
@@ -170,6 +296,26 @@ mod tests {
         let theta = GeneralizedConfig::default().estimate(&split.train);
         let pop = MostPopular::fit(&split.train);
         (split.train, theta, pop)
+    }
+
+    /// The three-buffer reference scorer the fused path must match exactly.
+    fn naive_topn(
+        arec: &dyn AccuracyScorer,
+        train: &Interactions,
+        in_train: &[bool],
+        user: UserId,
+        theta_u: f64,
+        coverage: &dyn CoverageProvider,
+        n: usize,
+    ) -> Vec<ItemId> {
+        let n_items = train.n_items() as usize;
+        let mut a = vec![0.0; n_items];
+        let mut c = vec![0.0; n_items];
+        let mut s = vec![0.0; n_items];
+        arec.accuracy_scores(user, &mut a);
+        coverage.coverage_into(user, theta_u, &mut c);
+        combine_into(theta_u, &a, &c, &mut s);
+        select_top_n(&s, unseen_train_candidates(train, in_train, user), n)
     }
 
     #[test]
@@ -226,6 +372,31 @@ mod tests {
     }
 
     #[test]
+    fn fused_path_matches_naive_reference_for_all_providers() {
+        let (train, theta, pop) = setup();
+        let arec = NormalizedScores::new(&pop);
+        let in_train = train_item_mask(&train);
+        let stat = StatCoverage::fit(&train);
+        let rand = RandCoverage::new(7);
+        let mut dynamic = DynCoverage::new(train.n_items());
+        dynamic.observe(&[ItemId(0), ItemId(1), ItemId(1), ItemId(4)]);
+        let mut snaps = CoverageSnapshots::for_items(train.n_items());
+        snaps.push_assigned(0.2, &[ItemId(0), ItemId(3)]);
+        snaps.push_assigned(0.6, &[ItemId(3), ItemId(5)]);
+        let providers: [&dyn CoverageProvider; 4] = [&stat, &rand, &dynamic, &snaps];
+        let mut q = UserQuery::new(&arec, &train, &in_train, 5);
+        for provider in providers {
+            for u in (0..train.n_users()).step_by(17) {
+                for t in [0.0, theta[u as usize], 1.0] {
+                    let fused = q.topn(UserId(u), t, provider);
+                    let naive = naive_topn(&arec, &train, &in_train, UserId(u), t, provider, 5);
+                    assert_eq!(fused, naive, "user {u} θ={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn snapshot_provider_matches_manual_combination() {
         let (train, theta, pop) = setup();
         let arec = NormalizedScores::new(&pop);
@@ -234,7 +405,7 @@ mod tests {
         let mut snaps = CoverageSnapshots::new();
         let mut cov = DynCoverage::new(train.n_items());
         cov.observe(&[ItemId(0), ItemId(0), ItemId(1)]);
-        snaps.push(0.5, cov.snapshot());
+        snaps.push(0.5, &cov.snapshot());
         let mut q = UserQuery::new(&arec, &train, &in_train, 5);
         let via_provider = q.topn(UserId(2), theta[2], &snaps);
 

@@ -251,6 +251,27 @@ impl DatasetProfile {
         }
     }
 
+    /// A large profile (~6000 users, 4000 items) for serving benches that
+    /// need catalog scale beyond [`DatasetProfile::medium`].
+    pub fn large() -> DatasetProfile {
+        DatasetProfile {
+            name: "large-sim".into(),
+            n_users: 6_000,
+            n_items: 4_000,
+            target_ratings: 300_000,
+            tau: 10,
+            kappa: 0.5,
+            scale: RatingScale::stars_1_5(),
+            popularity_sigma: 2.0,
+            activity_sigma: 0.9,
+            exploration_base: 0.08,
+            exploration_activity_boost: 0.20,
+            latent_dim: 12,
+            popularity_quality: 0.5,
+            noise: 0.9,
+        }
+    }
+
     /// Generate a dataset from this profile, deterministically in `seed`.
     pub fn generate(&self, seed: u64) -> Dataset {
         Generator::new(self.clone(), seed).run()

@@ -52,6 +52,10 @@ impl Recommender for ItemAvg {
     fn predicts_ratings(&self) -> bool {
         true
     }
+
+    fn scores_are_user_independent(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

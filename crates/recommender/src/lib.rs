@@ -49,6 +49,14 @@ pub trait Recommender: Send + Sync {
     fn predicts_ratings(&self) -> bool {
         false
     }
+
+    /// Whether [`Recommender::score_items`] ignores the user (Pop,
+    /// ItemAvg). Serving engines exploit this to compute the per-user
+    /// normalized accuracy vector once per model version instead of once
+    /// per request.
+    fn scores_are_user_independent(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -8,30 +8,43 @@
 use crate::Recommender;
 use ganc_dataset::{Interactions, UserId};
 
-/// Most-popular recommender: scores every item by its train popularity.
+/// Most-popular recommender: scores every item by its raw train popularity
+/// count.
+///
+/// Scores are deliberately **un-normalized** (the ROADMAP's "normalize
+/// lazily per query"): rankings are invariant under the positive affine
+/// min–max map, and the GANC accuracy adapters normalize per request
+/// anyway, so keeping raw counts makes online popularity refreshes
+/// `O(touched items)` ([`MostPopular::bump`]) instead of an `O(|I|)`
+/// re-normalization per ingest.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MostPopular {
     scores: Vec<f64>,
 }
 
 impl MostPopular {
-    /// Fit from a train set: score = `f_i^R` (popularity), min–max scaled.
+    /// Fit from a train set: score = `f_i^R` (popularity).
     pub fn fit(train: &Interactions) -> MostPopular {
-        let mut scores: Vec<f64> = train.item_popularity().iter().map(|&f| f as f64).collect();
-        ganc_dataset::stats::min_max_normalize(&mut scores);
-        MostPopular { scores }
+        MostPopular::from_popularity(&train.item_popularity())
     }
 
     /// Rebuild from a raw popularity vector `f^R` (one count per item).
     /// The serving path uses this to refresh Pop after ingesting new
     /// interactions without re-walking the train set.
     pub fn from_popularity(popularity: &[u32]) -> MostPopular {
-        let mut scores: Vec<f64> = popularity.iter().map(|&f| f as f64).collect();
-        ganc_dataset::stats::min_max_normalize(&mut scores);
-        MostPopular { scores }
+        MostPopular {
+            scores: popularity.iter().map(|&f| f as f64).collect(),
+        }
     }
 
-    /// The popularity score of one item (normalized to `[0,1]`).
+    /// Record one more rating of `item` — the `O(1)` serving-ingest
+    /// refresh, equivalent to refitting on the bumped popularity vector.
+    #[inline]
+    pub fn bump(&mut self, item: ganc_dataset::ItemId) {
+        self.scores[item.idx()] += 1.0;
+    }
+
+    /// The popularity score of one item (its rating count).
     pub fn popularity_score(&self, item: ganc_dataset::ItemId) -> f64 {
         self.scores[item.idx()]
     }
@@ -44,6 +57,10 @@ impl Recommender for MostPopular {
 
     fn score_items(&self, _user: UserId, out: &mut [f64]) {
         out.copy_from_slice(&self.scores);
+    }
+
+    fn scores_are_user_independent(&self) -> bool {
+        true
     }
 }
 
@@ -72,7 +89,18 @@ mod tests {
         rec.score_items(UserId(4), &mut buf);
         assert!(buf[0] > buf[1]);
         assert!(buf[1] > buf[2]);
-        assert_eq!(buf[0], 1.0);
+        assert_eq!(buf, vec![5.0, 3.0, 1.0], "raw counts, no normalization");
+    }
+
+    #[test]
+    fn bump_matches_refit_on_bumped_counts() {
+        let m = train();
+        let mut counts = m.item_popularity();
+        let mut rec = MostPopular::fit(&m);
+        rec.bump(ItemId(2));
+        rec.bump(ItemId(2));
+        counts[2] += 2;
+        assert_eq!(rec, MostPopular::from_popularity(&counts));
     }
 
     #[test]

@@ -30,6 +30,112 @@ impl PartialOrd for ScoredItem {
     }
 }
 
+/// A bounded top-N selector over a stream of already-scored candidates —
+/// the single selection semantics every list in the workspace goes
+/// through: higher score wins, ties break toward the smaller item id.
+///
+/// Min-heap of the n best seen so far (`Reverse` turns `BinaryHeap`'s
+/// max-heap into a min-heap on our total order), so offering a candidate is
+/// `O(1)` when it loses (the common case) and `O(log n)` when it enters.
+#[derive(Debug)]
+pub struct TopNCollector {
+    heap: BinaryHeap<std::cmp::Reverse<ScoredItem>>,
+    n: usize,
+    /// Cached score of the current heap minimum once the list is full:
+    /// the hot-loop reject is then a single `f64` compare instead of a
+    /// heap peek and a full tie-breaking comparison. `NEG_INFINITY` while
+    /// filling (NaN-safe: `score < NaN` and `NaN < thresh` are both false,
+    /// which routes any NaN through the exact comparison path).
+    thresh: f64,
+}
+
+impl TopNCollector {
+    /// A collector for the `n` best candidates.
+    pub fn new(n: usize) -> TopNCollector {
+        TopNCollector {
+            heap: BinaryHeap::with_capacity(n + 1),
+            n,
+            thresh: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    fn refresh_thresh(&mut self) {
+        self.thresh = self
+            .heap
+            .peek()
+            .map_or(f64::NEG_INFINITY, |min| min.0.score);
+    }
+
+    /// Offer one scored candidate.
+    #[inline]
+    pub fn offer(&mut self, item: u32, score: f64) {
+        if self.heap.len() >= self.n {
+            if score < self.thresh {
+                return;
+            }
+            let cand = ScoredItem { score, item };
+            if let Some(min) = self.heap.peek() {
+                if cand > min.0 {
+                    self.heap.pop();
+                    self.heap.push(std::cmp::Reverse(cand));
+                    self.refresh_thresh();
+                }
+            }
+        } else {
+            self.heap
+                .push(std::cmp::Reverse(ScoredItem { score, item }));
+            if self.heap.len() == self.n {
+                self.refresh_thresh();
+            }
+        }
+    }
+
+    /// The current worst score that still makes the list, if the list is
+    /// already full.
+    #[inline]
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() < self.n {
+            None
+        } else {
+            self.heap.peek().map(|r| r.0.score)
+        }
+    }
+
+    /// The cached heap-minimum score (`NEG_INFINITY` while the list is
+    /// filling): callers with an upper bound on future scores use it to
+    /// skip candidates that cannot enter. A candidate whose score is
+    /// *strictly below* this floor always loses; one exactly at the floor
+    /// loses unless its item id wins the tie.
+    #[inline]
+    pub fn current_floor(&self) -> f64 {
+        self.thresh
+    }
+
+    /// Finish: items in descending score order.
+    pub fn finish(self) -> Vec<ItemId> {
+        let mut out: Vec<ScoredItem> = self.heap.into_iter().map(|r| r.0).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out.into_iter().map(|s| ItemId(s.item)).collect()
+    }
+}
+
+/// Select the `n` best of a stream of already-scored `(item, score)`
+/// candidates. Returns items in descending score order (ties toward the
+/// smaller item id).
+///
+/// This is the fused-scoring entry point: callers compute each candidate's
+/// score on the fly (e.g. `(1−θ)a + θc`) and stream it straight into the
+/// bounded min-heap, so no dense score buffer has to exist. Cost is
+/// `O(|candidates| · log n)`.
+pub fn select_top_n_scored(scored: impl IntoIterator<Item = (u32, f64)>, n: usize) -> Vec<ItemId> {
+    let mut col = TopNCollector::new(n);
+    for (item, score) in scored {
+        col.offer(item, score);
+    }
+    col.finish()
+}
+
 /// Select the `n` best items from a score buffer, restricted to candidate
 /// ids yielded by `candidates`. Returns items in descending score order.
 ///
@@ -39,29 +145,12 @@ pub fn select_top_n(
     candidates: impl IntoIterator<Item = u32>,
     n: usize,
 ) -> Vec<ItemId> {
-    if n == 0 {
-        return Vec::new();
-    }
-    // Min-heap of the n best seen so far (Reverse turns BinaryHeap's
-    // max-heap into a min-heap on our total order).
-    let mut heap: BinaryHeap<std::cmp::Reverse<ScoredItem>> = BinaryHeap::with_capacity(n + 1);
-    for item in candidates {
-        let cand = ScoredItem {
-            score: scores[item as usize],
-            item,
-        };
-        if heap.len() < n {
-            heap.push(std::cmp::Reverse(cand));
-        } else if let Some(min) = heap.peek() {
-            if cand > min.0 {
-                heap.pop();
-                heap.push(std::cmp::Reverse(cand));
-            }
-        }
-    }
-    let mut out: Vec<ScoredItem> = heap.into_iter().map(|r| r.0).collect();
-    out.sort_unstable_by(|a, b| b.cmp(a));
-    out.into_iter().map(|s| ItemId(s.item)).collect()
+    select_top_n_scored(
+        candidates
+            .into_iter()
+            .map(|item| (item, scores[item as usize])),
+        n,
+    )
 }
 
 /// Candidate iterator for the paper's main protocol: all train items the
@@ -88,6 +177,75 @@ pub fn unseen_train_candidates<'a>(
 /// Mask of items with at least one train rating.
 pub fn train_item_mask(train: &Interactions) -> Vec<bool> {
     train.item_popularity().iter().map(|&f| f > 0).collect()
+}
+
+/// The sorted ids of items with no train rating — the complement of
+/// [`train_item_mask`], precomputed once so the fused hot loop can treat
+/// "not in train" as one more exclusion list instead of a per-item branch.
+pub fn non_train_items(in_train: &[bool]) -> Vec<u32> {
+    in_train
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| !t)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Visit the user's candidate id space as maximal `[lo, hi)` runs that
+/// contain no train-seen, no `extra_seen`, and no `non_train` ids (all
+/// sorted). Every id inside a run is a true candidate.
+///
+/// Equivalent to [`unseen_train_candidates`] filtered by `extra_seen`, but
+/// shaped for the fused hot loop: the exclusion merge runs once per
+/// excluded id instead of once per catalog item, so the inner loops are
+/// branch-free range scans.
+pub fn for_each_candidate_run(
+    train: &Interactions,
+    user: UserId,
+    extra_seen: &[u32],
+    non_train: &[u32],
+    mut run: impl FnMut(u32, u32),
+) {
+    let (seen, _) = train.user_row(user);
+    let n_items = train.n_items();
+    let (mut ai, mut bi, mut ci) = (0usize, 0usize, 0usize);
+    let mut lo = 0u32;
+    loop {
+        let mut next: Option<u32> = None;
+        for head in [
+            seen.get(ai).copied(),
+            extra_seen.get(bi).copied(),
+            non_train.get(ci).copied(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            next = Some(next.map_or(head, |n| n.min(head)));
+        }
+        match next {
+            Some(x) if x < n_items => {
+                if lo < x {
+                    run(lo, x);
+                }
+                while seen.get(ai) == Some(&x) {
+                    ai += 1;
+                }
+                while extra_seen.get(bi) == Some(&x) {
+                    bi += 1;
+                }
+                while non_train.get(ci) == Some(&x) {
+                    ci += 1;
+                }
+                lo = x + 1;
+            }
+            _ => {
+                if lo < n_items {
+                    run(lo, n_items);
+                }
+                return;
+            }
+        }
+    }
 }
 
 /// Generate top-N lists for every user under the all-unrated protocol,
@@ -149,6 +307,15 @@ mod tests {
         let scores = vec![0.9, 0.8, 0.7];
         let top = select_top_n(&scores, [1u32, 2], 2);
         assert_eq!(top, vec![ItemId(1), ItemId(2)]);
+    }
+
+    #[test]
+    fn scored_stream_matches_buffered_selection() {
+        let scores = vec![0.4, 0.9, 0.9, 0.1, 0.7];
+        let buffered = select_top_n(&scores, 0..5, 3);
+        let streamed = select_top_n_scored((0..5u32).map(|i| (i, scores[i as usize])), 3);
+        assert_eq!(buffered, streamed);
+        assert!(select_top_n_scored(std::iter::empty(), 0).is_empty());
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl Recommender for BoundModel<'_> {
             BoundModel::Knn(m) => m.predicts_ratings(),
         }
     }
+
+    fn scores_are_user_independent(&self) -> bool {
+        match self {
+            BoundModel::Owned(m) => m.scores_are_user_independent(),
+            BoundModel::Knn(m) => m.scores_are_user_independent(),
+        }
+    }
 }
 
 impl FittedModel {
@@ -255,8 +262,10 @@ impl FitConfig {
 
 /// Everything needed to serve GANC top-N requests, frozen at fit time.
 ///
-/// Persist with [`crate::SaveLoad`]; serve with
-/// [`crate::engine::ServingEngine`].
+/// Persist with [`crate::SaveLoad`] (format v2: `Dyn` coverage snapshots
+/// travel as `O(|I| + S·N)` sparse deltas instead of `S` dense count
+/// vectors; v1 artifacts still load, and [`crate::legacy`] writes them);
+/// serve with [`crate::engine::ServingEngine`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ModelBundle {
     /// Display name of the base model (e.g. `"Pop"`, `"PSVD100"`).

@@ -22,11 +22,11 @@
 
 use crate::bundle::{make_scorer_with_mask, CoverageState, FittedModel, ModelBundle};
 use crate::lru::LruCache;
-use ganc_core::coverage::StatCoverage;
-use ganc_core::query::UserQuery;
+use ganc_core::query::{fused_select, UserQuery};
 use ganc_dataset::{ItemId, UserId};
 use ganc_recommender::pop::MostPopular;
 use ganc_recommender::topn::train_item_mask;
+use ganc_recommender::Recommender;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -89,6 +89,9 @@ struct EngineState {
     bundle: ModelBundle,
     /// Items with ≥1 train rating (the candidate mask), shared by workers.
     in_train: Vec<bool>,
+    /// Sorted complement of `in_train` — the exclusion list the fused
+    /// candidate walk merges instead of testing a mask per item.
+    non_train: Vec<u32>,
     /// Per-user items ingested after fit (sorted), excluded from candidates.
     extra_seen: Vec<Vec<u32>>,
     /// Live popularity: train counts plus ingested interactions.
@@ -96,6 +99,19 @@ struct EngineState {
     /// user id → index into `bundle.seed_lists`; entries are dropped when
     /// ingestion staledates a sampled user's precomputed list.
     seed_index: HashMap<u32, usize>,
+    /// Whether the bundle's accuracy vector is the same for every user
+    /// (user-independent base model under `Normalized` adaptation).
+    accuracy_is_shared: bool,
+    /// Whether the Pop model's stored scores are exactly the raw
+    /// `pop_counts`, making the `O(1)` [`MostPopular::bump`] refresh valid.
+    /// False for models fit on other data and for legacy v1 artifacts
+    /// (which persisted min–max normalized scores) — those fall back to a
+    /// full rebuild from `pop_counts` on ingest, the pre-v2 behavior.
+    pop_bump_ok: bool,
+    /// Lazily built per model version: the shared normalized accuracy
+    /// vector. Rebuilt on first request after an ingest invalidates it, so
+    /// ingestion itself stays `O(touched items)`.
+    shared_accuracy: Mutex<Option<Arc<Vec<f64>>>>,
 }
 
 impl EngineState {
@@ -109,13 +125,67 @@ impl EngineState {
             .enumerate()
             .map(|(k, (u, _))| (u.0, k))
             .collect();
+        let accuracy_is_shared = bundle.accuracy_mode
+            == ganc_core::accuracy::AccuracyMode::Normalized
+            && bundle
+                .model
+                .bind(&bundle.train)
+                .scores_are_user_independent();
+        let non_train = ganc_recommender::topn::non_train_items(&in_train);
+        let pop_bump_ok = match &bundle.model {
+            FittedModel::Pop(pop) => pop_counts
+                .iter()
+                .enumerate()
+                .all(|(i, &f)| pop.popularity_score(ItemId(i as u32)) == f as f64),
+            _ => false,
+        };
         EngineState {
             bundle,
             in_train,
+            non_train,
             extra_seen,
             pop_counts,
             seed_index,
+            accuracy_is_shared,
+            pop_bump_ok,
+            shared_accuracy: Mutex::new(None),
         }
+    }
+
+    /// The per-user-constant normalized accuracy vector, when the model
+    /// supports one — computed at most once per model version.
+    fn shared_accuracy(&self) -> Option<Arc<Vec<f64>>> {
+        if !self.accuracy_is_shared {
+            return None;
+        }
+        let mut guard = self.shared_accuracy.lock().unwrap();
+        if guard.is_none() {
+            let b = &self.bundle;
+            let mut a = vec![0.0; b.n_items() as usize];
+            // Identical to NormalizedScores::accuracy_scores for any user.
+            b.model.bind(&b.train).score_items(UserId(0), &mut a);
+            ganc_dataset::stats::min_max_normalize(&mut a);
+            *guard = Some(Arc::new(a));
+        }
+        guard.clone()
+    }
+
+    /// The fused-path list for one user given a prefetched shared accuracy
+    /// vector.
+    fn compute_shared(&self, user: UserId, accuracy: &[f64]) -> Vec<ItemId> {
+        let b = &self.bundle;
+        let theta_u = b.theta[user.idx()];
+        let view = b.coverage.provider().view(user, theta_u);
+        fused_select(
+            b.n,
+            theta_u,
+            accuracy,
+            &view,
+            &b.train,
+            &self.non_train,
+            user,
+            &self.extra_seen[user.idx()],
+        )
     }
 
     /// Compute one user's list the way the batch optimizer would.
@@ -125,6 +195,9 @@ impl EngineState {
             if let Some(&k) = self.seed_index.get(&user.0) {
                 return b.seed_lists[k].1.clone();
             }
+        }
+        if let Some(a) = self.shared_accuracy() {
+            return self.compute_shared(user, &a);
         }
         let bound = b.model.bind(&b.train);
         let scorer = make_scorer_with_mask(&bound, b.accuracy_mode, &b.train, &self.in_train, b.n);
@@ -238,7 +311,9 @@ impl ServingEngine {
         }
 
         // Compute misses in parallel; each worker sets up its scorer and
-        // buffers once for its whole chunk.
+        // buffers once for its whole chunk. The shared accuracy vector (if
+        // the model supports one) is resolved once for the whole batch.
+        let shared_accuracy = state.shared_accuracy();
         let mut computed: Vec<(usize, Arc<Vec<ItemId>>)> = Vec::with_capacity(miss_idx.len());
         let threads = self.threads.min(miss_idx.len());
         let chunk = miss_idx.len().div_ceil(threads);
@@ -246,8 +321,22 @@ impl ServingEngine {
             let mut handles = Vec::new();
             for piece in miss_idx.chunks(chunk) {
                 let state = &state;
+                let shared_accuracy = shared_accuracy.clone();
                 handles.push(scope.spawn(move || {
                     let b = &state.bundle;
+                    let is_dyn = matches!(b.coverage, CoverageState::Dynamic(_));
+                    let mut out = Vec::with_capacity(piece.len());
+                    if let Some(a) = shared_accuracy {
+                        for &k in piece {
+                            let user = users[k];
+                            let list = match state.seed_index.get(&user.0) {
+                                Some(&s) if is_dyn => b.seed_lists[s].1.clone(),
+                                _ => state.compute_shared(user, &a),
+                            };
+                            out.push((k, Arc::new(list)));
+                        }
+                        return out;
+                    }
                     let bound = b.model.bind(&b.train);
                     let scorer = make_scorer_with_mask(
                         &bound,
@@ -257,26 +346,16 @@ impl ServingEngine {
                         b.n,
                     );
                     let mut query = UserQuery::new(scorer.as_ref(), &b.train, &state.in_train, b.n);
-                    let mut out = Vec::with_capacity(piece.len());
                     for &k in piece {
                         let user = users[k];
-                        let list = if matches!(b.coverage, CoverageState::Dynamic(_)) {
-                            match state.seed_index.get(&user.0) {
-                                Some(&s) => b.seed_lists[s].1.clone(),
-                                None => query.topn_excluding(
-                                    user,
-                                    b.theta[user.idx()],
-                                    b.coverage.provider(),
-                                    &state.extra_seen[user.idx()],
-                                ),
-                            }
-                        } else {
-                            query.topn_excluding(
+                        let list = match state.seed_index.get(&user.0) {
+                            Some(&s) if is_dyn => b.seed_lists[s].1.clone(),
+                            _ => query.topn_excluding(
                                 user,
                                 b.theta[user.idx()],
                                 b.coverage.provider(),
                                 &state.extra_seen[user.idx()],
-                            )
+                            ),
                         };
                         out.push((k, Arc::new(list)));
                     }
@@ -320,12 +399,29 @@ impl ServingEngine {
             }
         }
         state.pop_counts[item.idx()] += 1;
-        if matches!(state.bundle.model, FittedModel::Pop(_)) {
-            state.bundle.model = FittedModel::Pop(MostPopular::from_popularity(&state.pop_counts));
+        let count = state.pop_counts[item.idx()];
+        // Popularity-derived state refreshes in O(touched items): both the
+        // Pop model (raw-count scores) and Stat coverage (per-item
+        // `1/√(f+1)`) support single-item updates identical to a full
+        // rebuild from `pop_counts`.
+        let pop_bump_ok = state.pop_bump_ok;
+        if let FittedModel::Pop(pop) = &mut state.bundle.model {
+            if pop_bump_ok {
+                pop.bump(item);
+            } else {
+                // Legacy v1 artifacts store normalized scores (and a Pop
+                // model could have been fit off-train); a +1 bump would be
+                // on the wrong scale, so rebuild from the live counts.
+                state.bundle.model =
+                    FittedModel::Pop(MostPopular::from_popularity(&state.pop_counts));
+                state.pop_bump_ok = true;
+            }
+            // The shared normalized-accuracy vector is derived from the
+            // model; drop it (O(1)) and let the next request rebuild it.
+            *state.shared_accuracy.lock().unwrap() = None;
         }
-        if matches!(state.bundle.coverage, CoverageState::Static(_)) {
-            state.bundle.coverage =
-                CoverageState::Static(StatCoverage::from_popularity(&state.pop_counts));
+        if let CoverageState::Static(stat) = &mut state.bundle.coverage {
+            stat.set_count(item, count);
         }
         // The sampled user's precomputed list no longer reflects their
         // candidate pool; fall back to the snapshot query path for them.
@@ -483,6 +579,66 @@ mod tests {
         let state = e.state.read().unwrap();
         let max = *state.pop_counts.iter().max().unwrap();
         assert_eq!(state.pop_counts[tail.idx()], max, "tail item now hottest");
+    }
+
+    #[test]
+    fn legacy_normalized_pop_ingest_rebuilds_instead_of_bumping() {
+        // Simulate a format-v1-era Pop model, which persisted min–max
+        // normalized scores: a +1 bump on that scale would catapult the
+        // ingested item to the top of every ranking.
+        let data = DatasetProfile::tiny().generate(5);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let mut normalized: Vec<f64> = split
+            .train
+            .item_popularity()
+            .iter()
+            .map(|&f| f as f64)
+            .collect();
+        ganc_dataset::stats::min_max_normalize(&mut normalized);
+        // MostPopular's wire shape is its score vector.
+        let legacy_pop: MostPopular =
+            bincode::deserialize(&bincode::serialize(&normalized).unwrap()).unwrap();
+        let cfg = FitConfig {
+            coverage: CoverageKind::Static,
+            sample_size: 12,
+            ..FitConfig::new(5)
+        };
+        let bundle = ModelBundle::fit(FittedModel::Pop(legacy_pop), theta, split.train, &cfg);
+        let e = ServingEngine::new(bundle, EngineConfig::default());
+        assert!(!e.state.read().unwrap().pop_bump_ok);
+        e.ingest(UserId(0), ItemId(3), 5.0).unwrap();
+        let state = e.state.read().unwrap();
+        assert!(state.pop_bump_ok, "rebuild resets to raw-count scores");
+        match &state.bundle.model {
+            FittedModel::Pop(pop) => {
+                assert_eq!(pop, &MostPopular::from_popularity(&state.pop_counts));
+            }
+            _ => panic!("expected Pop model"),
+        }
+    }
+
+    #[test]
+    fn incremental_ingest_matches_full_rebuild() {
+        use ganc_core::coverage::StatCoverage;
+        let e = engine(CoverageKind::Static);
+        let n_users = e.n_users();
+        for k in 0..7u32 {
+            e.ingest(UserId(k % n_users), ItemId(k % 5), 4.0).unwrap();
+        }
+        let state = e.state.read().unwrap();
+        match &state.bundle.coverage {
+            CoverageState::Static(stat) => {
+                assert_eq!(stat, &StatCoverage::from_popularity(&state.pop_counts));
+            }
+            other => panic!("expected Static coverage, got {:?}", other.kind()),
+        }
+        match &state.bundle.model {
+            FittedModel::Pop(pop) => {
+                assert_eq!(pop, &MostPopular::from_popularity(&state.pop_counts));
+            }
+            _ => panic!("expected Pop model"),
+        }
     }
 
     #[test]

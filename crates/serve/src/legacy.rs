@@ -1,0 +1,101 @@
+//! Format-v1 downgrade support.
+//!
+//! [`crate::SaveLoad`] always *writes* the current format
+//! ([`crate::saveload::FORMAT_VERSION`]) and *reads* every version back to
+//! [`crate::saveload::MIN_FORMAT_VERSION`]. During a fleet rollout the
+//! reverse direction matters too: a v2 fitter may need to publish bundles
+//! that v1 serving binaries can still load. This module re-encodes a
+//! [`ModelBundle`] in the v1 wire layout — identical for every component
+//! except the coverage snapshots, which v1 stored as dense per-snapshot
+//! count vectors instead of the delta chain.
+//!
+//! The compat test suite also uses this writer to produce genuine v1
+//! artifacts for the legacy read path.
+
+use crate::bundle::{CoverageState, ModelBundle};
+use crate::saveload::{PersistError, MAGIC, MIN_FORMAT_VERSION};
+use ganc_core::coverage::CoverageSnapshots;
+use serde::Serialize;
+
+/// Wrap a raw payload in the v1 magic/version envelope.
+pub fn v1_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 6);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The wire format is positional with no framing, so a struct's encoding is
+/// the concatenation of its fields' encodings — which lets this module
+/// swap one field's layout without reimplementing the rest.
+fn append<T: Serialize + ?Sized>(payload: &mut Vec<u8>, value: &T) -> Result<(), PersistError> {
+    payload.extend(bincode::serialize(value)?);
+    Ok(())
+}
+
+/// Encode coverage snapshots in the dense v1 layout
+/// (`thetas: Vec<f64>, counts: Vec<Box<[u32]>>`), reconstructing each
+/// snapshot's dense counts from the delta chain.
+pub fn snapshots_to_v1_payload(snaps: &CoverageSnapshots) -> Result<Vec<u8>, PersistError> {
+    let mut out = Vec::new();
+    append(&mut out, snaps.thetas())?;
+    let counts: Vec<Box<[u32]>> = (0..snaps.len())
+        .map(|k| snaps.counts_at(k).into_boxed_slice())
+        .collect();
+    append(&mut out, &counts)?;
+    Ok(out)
+}
+
+/// Encode a fitted bundle as a complete v1 artifact (envelope included),
+/// loadable by both format-v1 builds and [`crate::SaveLoad`]'s legacy read
+/// path.
+pub fn bundle_to_v1_bytes(bundle: &ModelBundle) -> Result<Vec<u8>, PersistError> {
+    let mut payload = Vec::new();
+    append(&mut payload, &bundle.model_name)?;
+    append(&mut payload, &bundle.n)?;
+    append(&mut payload, &bundle.accuracy_mode)?;
+    append(&mut payload, &bundle.theta)?;
+    append(&mut payload, &bundle.model)?;
+    match &bundle.coverage {
+        CoverageState::Dynamic(snaps) => {
+            // Variant tag, then the dense v1 snapshot layout.
+            append(&mut payload, &2u32)?;
+            payload.extend(snapshots_to_v1_payload(snaps)?);
+        }
+        other => append(&mut payload, other)?,
+    }
+    append(&mut payload, &bundle.seed_lists)?;
+    append(&mut payload, &bundle.train)?;
+    Ok(v1_envelope(&payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{FitConfig, FittedModel};
+    use crate::saveload::SaveLoad;
+    use ganc_dataset::synth::DatasetProfile;
+    use ganc_preference::GeneralizedConfig;
+    use ganc_recommender::pop::MostPopular;
+
+    #[test]
+    fn v1_bundle_bytes_carry_v1_header_and_load() {
+        let data = DatasetProfile::tiny().generate(12);
+        let split = data.split_per_user(0.5, 3).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let pop = MostPopular::fit(&split.train);
+        let cfg = FitConfig {
+            sample_size: 10,
+            ..FitConfig::new(5)
+        };
+        let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg);
+        let v1 = bundle_to_v1_bytes(&bundle).unwrap();
+        assert_eq!(&v1[..4], b"GANC");
+        assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), 1);
+        let restored = ModelBundle::from_bytes(&v1).unwrap();
+        assert_eq!(restored.model_name, bundle.model_name);
+        assert_eq!(restored.theta, bundle.theta);
+        assert_eq!(restored.seed_lists, bundle.seed_lists);
+    }
+}

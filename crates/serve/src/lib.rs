@@ -50,6 +50,7 @@
 pub mod batch;
 pub mod bundle;
 pub mod engine;
+pub mod legacy;
 pub mod lru;
 pub mod saveload;
 
@@ -57,4 +58,4 @@ pub use batch::{BatchConfig, MicroBatcher};
 pub use bundle::{make_scorer, BoundModel, CoverageState, FitConfig, FittedModel, ModelBundle};
 pub use engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 pub use lru::LruCache;
-pub use saveload::{PersistError, SaveLoad, FORMAT_VERSION, MAGIC};
+pub use saveload::{PersistError, SaveLoad, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
