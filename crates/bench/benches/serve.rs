@@ -12,7 +12,7 @@ use ganc_preference::GeneralizedConfig;
 use ganc_recommender::pop::MostPopular;
 use ganc_serve::{
     BatchConfig, EngineConfig, FitConfig, FittedModel, MicroBatcher, ModelBundle, SaveLoad,
-    ServingEngine,
+    ServingEngine, ShardConfig, ShardedEngine,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -96,6 +96,37 @@ fn bench_serve(c: &mut Criterion) {
     assert!(answers.iter().all(|a| a.is_ok()));
     let batch_rps = users.len() as f64 / batch_s;
 
+    // ---- sharded path: θ-band shards, same requests ----
+    const SHARDS: usize = 4;
+    let sharded = ShardedEngine::new(bundle.clone(), ShardConfig::quantile(SHARDS));
+    let shard_info = sharded.shard_info();
+    let unsharded_coverage_bytes = bincode::serialize(&bundle.coverage)
+        .map(|b| b.len())
+        .unwrap_or(0);
+    let per_shard_coverage_max = shard_info
+        .iter()
+        .map(|i| i.coverage_bytes)
+        .max()
+        .unwrap_or(0);
+    let per_shard_snapshots_max = shard_info.iter().map(|i| i.snapshots).max().unwrap_or(0);
+
+    let mut sharded_cold_ns = Vec::with_capacity(cold_requests);
+    for k in 0..cold_requests {
+        let u = UserId((k as u32 * 193) % n_users);
+        sharded.flush_cache();
+        let start = Instant::now();
+        black_box(sharded.recommend(u).unwrap());
+        sharded_cold_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let sharded_cold = latency_stats(sharded_cold_ns);
+
+    sharded.flush_cache();
+    let sharded_batch_start = Instant::now();
+    let sharded_answers = sharded.recommend_batch(&users);
+    let sharded_batch_s = sharded_batch_start.elapsed().as_secs_f64();
+    assert!(sharded_answers.iter().all(|a| a.is_ok()));
+    let sharded_batch_rps = n_users as f64 / sharded_batch_s;
+
     // ---- micro-batcher throughput under concurrent callers ----
     let mb_requests: u32 = if fast_mode() { 400 } else { 8_000 };
     let batcher = MicroBatcher::spawn(Arc::clone(&engine), BatchConfig::default());
@@ -157,7 +188,14 @@ fn bench_serve(c: &mut Criterion) {
             "\"p99_us\": {h99:.3}, \"requests\": {hreq}}},\n",
             "  \"batch\": {{\"batch_size\": {bsize}, \"throughput_rps\": {brps:.0}}},\n",
             "  \"micro_batcher\": {{\"concurrent_callers\": 4, \"requests\": {mreq}, ",
-            "\"throughput_rps\": {mrps:.0}}}\n",
+            "\"throughput_rps\": {mrps:.0}}},\n",
+            "  \"sharded\": {{\"shards\": {shards}, ",
+            "\"single_request_cold\": {{\"mean_us\": {sm:.2}, \"p50_us\": {s50:.2}, ",
+            "\"p99_us\": {s99:.2}, \"requests\": {sreq}}}, ",
+            "\"batch_throughput_rps\": {sbrps:.0}, ",
+            "\"coverage_bytes_unsharded\": {covfull}, ",
+            "\"coverage_bytes_per_shard_max\": {covshard}, ",
+            "\"snapshots_per_shard_max\": {snapshard}}}\n",
             "}}\n"
         ),
         users = n_users,
@@ -177,6 +215,15 @@ fn bench_serve(c: &mut Criterion) {
         brps = batch_rps,
         mreq = mb_requests,
         mrps = mb_rps,
+        shards = SHARDS,
+        sm = sharded_cold.mean_us,
+        s50 = sharded_cold.p50_us,
+        s99 = sharded_cold.p99_us,
+        sreq = sharded_cold.requests,
+        sbrps = sharded_batch_rps,
+        covfull = unsharded_coverage_bytes,
+        covshard = per_shard_coverage_max,
+        snapshard = per_shard_snapshots_max,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -623,6 +623,63 @@ impl CoverageSnapshots {
     pub fn thetas(&self) -> &[f64] {
         &self.thetas
     }
+
+    /// The inclusive range of sorted snapshot positions any query
+    /// θ ∈ `[lo, hi]` can resolve to — the sub-range a θ-band shard must
+    /// hold to answer its band's requests exactly like the full store.
+    ///
+    /// `lo = f64::NEG_INFINITY` / `hi = f64::INFINITY` denote the open ends
+    /// of the first and last band. Correctness rests on
+    /// [`CoverageSnapshots::nearest_idx`] being monotone non-decreasing in
+    /// its argument (with the lower-θ tie rule), so the possibly-nearest set
+    /// for an interval is exactly `nearest_idx(lo)..=nearest_idx(hi)`.
+    ///
+    /// # Panics
+    /// If the store is empty.
+    pub fn band_range(&self, lo: f64, hi: f64) -> std::ops::RangeInclusive<usize> {
+        assert!(lo <= hi, "band bounds out of order: [{lo}, {hi}]");
+        self.nearest_idx(lo)..=self.nearest_idx(hi)
+    }
+
+    /// A new store holding only the snapshots at sorted positions `range`
+    /// (half-open), re-encoded as a fresh delta chain over the same catalog.
+    ///
+    /// Counts are reconstructed exactly (they are integers), so every score
+    /// the extracted store serves is bit-identical to the source store's for
+    /// the same snapshot. Under the OSLG increasing-θ ordering, consecutive
+    /// sorted snapshots differ by one assignment's `N` items, so the
+    /// re-encoded chain is `O(|I| + band·N)` — the extracted store never
+    /// pays for snapshots outside its band.
+    pub fn extract_range(&self, range: std::ops::Range<usize>) -> CoverageSnapshots {
+        assert!(
+            range.end <= self.len(),
+            "range {range:?} exceeds {} snapshots",
+            self.len()
+        );
+        let mut out = if self.n_items > 0 {
+            CoverageSnapshots::for_items(self.n_items as u32)
+        } else {
+            CoverageSnapshots::new()
+        };
+        for k in range {
+            out.push(self.thetas[k], &self.counts_at(k));
+        }
+        out
+    }
+
+    /// The θ-band shard of this store: the sub-range any θ ∈ `[lo, hi)` (or
+    /// the closed ends at ±∞) resolves into, as an owned store. Queries in
+    /// the band against the slice return bit-identical views to queries
+    /// against the full store: the slice's `nearest_idx` sees the same
+    /// neighbor θs the full store's does for every in-band θ, and
+    /// reconstruction is exact.
+    ///
+    /// # Panics
+    /// If the store is empty.
+    pub fn slice_band(&self, lo: f64, hi: f64) -> CoverageSnapshots {
+        let r = self.band_range(lo, hi);
+        self.extract_range(*r.start()..*r.end() + 1)
+    }
 }
 
 impl Default for CoverageSnapshots {
@@ -990,6 +1047,142 @@ mod tests {
         assert_eq!(restored.thetas(), s.thetas());
         assert_eq!(restored.counts_near(0.2), s.counts_near(0.2));
         assert_eq!(restored.counts_near(0.7), s.counts_near(0.7));
+    }
+
+    /// A chain long enough to cross several dense-checkpoint boundaries,
+    /// with enough θ spread to cut bands anywhere.
+    fn chain_fixture(n_items: u32, steps: usize) -> CoverageSnapshots {
+        let mut s = CoverageSnapshots::for_items(n_items);
+        let mut cov = DynCoverage::new(n_items);
+        for k in 0..steps {
+            let list = [
+                ItemId((k as u32 * 7) % n_items),
+                ItemId((k as u32 * 11 + 3) % n_items),
+            ];
+            cov.observe(&list);
+            s.push_assigned(k as f64 / steps as f64, &list);
+        }
+        s
+    }
+
+    /// Every θ in `[lo, hi)` must resolve to bit-identical scores through
+    /// the sliced store and the full store.
+    fn assert_band_equivalent(full: &CoverageSnapshots, lo: f64, hi: f64) {
+        let slice = full.slice_band(lo, hi);
+        assert!(!slice.is_empty(), "a band slice always keeps ≥1 snapshot");
+        assert_eq!(slice.n_items(), full.n_items());
+        let n_items = full.n_items();
+        let mut a = vec![0.0; n_items];
+        let mut b = vec![0.0; n_items];
+        let (plo, phi) = (lo.max(-0.25), hi.min(1.25));
+        for q in 0..=64 {
+            let t = plo + (phi - plo) * q as f64 / 64.0;
+            if t >= hi {
+                continue;
+            }
+            assert_eq!(
+                full.counts_near(t),
+                slice.counts_near(t),
+                "counts diverge at θ={t} for band [{lo}, {hi})"
+            );
+            full.scores_near(t, &mut a);
+            slice.scores_near(t, &mut b);
+            assert_eq!(a, b, "scores diverge at θ={t} for band [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn extract_empty_range_yields_empty_store() {
+        let full = chain_fixture(13, 10);
+        let empty = full.extract_range(4..4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.n_items(), full.n_items(), "catalog size survives");
+    }
+
+    #[test]
+    fn empty_band_between_duplicate_cuts_still_serves() {
+        // An empty user band (two identical cut values) still produces a
+        // valid single-snapshot slice: band_range always keeps the boundary
+        // snapshot both neighbors share, and resolving the cut θ through
+        // the slice must match the full store exactly.
+        let full = chain_fixture(13, 20);
+        let cut = full.thetas()[7];
+        let slice = full.slice_band(cut, cut);
+        assert_eq!(slice.len(), 1, "degenerate band keeps exactly one");
+        assert_eq!(slice.n_items(), full.n_items());
+        // A single-snapshot slice resolves every θ to its one snapshot,
+        // which must be the one the full store resolves the cut θ to.
+        let mut a = vec![0.0; full.n_items()];
+        let mut b = vec![0.0; full.n_items()];
+        for probe in [cut, f64::NEG_INFINITY, f64::INFINITY] {
+            assert_eq!(slice.counts_near(probe), full.counts_near(cut));
+            slice.scores_near(probe, &mut a);
+            full.scores_near(cut, &mut b);
+            assert_eq!(a, b, "probe {probe} diverges");
+        }
+    }
+
+    #[test]
+    fn band_spanning_checkpoint_boundary_is_exact() {
+        // CHECKPOINT_EVERY = 16: bands straddling chain steps 15|16 and
+        // 31|32 force reconstruction across checkpoint segments.
+        let full = chain_fixture(17, 3 * CHECKPOINT_EVERY + 5);
+        let th = full.thetas();
+        for (a, b) in [
+            (CHECKPOINT_EVERY - 3, CHECKPOINT_EVERY + 3),
+            (2 * CHECKPOINT_EVERY - 1, 2 * CHECKPOINT_EVERY + 1),
+            (1, 3 * CHECKPOINT_EVERY + 2),
+        ] {
+            assert_band_equivalent(&full, th[a], th[b]);
+        }
+    }
+
+    #[test]
+    fn single_snapshot_band_is_exact() {
+        let full = chain_fixture(13, 40);
+        // A band tight enough that only one snapshot is nearest-reachable.
+        let th = full.thetas();
+        let mid = (th[20] + th[21]) / 2.0;
+        let slice = full.slice_band(th[20], mid.min(th[21]));
+        assert!(slice.len() <= 2);
+        assert_band_equivalent(&full, th[20], (th[20] + th[21]) / 2.0);
+        // Whole-store band and open-ended bands stay exact too.
+        assert_band_equivalent(&full, f64::NEG_INFINITY, 0.3);
+        assert_band_equivalent(&full, 0.7, f64::INFINITY);
+        assert_band_equivalent(&full, f64::NEG_INFINITY, f64::INFINITY);
+    }
+
+    #[test]
+    fn theta_duplicates_on_a_band_cut_resolve_identically() {
+        // Several snapshots share the exact θ value a band is cut at; both
+        // sides must keep the copies their queries can resolve to, and the
+        // lower-θ tie rule must pick the same snapshot through the slice.
+        let n_items = 11u32;
+        let mut full = CoverageSnapshots::for_items(n_items);
+        let mut cov = DynCoverage::new(n_items);
+        let thetas = [0.1, 0.3, 0.5, 0.5, 0.5, 0.7, 0.9];
+        for (k, &t) in thetas.iter().enumerate() {
+            let list = [ItemId((k as u32 * 5 + 1) % n_items)];
+            cov.observe(&list);
+            full.push_assigned(t, &list);
+        }
+        let cut = 0.5;
+        assert_band_equivalent(&full, f64::NEG_INFINITY, cut);
+        assert_band_equivalent(&full, cut, f64::INFINITY);
+        // The cut θ itself belongs to the upper band and must hit the
+        // *first* duplicate (lower tie rule) through the slice as well.
+        let upper = full.slice_band(cut, f64::INFINITY);
+        assert_eq!(upper.counts_near(cut), full.counts_near(cut));
+    }
+
+    #[test]
+    fn band_slices_round_trip_the_wire() {
+        let full = chain_fixture(19, 50);
+        let slice = full.slice_band(0.2, 0.6);
+        let bytes = bincode::serialize(&slice).unwrap();
+        let restored: CoverageSnapshots = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(restored, slice);
     }
 
     #[test]

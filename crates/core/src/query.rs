@@ -83,6 +83,36 @@ impl CoverageProvider for CoverageSnapshots {
     }
 }
 
+/// Cut the user population into `shards` θ bands of (approximately) equal
+/// population: the returned `shards − 1` ascending cut points partition
+/// `[0, 1]` into half-open bands `[cuts[j−1], cuts[j])` (the first band is
+/// open below, the last open above). Users are assigned with
+/// [`shard_of`], so a θ exactly on a cut deterministically lands in the
+/// band *above* it — duplicates of one θ value can never straddle a cut.
+///
+/// Duplicate-heavy θ distributions may produce repeated cut values; the
+/// bands between equal cuts are simply empty, which shard routing and
+/// [`CoverageSnapshots::slice_band`] both tolerate.
+pub fn cut_theta_bands(thetas: &[f64], shards: usize) -> Vec<f64> {
+    let shards = shards.max(1);
+    if shards == 1 || thetas.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = thetas.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    (1..shards)
+        .map(|j| sorted[(j * sorted.len()) / shards])
+        .collect()
+}
+
+/// The θ band a preference value falls in, given ascending `cuts` from
+/// [`cut_theta_bands`]: the number of cuts ≤ `theta`. Always a valid shard
+/// index in `0..cuts.len() + 1`.
+#[inline]
+pub fn shard_of(cuts: &[f64], theta: f64) -> usize {
+    cuts.partition_point(|&c| c <= theta)
+}
+
 /// Combined GANC score `(1−θ)a + θc` written into `out` (Eq. III.1) — the
 /// dense reference combiner; the fused path computes the same expression
 /// per candidate without materializing `out`.
@@ -394,6 +424,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn theta_band_cuts_balance_population() {
+        let thetas: Vec<f64> = (0..100).map(|k| k as f64 / 100.0).collect();
+        let cuts = cut_theta_bands(&thetas, 4);
+        assert_eq!(cuts.len(), 3);
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        let mut pop = [0usize; 4];
+        for &t in &thetas {
+            pop[shard_of(&cuts, t)] += 1;
+        }
+        assert_eq!(pop, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn theta_on_a_cut_routes_above_it() {
+        let cuts = vec![0.25, 0.5, 0.75];
+        assert_eq!(shard_of(&cuts, 0.0), 0);
+        assert_eq!(shard_of(&cuts, 0.25), 1, "cut value belongs above");
+        assert_eq!(shard_of(&cuts, 0.49), 1);
+        assert_eq!(shard_of(&cuts, 0.5), 2);
+        assert_eq!(shard_of(&cuts, 1.0), 3);
+    }
+
+    #[test]
+    fn duplicate_thetas_never_straddle_a_cut() {
+        // 60% of users share one θ: cuts repeat and some bands are empty,
+        // but every duplicate lands in the same band.
+        let mut thetas = vec![0.5; 60];
+        thetas.extend((0..40).map(|k| k as f64 / 40.0));
+        let cuts = cut_theta_bands(&thetas, 5);
+        let bands: std::collections::HashSet<usize> = thetas
+            .iter()
+            .filter(|&&t| t == 0.5)
+            .map(|&t| shard_of(&cuts, t))
+            .collect();
+        assert_eq!(bands.len(), 1, "all θ=0.5 users share one shard");
+    }
+
+    #[test]
+    fn degenerate_plans_have_no_cuts() {
+        assert!(cut_theta_bands(&[0.1, 0.9], 1).is_empty());
+        assert!(cut_theta_bands(&[], 4).is_empty());
+        assert_eq!(shard_of(&[], 0.7), 0);
     }
 
     #[test]

@@ -345,6 +345,46 @@ impl ModelBundle {
         }
     }
 
+    /// The artifact a θ-band shard serves: everything this bundle has,
+    /// except that `Dyn` coverage keeps only the snapshot sub-range any
+    /// θ ∈ `[lo, hi)` can resolve to (see
+    /// [`CoverageSnapshots::slice_band`]) and the precomputed seed lists
+    /// keep only the sampled users whose θ falls in the band. Use
+    /// `lo = f64::NEG_INFINITY` / `hi = f64::INFINITY` for the open ends of
+    /// the first and last band.
+    ///
+    /// Serving an in-band user from the slice is byte-identical to serving
+    /// them from the full bundle: the snapshot sub-range provably resolves
+    /// nearest-θ the same way, and every other component is unchanged. The
+    /// train set travels with each shard (candidate pools and kNN rows need
+    /// it) — the state that was `O(S·|I|)` and is now `O(band)` per shard is
+    /// the snapshot store.
+    pub fn slice_theta_band(&self, lo: f64, hi: f64) -> ModelBundle {
+        let coverage = match &self.coverage {
+            CoverageState::Dynamic(snaps) => CoverageState::Dynamic(snaps.slice_band(lo, hi)),
+            other => other.clone(),
+        };
+        let seed_lists = self
+            .seed_lists
+            .iter()
+            .filter(|(u, _)| {
+                let t = self.theta[u.idx()];
+                t >= lo && t < hi
+            })
+            .cloned()
+            .collect();
+        ModelBundle {
+            model_name: self.model_name.clone(),
+            n: self.n,
+            accuracy_mode: self.accuracy_mode,
+            theta: self.theta.clone(),
+            model: self.model.clone(),
+            coverage,
+            seed_lists,
+            train: self.train.clone(),
+        }
+    }
+
     /// Number of users this bundle can serve.
     pub fn n_users(&self) -> u32 {
         self.train.n_users()

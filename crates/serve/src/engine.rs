@@ -19,6 +19,18 @@
 //! scores from before the ingest until they expire from the LRU — bounded
 //! staleness, the standard serving trade-off. [`ServingEngine::flush_cache`]
 //! forces global freshness.
+//!
+//! Generation contract: [`ServingEngine::swap_bundle`] atomically replaces
+//! the fitted state (background refit publishes through it) and bumps the
+//! state's *generation*. Every response is computed entirely under one
+//! read-lock hold, so it reflects exactly one generation — never a torn mix
+//! of two bundles — and the traced APIs report which. Cached responses are
+//! tagged with the generation that computed them and the whole cache is
+//! cleared under the swap's write lock, so a response can never pair a new
+//! bundle with an older bundle's cache entry; a cache hit racing a swap may
+//! still serve the previous generation momentarily (its tag says so).
+//! [`ServingEngine::recommend_batch`] holds one read lock across the whole
+//! batch — cache hits included — so a batch is always single-generation.
 
 use crate::bundle::{make_scorer_with_mask, CoverageState, FittedModel, ModelBundle};
 use crate::lru::LruCache;
@@ -30,6 +42,9 @@ use ganc_recommender::Recommender;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// A cached response: the bundle generation that computed it plus the list.
+type CachedList = (u64, Arc<Vec<ItemId>>);
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +102,10 @@ impl std::error::Error for ServeError {}
 /// Model-side state guarded by the engine's `RwLock`.
 struct EngineState {
     bundle: ModelBundle,
+    /// Which bundle generation this state serves: 0 at construction, +1 per
+    /// [`ServingEngine::swap_bundle`]. Lives *inside* the lock so a reader
+    /// observes the generation and the bundle it belongs to atomically.
+    generation: u64,
     /// Items with ≥1 train rating (the candidate mask), shared by workers.
     in_train: Vec<bool>,
     /// Sorted complement of `in_train` — the exclusion list the fused
@@ -116,6 +135,10 @@ struct EngineState {
 
 impl EngineState {
     fn new(bundle: ModelBundle) -> EngineState {
+        EngineState::with_generation(bundle, 0)
+    }
+
+    fn with_generation(bundle: ModelBundle, generation: u64) -> EngineState {
         let in_train = train_item_mask(&bundle.train);
         let pop_counts = bundle.train.item_popularity();
         let extra_seen = vec![Vec::new(); bundle.train.n_users() as usize];
@@ -141,6 +164,7 @@ impl EngineState {
         };
         EngineState {
             bundle,
+            generation,
             in_train,
             non_train,
             extra_seen,
@@ -214,13 +238,7 @@ impl EngineState {
 /// A thread-safe online server over one [`ModelBundle`].
 pub struct ServingEngine {
     state: RwLock<EngineState>,
-    cache: Mutex<LruCache<u32, Arc<Vec<ItemId>>>>,
-    /// Bumped by every ingest, *before* its cache invalidation. A response
-    /// computed under an older version is never inserted into the cache —
-    /// otherwise a compute that raced an ingest could re-insert a stale
-    /// list right after the ingest invalidated it, and it would then be
-    /// served from cache indefinitely.
-    version: AtomicU64,
+    cache: Mutex<LruCache<u32, CachedList>>,
     threads: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -228,13 +246,19 @@ pub struct ServingEngine {
     invalidated: AtomicU64,
 }
 
+// Lock discipline: `state` before `cache`, or `cache` alone. Writers
+// (ingest, swap) mutate the cache while still holding the state write lock;
+// computes insert while still holding the state read lock. That makes cache
+// contents always belong to the current state — an invalidation or swap can
+// never be undone by a racing compute, so no separate version counter is
+// needed. The one path that touches the cache without the state lock is the
+// single-request hit fast path, which only reads.
 impl ServingEngine {
     /// Start serving a bundle.
     pub fn new(bundle: ModelBundle, cfg: EngineConfig) -> ServingEngine {
         ServingEngine {
             state: RwLock::new(EngineState::new(bundle)),
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-            version: AtomicU64::new(0),
             threads: cfg.threads.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -245,24 +269,33 @@ impl ServingEngine {
 
     /// Answer one user's top-N request.
     pub fn recommend(&self, user: UserId) -> Result<Arc<Vec<ItemId>>, ServeError> {
-        if let Some(hit) = self.cache.lock().unwrap().get(&user.0) {
+        self.recommend_traced(user).map(|(list, _)| list)
+    }
+
+    /// Answer one user's top-N request, reporting the bundle generation the
+    /// response was computed under. A cache hit may report the previous
+    /// generation for an instant around a [`ServingEngine::swap_bundle`];
+    /// the list always matches the reported generation's bundle.
+    pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), ServeError> {
+        // Hit fast path: never touches the model state.
+        if let Some(&(generation, ref hit)) = self.cache.lock().unwrap().get(&user.0) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok((Arc::clone(hit), generation));
         }
-        let version = self.version.load(Ordering::SeqCst);
         let state = self.state.read().unwrap();
         if user.idx() >= state.bundle.n_users() as usize {
             return Err(ServeError::UnknownUser(user));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let list = Arc::new(state.compute(user));
-        drop(state);
-        let mut cache = self.cache.lock().unwrap();
-        if self.version.load(Ordering::SeqCst) == version {
-            cache.insert(user.0, Arc::clone(&list));
-        }
-        drop(cache);
-        Ok(list)
+        // Insert while still holding the read lock: no ingest or swap can
+        // interleave, so the generation tag is exact and an invalidation
+        // cannot be undone by this insert landing late.
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(user.0, (state.generation, Arc::clone(&list)));
+        Ok((list, state.generation))
     }
 
     /// Answer a batch of requests, fanning cache misses across worker
@@ -270,14 +303,34 @@ impl ServingEngine {
     /// per-request error.
     #[allow(clippy::type_complexity)]
     pub fn recommend_batch(&self, users: &[UserId]) -> Vec<Result<Arc<Vec<ItemId>>, ServeError>> {
+        self.recommend_batch_traced(users).0
+    }
+
+    /// Like [`ServingEngine::recommend_batch`], also reporting the single
+    /// bundle generation every response in the batch was served from.
+    ///
+    /// The state read lock is held across the *entire* batch — the cache-hit
+    /// phase included — so a concurrent [`ServingEngine::swap_bundle`]
+    /// cannot land mid-batch: every cached entry observed under the lock was
+    /// inserted under the current generation (swaps clear the cache while
+    /// holding the write lock), and every miss computes against it.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> (Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64) {
+        let state = self.state.read().unwrap();
+        let generation = state.generation;
         let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
             vec![None; users.len()];
-        // Serve cache hits under one short lock.
+        // Serve cache hits under one short cache-lock hold (the state read
+        // lock above pins their generation).
         let mut miss_idx: Vec<usize> = Vec::new();
         {
             let mut cache = self.cache.lock().unwrap();
             for (k, u) in users.iter().enumerate() {
-                if let Some(hit) = cache.get(&u.0) {
+                if let Some(&(tag, ref hit)) = cache.get(&u.0) {
+                    debug_assert_eq!(tag, generation, "cache outlived a swap");
                     results[k] = Some(Ok(Arc::clone(hit)));
                 } else {
                     miss_idx.push(k);
@@ -287,11 +340,12 @@ impl ServingEngine {
         self.hits
             .fetch_add((users.len() - miss_idx.len()) as u64, Ordering::Relaxed);
         if miss_idx.is_empty() {
-            return results.into_iter().map(|r| r.unwrap()).collect();
+            return (
+                results.into_iter().map(|r| r.unwrap()).collect(),
+                generation,
+            );
         }
 
-        let version = self.version.load(Ordering::SeqCst);
-        let state = self.state.read().unwrap();
         // Reject unknown users up front so the miss counter only covers
         // requests that actually compute (matching `recommend`).
         let n_users = state.bundle.n_users() as usize;
@@ -306,8 +360,10 @@ impl ServingEngine {
         self.misses
             .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
         if miss_idx.is_empty() {
-            drop(state);
-            return results.into_iter().map(|r| r.unwrap()).collect();
+            return (
+                results.into_iter().map(|r| r.unwrap()).collect(),
+                generation,
+            );
         }
 
         // Compute misses in parallel; each worker sets up its scorer and
@@ -366,18 +422,20 @@ impl ServingEngine {
                 computed.extend(h.join().expect("serving worker panicked"));
             }
         });
-        drop(state);
 
+        // Still under the state read lock: no writer has run, so the
+        // computed lists are current and their generation tag is exact.
         let mut cache = self.cache.lock().unwrap();
-        let fresh = self.version.load(Ordering::SeqCst) == version;
         for (k, list) in computed {
-            if fresh {
-                cache.insert(users[k].0, Arc::clone(&list));
-            }
+            cache.insert(users[k].0, (generation, Arc::clone(&list)));
             results[k] = Some(Ok(list));
         }
         drop(cache);
-        results.into_iter().map(|r| r.unwrap()).collect()
+        drop(state);
+        (
+            results.into_iter().map(|r| r.unwrap()).collect(),
+            generation,
+        )
     }
 
     /// Ingest one observed interaction: the item leaves the user's
@@ -426,16 +484,38 @@ impl ServingEngine {
         // The sampled user's precomputed list no longer reflects their
         // candidate pool; fall back to the snapshot query path for them.
         state.seed_index.remove(&user.0);
-        drop(state);
-        // Bump before invalidating: in-flight computes that started under
-        // the old version will see the new one at insert time and skip the
-        // cache, so the invalidation below cannot be undone by a racer.
-        self.version.fetch_add(1, Ordering::SeqCst);
+        // Invalidate while still holding the write lock: any compute that
+        // could re-insert a pre-ingest list also holds the state lock, so it
+        // either finished (and its entry is removed here) or starts after
+        // this write completes (and computes the post-ingest list).
         if self.cache.lock().unwrap().remove_entry(&user.0).is_some() {
             self.invalidated.fetch_add(1, Ordering::Relaxed);
         }
+        drop(state);
         self.ingested.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Atomically replace the fitted state with a freshly fitted bundle —
+    /// the hot-swap half of background refit. In-flight requests finish on
+    /// the bundle they started with (they hold the read lock); requests that
+    /// start after the swap see only the new one. The response cache is
+    /// cleared under the same write-lock hold, so the new generation can
+    /// never serve a previous generation's cached list. Returns the new
+    /// generation.
+    pub fn swap_bundle(&self, bundle: ModelBundle) -> u64 {
+        let mut state = self.state.write().unwrap();
+        let generation = state.generation + 1;
+        *state = EngineState::with_generation(bundle, generation);
+        self.cache.lock().unwrap().clear();
+        drop(state);
+        generation
+    }
+
+    /// The current bundle generation (0 until the first
+    /// [`ServingEngine::swap_bundle`]).
+    pub fn generation(&self) -> u64 {
+        self.state.read().unwrap().generation
     }
 
     /// Drop every cached response (force global freshness after a burst of
@@ -639,6 +719,51 @@ mod tests {
             }
             _ => panic!("expected Pop model"),
         }
+    }
+
+    #[test]
+    fn swap_bundle_bumps_generation_and_clears_cache() {
+        let data = DatasetProfile::tiny().generate(5);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let cfg = FitConfig {
+            coverage: CoverageKind::Static,
+            sample_size: 12,
+            ..FitConfig::new(5)
+        };
+        let pop = MostPopular::fit(&split.train);
+        let a = ModelBundle::fit(
+            FittedModel::Pop(pop),
+            theta.clone(),
+            split.train.clone(),
+            &cfg,
+        );
+        // Bundle B: θ flipped to 1 for everyone — different lists.
+        let pop = MostPopular::fit(&split.train);
+        let b = ModelBundle::fit(
+            FittedModel::Pop(pop),
+            vec![1.0; theta.len()],
+            split.train.clone(),
+            &cfg,
+        );
+        let expect_b = {
+            let e = ServingEngine::new(b.clone(), EngineConfig::default());
+            e.recommend(UserId(0)).unwrap()
+        };
+
+        let e = ServingEngine::new(a, EngineConfig::default());
+        let (before, g0) = e.recommend_traced(UserId(0)).unwrap();
+        assert_eq!(g0, 0);
+        assert_eq!(e.generation(), 0);
+        assert_eq!(e.swap_bundle(b), 1);
+        assert_eq!(e.generation(), 1);
+        assert_eq!(e.stats().cached, 0, "swap clears the response cache");
+        let (after, g1) = e.recommend_traced(UserId(0)).unwrap();
+        assert_eq!(g1, 1);
+        assert_eq!(after, expect_b);
+        assert_ne!(before, after, "θ flip must change the served list");
+        let (_, batch_gen) = e.recommend_batch_traced(&[UserId(0), UserId(1)]);
+        assert_eq!(batch_gen, 1);
     }
 
     #[test]

@@ -15,8 +15,14 @@
 //!    (Algorithm 1, lines 11–15), so served lists match batch output.
 //! 3. **Engine** ([`engine`], [`batch`]) — a thread-safe
 //!    [`ServingEngine`] with an LRU response cache, batched request
-//!    fan-out, interaction ingestion with cache invalidation, and a
-//!    [`MicroBatcher`] coalescing concurrent callers.
+//!    fan-out, interaction ingestion with cache invalidation, generation
+//!    counters, and a [`MicroBatcher`] coalescing concurrent callers.
+//! 4. **Scale-out** ([`shard`], [`refit`]) — a [`ShardedEngine`] that
+//!    partitions users into θ bands (each shard holds only its band's
+//!    snapshot sub-range; per-shard artifacts deploy to nodes), plus a
+//!    [`RefitController`] that refits on train + ingested interactions in
+//!    the background and hot-swaps all shards atomically, rebalancing the
+//!    θ bands on every refit.
 //!
 //! ## Quickstart: fit → save → load → serve
 //!
@@ -52,10 +58,16 @@ pub mod bundle;
 pub mod engine;
 pub mod legacy;
 pub mod lru;
+pub mod refit;
 pub mod saveload;
+pub mod shard;
 
 pub use batch::{BatchConfig, MicroBatcher};
 pub use bundle::{make_scorer, BoundModel, CoverageState, FitConfig, FittedModel, ModelBundle};
 pub use engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 pub use lru::LruCache;
+pub use refit::{merge_interactions, RefitController, RefitOutcome, Refitter};
 pub use saveload::{PersistError, SaveLoad, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
+pub use shard::{
+    save_shard_artifacts, shard_artifact_path, ShardConfig, ShardInfo, ShardPlan, ShardedEngine,
+};

@@ -1,0 +1,350 @@
+//! Background refit with atomic bundle hot-swap.
+//!
+//! A frozen bundle goes stale under ingestion: popularity drifts, candidate
+//! pools shrink, and — the failure mode rank-aggregation work warns about —
+//! a stale coverage model quietly re-concentrates recommendations on head
+//! items. The incremental refreshes in [`crate::engine`] keep Pop/Stat
+//! state exact between fits, but the `Dyn` frequency snapshots and any
+//! factorized base model only move when the optimizer reruns. Fit is
+//! cheap (single-digit milliseconds on the bench profiles), so the fix is
+//! to rerun it continuously:
+//!
+//! 1. **Snapshot** — clone the baseline train set and the ingest log
+//!    prefix under the serving lock (cheap; serving continues).
+//! 2. **Fit** — merge the log into the train set
+//!    ([`merge_interactions`]), re-estimate θ, refit the base model, and
+//!    re-run [`ModelBundle::fit`] — all on the background thread.
+//! 3. **Swap** — re-cut θ bands against the refitted θ (rebalance), build
+//!    the new shard topology, and install it atomically: in-flight
+//!    requests finish on the old generation, the generation counter bumps,
+//!    and ingests that raced the fit are replayed onto the new shards
+//!    before they go live, so nothing is lost.
+//!
+//! The swap result is *exactly* the bundle a from-scratch
+//! [`ModelBundle::fit`] on the accumulated interactions produces — the
+//! equivalence `tests/refit_hotswap.rs` pins down, concurrently.
+
+use crate::bundle::{FitConfig, FittedModel, ModelBundle};
+use crate::shard::ShardedEngine;
+use ganc_dataset::dataset::Rating;
+use ganc_dataset::{Interactions, ItemId, UserId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Refits the model-side state from an accumulated train set: returns the
+/// fitted base model and the per-user θ estimates the next generation
+/// serves. Deterministic refitters make post-swap state reproducible.
+pub type Refitter = dyn Fn(&Interactions) -> (FittedModel, Vec<f64>) + Send + Sync;
+
+/// The train set plus everything ingested since it was frozen, as one
+/// deduplicated interaction matrix: a re-rated `(user, item)` pair keeps
+/// the latest rating. This is the "accumulated interactions" a refit (and
+/// the from-scratch fit the tests compare against) runs on.
+pub fn merge_interactions(base: &Interactions, ingested: &[(UserId, ItemId, f32)]) -> Interactions {
+    let mut ratings: Vec<Rating> = base
+        .iter()
+        .map(|(user, item, value)| Rating { user, item, value })
+        .collect();
+    let mut at: HashMap<(u32, u32), usize> = ratings
+        .iter()
+        .enumerate()
+        .map(|(k, r)| ((r.user.0, r.item.0), k))
+        .collect();
+    for &(user, item, value) in ingested {
+        match at.entry((user.0, item.0)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                ratings[*e.get()].value = value;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(ratings.len());
+                ratings.push(Rating { user, item, value });
+            }
+        }
+    }
+    Interactions::from_ratings(base.n_users(), base.n_items(), &ratings)
+}
+
+/// What one refit pass did.
+#[derive(Debug, Clone)]
+pub enum RefitOutcome {
+    /// A new generation is live; the refitted (unsliced) bundle is returned
+    /// so callers can verify or persist it.
+    Swapped {
+        /// The shard set's new generation.
+        generation: u64,
+        /// The refitted baseline bundle the new shards were sliced from —
+        /// the same allocation the engine now serves, not a copy.
+        bundle: Arc<ModelBundle>,
+    },
+    /// A competing swap changed the generation while this fit ran; the
+    /// result was discarded without touching the engine.
+    Raced,
+}
+
+impl ShardedEngine {
+    /// Run one complete refit pass synchronously: snapshot, fit on
+    /// train + ingested, rebalance θ bands, and hot-swap. Serving continues
+    /// on the old generation for the whole fit; only the final install
+    /// takes the write lock.
+    pub fn refit_once(&self, fitter: &Refitter, cfg: &FitConfig) -> RefitOutcome {
+        let (generation, baseline, log) = self.refit_snapshot();
+        let consumed = log.len();
+        let train = merge_interactions(&baseline.train, &log);
+        let (model, theta) = fitter(&train);
+        let bundle = Arc::new(ModelBundle::fit(model, theta, train, cfg));
+        match self.install_refit(generation, Arc::clone(&bundle), consumed) {
+            Some(generation) => RefitOutcome::Swapped { generation, bundle },
+            None => RefitOutcome::Raced,
+        }
+    }
+}
+
+/// A background thread that periodically refits a [`ShardedEngine`] and
+/// hot-swaps the result. Dropping the controller stops and joins it.
+pub struct RefitController {
+    stop: Arc<AtomicBool>,
+    refits: Arc<AtomicU64>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl RefitController {
+    /// Start refitting `engine` every `interval` with `fitter` under `cfg`.
+    /// The interval is the *pause between* passes; each pass itself runs
+    /// snapshot → fit → swap to completion.
+    pub fn spawn(
+        engine: Arc<ShardedEngine>,
+        fitter: Arc<Refitter>,
+        cfg: FitConfig,
+        interval: Duration,
+    ) -> RefitController {
+        let stop = Arc::new(AtomicBool::new(false));
+        let refits = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let refits = Arc::clone(&refits);
+            std::thread::spawn(move || {
+                // Sleep in short slices so drop-stop stays responsive even
+                // under long intervals.
+                let slice = interval
+                    .min(Duration::from_millis(20))
+                    .max(Duration::from_micros(50));
+                let mut slept = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    if slept < interval {
+                        std::thread::sleep(slice);
+                        slept += slice;
+                        continue;
+                    }
+                    slept = Duration::ZERO;
+                    engine.refit_once(fitter.as_ref(), &cfg);
+                    refits.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        RefitController {
+            stop,
+            refits,
+            worker: Some(worker),
+        }
+    }
+
+    /// Completed refit passes so far.
+    pub fn refits(&self) -> u64 {
+        self.refits.load(Ordering::Relaxed)
+    }
+
+    /// Signal the worker to stop and wait for it to finish.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for RefitController {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, ServingEngine};
+    use crate::shard::ShardConfig;
+    use ganc_core::coverage::CoverageKind;
+    use ganc_dataset::synth::DatasetProfile;
+    use ganc_preference::GeneralizedConfig;
+    use ganc_recommender::pop::MostPopular;
+
+    fn fixture() -> (Interactions, FitConfig) {
+        let data = DatasetProfile::tiny().generate(5);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let cfg = FitConfig {
+            coverage: CoverageKind::Dynamic,
+            sample_size: 12,
+            ..FitConfig::new(5)
+        };
+        (split.train, cfg)
+    }
+
+    fn pop_fitter() -> Arc<Refitter> {
+        Arc::new(|train: &Interactions| {
+            (
+                FittedModel::Pop(MostPopular::fit(train)),
+                GeneralizedConfig::default().estimate(train),
+            )
+        })
+    }
+
+    #[test]
+    fn merge_keeps_latest_rating_and_appends_new_pairs() {
+        let (train, _) = fixture();
+        let (u, i) = {
+            let mut found = (UserId(0), ItemId(0));
+            'outer: for uu in 0..train.n_users() {
+                for ii in 0..train.n_items() {
+                    if train.contains(UserId(uu), ItemId(ii)) {
+                        found = (UserId(uu), ItemId(ii));
+                        break 'outer;
+                    }
+                }
+            }
+            found
+        };
+        let fresh = (0..train.n_items())
+            .map(ItemId)
+            .find(|&it| !train.contains(u, it))
+            .unwrap();
+        let merged = merge_interactions(&train, &[(u, i, 1.5), (u, fresh, 2.5), (u, i, 3.5)]);
+        assert_eq!(merged.n_users(), train.n_users());
+        assert_eq!(merged.nnz(), train.nnz() + 1);
+        assert_eq!(merged.get(u, i), Some(3.5), "last rating wins");
+        assert_eq!(merged.get(u, fresh), Some(2.5));
+        // No ingests: merge is the identity.
+        assert_eq!(merge_interactions(&train, &[]), train);
+    }
+
+    #[test]
+    fn refit_once_swaps_to_the_from_scratch_fit() {
+        let (train, cfg) = fixture();
+        let fitter = pop_fitter();
+        let (model, theta) = fitter(&train);
+        let bundle = ModelBundle::fit(model, theta, train.clone(), &cfg);
+        let engine = ShardedEngine::new(bundle, ShardConfig::quantile(3));
+
+        // Ingest a few interactions, then refit.
+        let lists: Vec<_> = (0..3)
+            .map(|u| engine.recommend(UserId(u)).unwrap())
+            .collect();
+        for (u, list) in lists.iter().enumerate() {
+            engine.ingest(UserId(u as u32), list[0], 5.0).unwrap();
+        }
+        assert_eq!(engine.pending_ingests(), 3);
+        let ingested: Vec<(UserId, ItemId, f32)> = lists
+            .iter()
+            .enumerate()
+            .map(|(u, l)| (UserId(u as u32), l[0], 5.0))
+            .collect();
+
+        let outcome = engine.refit_once(fitter.as_ref(), &cfg);
+        let RefitOutcome::Swapped { generation, bundle } = outcome else {
+            panic!("uncontended refit must swap");
+        };
+        assert_eq!(generation, 1);
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.pending_ingests(), 0, "log consumed by the refit");
+
+        // The installed bundle equals a from-scratch fit on accumulated
+        // interactions, and the engine serves exactly that fit.
+        let expected_train = merge_interactions(&train, &ingested);
+        let (model, theta) = fitter(&expected_train);
+        let expected = ModelBundle::fit(model, theta, expected_train, &cfg);
+        assert_eq!(*bundle, expected);
+        let reference = ServingEngine::new(expected, EngineConfig::default());
+        for u in 0..engine.n_users() {
+            assert_eq!(
+                engine.recommend(UserId(u)).unwrap(),
+                reference.recommend(UserId(u)).unwrap(),
+                "user {u} diverges from the from-scratch fit"
+            );
+        }
+    }
+
+    #[test]
+    fn refit_replays_ingests_that_raced_the_fit() {
+        // Simulate the race by snapshotting, then ingesting, then
+        // installing a fit of the snapshot: the installed generation must
+        // still reflect the late ingest, and the log must keep it for the
+        // next refit.
+        let (train, cfg) = fixture();
+        let fitter = pop_fitter();
+        let (model, theta) = fitter(&train);
+        let bundle = ModelBundle::fit(model, theta, train, &cfg);
+        let engine = ShardedEngine::new(bundle, ShardConfig::quantile(2));
+
+        let (generation, baseline, log) = engine.refit_snapshot();
+        assert!(log.is_empty());
+        let consumed = log.len();
+        // Late ingest lands while the "fit" runs.
+        let u = UserId(1);
+        let late = engine.recommend(u).unwrap()[0];
+        engine.ingest(u, late, 4.0).unwrap();
+
+        let merged = merge_interactions(&baseline.train, &log);
+        let (model, theta) = fitter(&merged);
+        let refit = Arc::new(ModelBundle::fit(model, theta, merged, &cfg));
+        assert!(engine.install_refit(generation, refit, consumed).is_some());
+
+        assert_eq!(engine.pending_ingests(), 1, "late ingest survives the swap");
+        let after = engine.recommend(u).unwrap();
+        assert!(
+            !after.contains(&late),
+            "replayed ingest must keep {late:?} excluded after the swap"
+        );
+    }
+
+    #[test]
+    fn stale_refit_is_discarded() {
+        let (train, cfg) = fixture();
+        let fitter = pop_fitter();
+        let (model, theta) = fitter(&train);
+        let bundle = ModelBundle::fit(model, theta, train, &cfg);
+        let engine = ShardedEngine::new(bundle, ShardConfig::quantile(2));
+        let (generation, baseline, _) = engine.refit_snapshot();
+        // A competing refit wins first.
+        assert!(matches!(
+            engine.refit_once(fitter.as_ref(), &cfg),
+            RefitOutcome::Swapped { generation: 1, .. }
+        ));
+        // Installing against the stale generation must be refused.
+        assert!(engine.install_refit(generation, baseline, 0).is_none());
+        assert_eq!(engine.generation(), 1);
+    }
+
+    #[test]
+    fn controller_refits_in_background_and_stops_on_drop() {
+        let (train, cfg) = fixture();
+        let fitter = pop_fitter();
+        let (model, theta) = fitter(&train);
+        let bundle = ModelBundle::fit(model, theta, train, &cfg);
+        let engine = Arc::new(ShardedEngine::new(bundle, ShardConfig::quantile(2)));
+        let controller = RefitController::spawn(
+            Arc::clone(&engine),
+            Arc::clone(&fitter),
+            cfg,
+            Duration::from_millis(1),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while controller.refits() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(controller.refits() >= 2, "controller never refitted");
+        drop(controller); // must stop and join without hanging
+        assert!(engine.generation() >= 2);
+    }
+}

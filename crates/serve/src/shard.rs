@@ -1,0 +1,643 @@
+//! θ-band sharded serving: partition users by their long-tail preference
+//! so each shard holds only the coverage-snapshot sub-range its band needs,
+//! with a router dispatching single requests and splitting batches.
+//!
+//! The paper assigns every user a θ on the accuracy/coverage trade-off
+//! curve, and a user's request only ever reads the frequency snapshot
+//! nearest their θ — so the snapshot store shards *cleanly* along θ:
+//! [`ganc_core::coverage::CoverageSnapshots::slice_band`] gives each band
+//! the sub-range any of its θs can resolve to, and resolution through the
+//! slice is provably identical to resolution through the full store. That
+//! turns multi-node deployment into a routing problem: a node loads one
+//! [`ModelBundle::slice_theta_band`] artifact and serves its band, nothing
+//! else.
+//!
+//! [`ShardedEngine`] runs the same topology in-process: one
+//! [`ServingEngine`] per band over a sliced bundle, an outer `RwLock` that
+//! makes bundle hot-swaps atomic across *all* shards (see
+//! [`crate::refit`]), and an ingest path that fans each interaction to
+//! every shard — popularity is global state every replica tracks, while the
+//! ingesting user's candidate exclusion only matters on the shard that
+//! serves them. Output is byte-identical to an unsharded engine by
+//! construction, which `tests/shard_equivalence.rs` checks exhaustively.
+
+use crate::bundle::ModelBundle;
+use crate::engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
+use crate::saveload::{PersistError, SaveLoad};
+use ganc_core::query::{cut_theta_bands, shard_of};
+use ganc_dataset::{ItemId, UserId};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// How the θ axis is cut into bands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPlan {
+    /// `S` bands of (approximately) equal user population, cut at θ
+    /// quantiles ([`cut_theta_bands`]). Rebalancing after a refit re-cuts
+    /// against the refitted θ estimates.
+    Quantile(usize),
+    /// Explicit ascending cut points (possibly uneven); `k` cuts make
+    /// `k + 1` bands. Kept verbatim across refits.
+    Explicit(Vec<f64>),
+}
+
+impl ShardPlan {
+    /// Resolve the plan into concrete cut points for a θ population.
+    pub fn cuts(&self, theta: &[f64]) -> Vec<f64> {
+        match self {
+            ShardPlan::Quantile(shards) => cut_theta_bands(theta, *shards),
+            ShardPlan::Explicit(cuts) => {
+                assert!(
+                    cuts.windows(2).all(|w| w[0] <= w[1]),
+                    "explicit cuts must be ascending"
+                );
+                cuts.clone()
+            }
+        }
+    }
+}
+
+/// Sharded-engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// θ-band layout.
+    pub plan: ShardPlan,
+    /// Per-shard engine tuning.
+    pub engine: EngineConfig,
+}
+
+impl ShardConfig {
+    /// `shards` equal-population bands with default engine tuning.
+    pub fn quantile(shards: usize) -> ShardConfig {
+        ShardConfig {
+            plan: ShardPlan::Quantile(shards),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Static description of one shard, fixed per generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardInfo {
+    /// Band lower bound (−∞ for the first shard).
+    pub theta_lo: f64,
+    /// Band upper bound, exclusive (+∞ for the last shard).
+    pub theta_hi: f64,
+    /// Users routed to this shard.
+    pub users: usize,
+    /// Snapshots the shard's coverage sub-range holds (0 for Rand/Stat).
+    pub snapshots: usize,
+    /// Serialized bytes of the shard's coverage state — the per-shard
+    /// memory that is `O(band)` instead of `O(S·|I|)`.
+    pub coverage_bytes: usize,
+}
+
+/// The half-open θ interval of band `j` under `cuts`.
+fn band_bounds(cuts: &[f64], j: usize) -> (f64, f64) {
+    let lo = if j == 0 {
+        f64::NEG_INFINITY
+    } else {
+        cuts[j - 1]
+    };
+    let hi = if j == cuts.len() {
+        f64::INFINITY
+    } else {
+        cuts[j]
+    };
+    (lo, hi)
+}
+
+/// One generation's complete shard topology. Swapped wholesale under the
+/// outer lock so a refit replaces every shard atomically.
+struct ShardSet {
+    engines: Vec<ServingEngine>,
+    info: Vec<ShardInfo>,
+    /// Per-user shard index, derived from the bundle's θ and the cuts.
+    user_shard: Vec<u16>,
+    /// The unsliced bundle this generation was built from — the baseline
+    /// the next refit merges ingested interactions into. Shared (`Arc`)
+    /// with the [`crate::refit::RefitOutcome`] that installed it, so
+    /// installing never deep-copies the bundle.
+    bundle: Arc<ModelBundle>,
+    generation: u64,
+}
+
+impl ShardSet {
+    fn build(
+        bundle: Arc<ModelBundle>,
+        plan: &ShardPlan,
+        engine_cfg: EngineConfig,
+        generation: u64,
+    ) -> ShardSet {
+        let cuts = plan.cuts(&bundle.theta);
+        let shards = cuts.len() + 1;
+        assert!(shards <= u16::MAX as usize, "shard count exceeds router");
+        let user_shard: Vec<u16> = bundle
+            .theta
+            .iter()
+            .map(|&t| shard_of(&cuts, t) as u16)
+            .collect();
+        let mut engines = Vec::with_capacity(shards);
+        let mut info = Vec::with_capacity(shards);
+        for j in 0..shards {
+            let (lo, hi) = band_bounds(&cuts, j);
+            let sliced = bundle.slice_theta_band(lo, hi);
+            let snapshots = match &sliced.coverage {
+                crate::bundle::CoverageState::Dynamic(s) => s.len(),
+                _ => 0,
+            };
+            let coverage_bytes = bincode::serialize(&sliced.coverage)
+                .map(|b| b.len())
+                .unwrap_or(0);
+            info.push(ShardInfo {
+                theta_lo: lo,
+                theta_hi: hi,
+                users: user_shard.iter().filter(|&&s| s as usize == j).count(),
+                snapshots,
+                coverage_bytes,
+            });
+            engines.push(ServingEngine::new(sliced, engine_cfg));
+        }
+        ShardSet {
+            engines,
+            info,
+            user_shard,
+            bundle,
+            generation,
+        }
+    }
+
+    /// Apply one ingested interaction to every shard: the popularity bump
+    /// is global state all replicas must track; the candidate exclusion
+    /// only matters on the owner shard but is consistent everywhere.
+    fn apply_ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), ServeError> {
+        for engine in &self.engines {
+            engine.ingest(user, item, rating)?;
+        }
+        Ok(())
+    }
+}
+
+/// A θ-band sharded serving engine: byte-identical output to a single
+/// [`ServingEngine`] over the same bundle, with per-band coverage state and
+/// per-band request parallelism.
+pub struct ShardedEngine {
+    set: RwLock<ShardSet>,
+    /// Interactions ingested since the current baseline bundle was fitted,
+    /// in arrival order — the refit path's input (see [`crate::refit`]).
+    ingest_log: Mutex<Vec<(UserId, ItemId, f32)>>,
+    engine_cfg: EngineConfig,
+    plan: ShardPlan,
+}
+
+// Lock discipline: outer `set` lock before `ingest_log`, and outer before
+// any inner engine lock. Requests hold the outer read side; ingests and
+// refit swaps take the outer write side — an ingest mutates *every* shard,
+// and holding the write lock is what keeps a multi-shard batch from
+// observing some shards pre-ingest and others post-ingest (the same batch
+// atomicity the unsharded engine gets from its single state lock).
+impl ShardedEngine {
+    /// Shard a fitted bundle and start serving.
+    pub fn new(bundle: ModelBundle, cfg: ShardConfig) -> ShardedEngine {
+        ShardedEngine {
+            set: RwLock::new(ShardSet::build(Arc::new(bundle), &cfg.plan, cfg.engine, 0)),
+            ingest_log: Mutex::new(Vec::new()),
+            engine_cfg: cfg.engine,
+            plan: cfg.plan,
+        }
+    }
+
+    /// Answer one user's top-N request from their θ band's shard.
+    pub fn recommend(&self, user: UserId) -> Result<Arc<Vec<ItemId>>, ServeError> {
+        self.recommend_traced(user).map(|(list, _)| list)
+    }
+
+    /// Like [`ShardedEngine::recommend`], reporting the shard-set
+    /// generation the response was served from. The generation is read
+    /// under the same outer lock hold that serves the request, so the pair
+    /// is exact — a concurrent refit swap can never tear it.
+    pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), ServeError> {
+        let set = self.set.read().unwrap();
+        let Some(&shard) = set.user_shard.get(user.idx()) else {
+            return Err(ServeError::UnknownUser(user));
+        };
+        let list = set.engines[shard as usize].recommend(user)?;
+        Ok((list, set.generation))
+    }
+
+    /// Answer a batch of requests, splitting it across shards (one worker
+    /// thread per shard touched). Results come back in request order, the
+    /// whole batch served from one shard-set generation.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch(&self, users: &[UserId]) -> Vec<Result<Arc<Vec<ItemId>>, ServeError>> {
+        self.recommend_batch_traced(users).0
+    }
+
+    /// Like [`ShardedEngine::recommend_batch`], also reporting the single
+    /// generation the batch was served from.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> (Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64) {
+        let set = self.set.read().unwrap();
+        let generation = set.generation;
+        let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
+            vec![None; users.len()];
+        // Split the batch by owning shard, keeping request positions.
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); set.engines.len()];
+        for (k, u) in users.iter().enumerate() {
+            match set.user_shard.get(u.idx()) {
+                Some(&s) => per_shard[s as usize].push(k),
+                None => results[k] = Some(Err(ServeError::UnknownUser(*u))),
+            }
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, idxs) in per_shard.into_iter().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let engine = &set.engines[shard];
+                handles.push(scope.spawn(move || {
+                    let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+                    let answers = engine.recommend_batch(&sub);
+                    idxs.into_iter().zip(answers).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (k, answer) in h.join().expect("shard worker panicked") {
+                    results[k] = Some(answer);
+                }
+            }
+        });
+        (
+            results.into_iter().map(|r| r.unwrap()).collect(),
+            generation,
+        )
+    }
+
+    /// Ingest one observed interaction: recorded in the refit log and
+    /// fanned out to every shard (each replica tracks global popularity;
+    /// the user's candidate exclusion lands on their own shard too).
+    ///
+    /// Takes the outer write lock — the ingest mutates all shards, and
+    /// requests (which hold the read side) must observe either none or all
+    /// of it, never a half-applied fan-out mid-batch.
+    // The guard is never written *through* (shard mutation goes via the
+    // inner engines' own locks); the write side is held purely for its
+    // exclusion against in-flight batches.
+    #[allow(clippy::readonly_write_lock)]
+    pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), ServeError> {
+        let set = self.set.write().unwrap();
+        // Validate against the baseline bundle before touching anything so
+        // a rejected ingest leaves neither the log nor any shard modified.
+        if user.idx() >= set.bundle.n_users() as usize {
+            return Err(ServeError::UnknownUser(user));
+        }
+        if item.idx() >= set.bundle.n_items() as usize {
+            return Err(ServeError::UnknownItem(item));
+        }
+        // Log first, then apply, both under the outer write lock: a refit
+        // swap can never observe the shards ahead of the log.
+        self.ingest_log.lock().unwrap().push((user, item, rating));
+        set.apply_ingest(user, item, rating)
+    }
+
+    /// Drop every shard's cached responses.
+    pub fn flush_cache(&self) {
+        let set = self.set.read().unwrap();
+        for engine in &set.engines {
+            engine.flush_cache();
+        }
+    }
+
+    /// The current shard-set generation (0 until the first refit swap).
+    pub fn generation(&self) -> u64 {
+        self.set.read().unwrap().generation
+    }
+
+    /// Number of shards in the current generation.
+    pub fn shards(&self) -> usize {
+        self.set.read().unwrap().engines.len()
+    }
+
+    /// Static per-shard layout of the current generation.
+    pub fn shard_info(&self) -> Vec<ShardInfo> {
+        self.set.read().unwrap().info.clone()
+    }
+
+    /// Aggregate counters across all shards of the current generation.
+    pub fn stats(&self) -> EngineStats {
+        let set = self.set.read().unwrap();
+        let mut total = EngineStats {
+            cache_hits: 0,
+            cache_misses: 0,
+            ingested: 0,
+            invalidated: 0,
+            cached: 0,
+        };
+        for engine in &set.engines {
+            let s = engine.stats();
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.ingested += s.ingested;
+            total.invalidated += s.invalidated;
+            total.cached += s.cached;
+        }
+        total
+    }
+
+    /// List size `N` this engine serves.
+    pub fn n(&self) -> usize {
+        self.set.read().unwrap().bundle.n
+    }
+
+    /// Number of users the current bundle covers.
+    pub fn n_users(&self) -> u32 {
+        self.set.read().unwrap().bundle.n_users()
+    }
+
+    /// Interactions ingested since the current baseline bundle was fitted.
+    pub fn pending_ingests(&self) -> usize {
+        self.ingest_log.lock().unwrap().len()
+    }
+
+    /// The current baseline bundle (the refit merge base), shared.
+    pub fn baseline_bundle(&self) -> Arc<ModelBundle> {
+        Arc::clone(&self.set.read().unwrap().bundle)
+    }
+
+    /// Write one [`ModelBundle::slice_theta_band`] artifact per shard of
+    /// the current generation next to `base` (see [`shard_artifact_path`])
+    /// — the deployment unit a multi-node rollout distributes. Returns the
+    /// written paths in shard order.
+    pub fn save_shard_artifacts(
+        &self,
+        base: impl AsRef<Path>,
+    ) -> Result<Vec<PathBuf>, PersistError> {
+        let set = self.set.read().unwrap();
+        let cuts: Vec<f64> = set.info[1..].iter().map(|i| i.theta_lo).collect();
+        save_shard_artifacts(&set.bundle, &cuts, base)
+    }
+
+    /// Internal hook for [`crate::refit`]: the current generation, the
+    /// shared baseline bundle, and a snapshot of the ingest log.
+    pub(crate) fn refit_snapshot(&self) -> (u64, Arc<ModelBundle>, Vec<(UserId, ItemId, f32)>) {
+        let set = self.set.read().unwrap();
+        let log = self.ingest_log.lock().unwrap();
+        (set.generation, Arc::clone(&set.bundle), log.clone())
+    }
+
+    /// Internal hook for [`crate::refit`]: atomically install a refitted
+    /// bundle. `consumed` is how many log entries the refit merged; the
+    /// remainder (ingests that raced the background fit) is replayed onto
+    /// the new shards before they go live. Returns the new generation, or
+    /// `None` if `expected_generation` no longer matches (a competing swap
+    /// won).
+    pub(crate) fn install_refit(
+        &self,
+        expected_generation: u64,
+        bundle: Arc<ModelBundle>,
+        consumed: usize,
+    ) -> Option<u64> {
+        // Build the new topology outside the write lock: slicing and
+        // engine construction are the expensive part, and the old
+        // generation keeps serving throughout.
+        let new_set = ShardSet::build(bundle, &self.plan, self.engine_cfg, expected_generation + 1);
+        let mut set = self.set.write().unwrap();
+        if set.generation != expected_generation {
+            return None;
+        }
+        let mut log = self.ingest_log.lock().unwrap();
+        let consumed = consumed.min(log.len());
+        log.drain(..consumed);
+        // Replay ingests that arrived while the fit ran, so the swap loses
+        // nothing: they stay in the log for the *next* refit and are live
+        // in the new shards immediately.
+        for &(u, i, r) in log.iter() {
+            // The refitted bundle spans the same id space; replay cannot
+            // fail for entries the old generation accepted.
+            new_set
+                .apply_ingest(u, i, r)
+                .expect("refit bundle must cover previously accepted ids");
+        }
+        let generation = new_set.generation;
+        *set = new_set;
+        Some(generation)
+    }
+}
+
+/// The per-shard artifact path next to a base artifact path:
+/// `bundle.ganc` → `bundle.shard3.ganc` for shard 3.
+pub fn shard_artifact_path(base: impl AsRef<Path>, shard: usize) -> PathBuf {
+    let base = base.as_ref();
+    let stem = base
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bundle");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("ganc");
+    base.with_file_name(format!("{stem}.shard{shard}.{ext}"))
+}
+
+/// Slice `bundle` into `cuts.len() + 1` θ-band artifacts and save each —
+/// the deployment path for multi-node serving: every node loads exactly one
+/// slice and serves its band. Returns the written paths in shard order.
+pub fn save_shard_artifacts(
+    bundle: &ModelBundle,
+    cuts: &[f64],
+    base: impl AsRef<Path>,
+) -> Result<Vec<PathBuf>, PersistError> {
+    let mut paths = Vec::with_capacity(cuts.len() + 1);
+    for j in 0..=cuts.len() {
+        let (lo, hi) = band_bounds(cuts, j);
+        let path = shard_artifact_path(&base, j);
+        bundle.slice_theta_band(lo, hi).save(&path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{FitConfig, FittedModel};
+    use ganc_core::coverage::CoverageKind;
+    use ganc_dataset::synth::DatasetProfile;
+    use ganc_preference::GeneralizedConfig;
+    use ganc_recommender::pop::MostPopular;
+
+    fn bundle(kind: CoverageKind) -> ModelBundle {
+        let data = DatasetProfile::tiny().generate(5);
+        let split = data.split_per_user(0.5, 2).unwrap();
+        let theta = GeneralizedConfig::default().estimate(&split.train);
+        let pop = MostPopular::fit(&split.train);
+        let cfg = FitConfig {
+            coverage: kind,
+            sample_size: 12,
+            ..FitConfig::new(5)
+        };
+        ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg)
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_for_every_user() {
+        for kind in [
+            CoverageKind::Random,
+            CoverageKind::Static,
+            CoverageKind::Dynamic,
+        ] {
+            let b = bundle(kind);
+            let single = ServingEngine::new(b.clone(), EngineConfig::default());
+            let sharded = ShardedEngine::new(b, ShardConfig::quantile(3));
+            for u in 0..sharded.n_users() {
+                assert_eq!(
+                    sharded.recommend(UserId(u)).unwrap(),
+                    single.recommend(UserId(u)).unwrap(),
+                    "{kind:?} user {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_split_preserves_order_and_errors() {
+        let b = bundle(CoverageKind::Dynamic);
+        let sharded = ShardedEngine::new(b, ShardConfig::quantile(4));
+        let n = sharded.n_users();
+        let bad = UserId(n + 3);
+        let users = vec![UserId(2), bad, UserId(0), UserId(1), UserId(2)];
+        let (answers, generation) = sharded.recommend_batch_traced(&users);
+        assert_eq!(generation, 0);
+        assert_eq!(answers[1], Err(ServeError::UnknownUser(bad)));
+        for (k, u) in users.iter().enumerate() {
+            if k == 1 {
+                continue;
+            }
+            assert_eq!(
+                answers[k].as_ref().unwrap(),
+                &sharded.recommend(*u).unwrap(),
+                "slot {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_fans_out_and_logs() {
+        let b = bundle(CoverageKind::Static);
+        let single = ServingEngine::new(b.clone(), EngineConfig::default());
+        let sharded = ShardedEngine::new(b, ShardConfig::quantile(3));
+        let u = UserId(1);
+        let before = sharded.recommend(u).unwrap();
+        let consumed = before[0];
+        sharded.ingest(u, consumed, 5.0).unwrap();
+        single.ingest(u, consumed, 5.0).unwrap();
+        assert_eq!(sharded.pending_ingests(), 1);
+        for q in 0..sharded.n_users() {
+            assert_eq!(
+                sharded.recommend(UserId(q)).unwrap(),
+                single.recommend(UserId(q)).unwrap(),
+                "user {q} diverges after ingest"
+            );
+        }
+        let bad = UserId(sharded.n_users() + 1);
+        assert_eq!(
+            sharded.ingest(bad, ItemId(0), 3.0),
+            Err(ServeError::UnknownUser(bad))
+        );
+        assert_eq!(sharded.pending_ingests(), 1, "rejected ingest not logged");
+    }
+
+    #[test]
+    fn shard_info_reports_band_local_state() {
+        let b = bundle(CoverageKind::Dynamic);
+        let total_snaps = match &b.coverage {
+            crate::bundle::CoverageState::Dynamic(s) => s.len(),
+            _ => unreachable!(),
+        };
+        let sharded = ShardedEngine::new(b, ShardConfig::quantile(4));
+        let info = sharded.shard_info();
+        assert_eq!(info.len(), 4);
+        assert_eq!(
+            info.iter().map(|i| i.users).sum::<usize>() as u32,
+            sharded.n_users()
+        );
+        for w in info.windows(2) {
+            assert_eq!(w[0].theta_hi, w[1].theta_lo);
+        }
+        assert_eq!(info[0].theta_lo, f64::NEG_INFINITY);
+        assert_eq!(info[3].theta_hi, f64::INFINITY);
+        // Each band holds a strict subset of the snapshots (bands overlap
+        // only at boundary snapshots).
+        for i in &info {
+            assert!(i.snapshots >= 1);
+            assert!(i.snapshots <= total_snaps);
+            assert!(i.coverage_bytes > 0);
+        }
+        assert!(
+            info.iter().any(|i| i.snapshots < total_snaps),
+            "at least one shard must hold a strict sub-range"
+        );
+    }
+
+    #[test]
+    fn explicit_uneven_cuts_still_serve_exactly() {
+        let b = bundle(CoverageKind::Dynamic);
+        let single = ServingEngine::new(b.clone(), EngineConfig::default());
+        let cfg = ShardConfig {
+            plan: ShardPlan::Explicit(vec![0.03, 0.04, 0.9]),
+            engine: EngineConfig::default(),
+        };
+        let sharded = ShardedEngine::new(b, cfg);
+        assert_eq!(sharded.shards(), 4);
+        for u in 0..sharded.n_users() {
+            assert_eq!(
+                sharded.recommend(UserId(u)).unwrap(),
+                single.recommend(UserId(u)).unwrap(),
+                "user {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_artifacts_round_trip_and_serve_their_band() {
+        let b = bundle(CoverageKind::Dynamic);
+        let sharded = ShardedEngine::new(b.clone(), ShardConfig::quantile(3));
+        let dir = std::env::temp_dir().join("ganc_shard_artifacts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("bundle.ganc");
+        let paths = sharded.save_shard_artifacts(&base).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[1], dir.join("bundle.shard1.ganc"));
+        // A "node" loads one slice and serves its own band identically.
+        let info = sharded.shard_info();
+        for (j, path) in paths.iter().enumerate() {
+            let slice = ModelBundle::load(path).unwrap();
+            let node = ServingEngine::new(slice, EngineConfig::default());
+            for u in 0..b.n_users() {
+                let t = b.theta[u as usize];
+                if t >= info[j].theta_lo && t < info[j].theta_hi {
+                    assert_eq!(
+                        node.recommend(UserId(u)).unwrap(),
+                        sharded.recommend(UserId(u)).unwrap(),
+                        "shard {j} user {u}"
+                    );
+                }
+            }
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_degenerates_to_unsharded() {
+        let b = bundle(CoverageKind::Dynamic);
+        let single = ServingEngine::new(b.clone(), EngineConfig::default());
+        let sharded = ShardedEngine::new(b, ShardConfig::quantile(1));
+        assert_eq!(sharded.shards(), 1);
+        let users: Vec<UserId> = (0..sharded.n_users()).map(UserId).collect();
+        let batch = sharded.recommend_batch(&users);
+        for (u, got) in users.iter().zip(batch) {
+            assert_eq!(got.unwrap(), single.recommend(*u).unwrap(), "user {u:?}");
+        }
+    }
+}
