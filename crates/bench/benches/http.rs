@@ -1,0 +1,197 @@
+//! HTTP front-end benchmarks over loopback: keep-alive vs cold-connect
+//! request latency, transport overhead on cache hits, and batched
+//! throughput through `POST /v1/recommend:batch`.
+//!
+//! Writes `BENCH_http.json` (override with `GANC_BENCH_OUT`). CI compares
+//! the keep-alive cold p50 against the in-process cold p50 from
+//! `BENCH_query.json` measured in the same run and fails beyond 10× — the
+//! transport may cost a socket round-trip and a JSON encode, but never an
+//! order of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_bench::{fast_mode, latency_stats};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_dataset::UserId;
+use ganc_http::{Frontend, HttpClient, HttpServer, ServerConfig};
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::pop::MostPopular;
+use ganc_serve::{EngineConfig, FitConfig, FittedModel, ModelBundle, ServingEngine};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_http(c: &mut Criterion) {
+    let data = DatasetProfile::medium().generate(18);
+    let split = data.split_per_user(0.5, 4).unwrap();
+    let train = split.train;
+    let n_users = train.n_users();
+    let theta = GeneralizedConfig::default().estimate(&train);
+    let pop = MostPopular::fit(&train);
+    let cfg = FitConfig {
+        sample_size: 500,
+        ..FitConfig::new(10)
+    };
+    let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, train.clone(), &cfg);
+    let engine = Arc::new(ServingEngine::new(bundle, EngineConfig::default()));
+    let server = HttpServer::bind(
+        Frontend::Single(Arc::clone(&engine)),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut client = HttpClient::new(addr.clone());
+
+    // Warm the path (allocator, route table, socket buffers).
+    for k in 0..200u32 {
+        client
+            .request("GET", &format!("/v1/recommend/{}", k % n_users), None)
+            .unwrap();
+    }
+
+    // ---- keep-alive, cold engine (recompute per request) ----
+    let cold_requests = if fast_mode() { 200 } else { 3_000 };
+    let mut keepalive_cold_ns = Vec::with_capacity(cold_requests);
+    for k in 0..cold_requests {
+        let u = (k as u32 * 193) % n_users;
+        engine.flush_cache();
+        let start = Instant::now();
+        let resp = client
+            .request("GET", &format!("/v1/recommend/{u}"), None)
+            .unwrap();
+        keepalive_cold_ns.push(start.elapsed().as_nanos() as f64);
+        debug_assert_eq!(resp.status, 200);
+        black_box(resp);
+    }
+    let keepalive_cold = latency_stats(keepalive_cold_ns);
+
+    // ---- keep-alive, cached engine (pure transport + JSON overhead) ----
+    let cached_requests = if fast_mode() { 200 } else { 10_000 };
+    client.request("GET", "/v1/recommend/1", None).unwrap();
+    let mut keepalive_cached_ns = Vec::with_capacity(cached_requests);
+    for _ in 0..cached_requests {
+        let start = Instant::now();
+        black_box(client.request("GET", "/v1/recommend/1", None).unwrap());
+        keepalive_cached_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let keepalive_cached = latency_stats(keepalive_cached_ns);
+
+    // ---- cold connect (TCP handshake per request) ----
+    let connect_requests = if fast_mode() { 100 } else { 1_000 };
+    let mut cold_connect_ns = Vec::with_capacity(connect_requests);
+    for k in 0..connect_requests {
+        let u = (k as u32 * 193) % n_users;
+        engine.flush_cache();
+        let start = Instant::now();
+        let resp =
+            HttpClient::request_once(&addr, "GET", &format!("/v1/recommend/{u}"), None).unwrap();
+        cold_connect_ns.push(start.elapsed().as_nanos() as f64);
+        debug_assert_eq!(resp.status, 200);
+        black_box(resp);
+    }
+    let cold_connect = latency_stats(cold_connect_ns);
+
+    // ---- batched throughput over one keep-alive connection ----
+    let ids: Vec<String> = (0..n_users).map(|u| u.to_string()).collect();
+    let batch_body = format!("{{\"users\":[{}]}}", ids.join(","));
+    let batch_rounds = if fast_mode() { 3 } else { 10 };
+    engine.flush_cache();
+    let batch_start = Instant::now();
+    for _ in 0..batch_rounds {
+        engine.flush_cache();
+        let resp = client
+            .request("POST", "/v1/recommend:batch", Some(&batch_body))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        black_box(resp);
+    }
+    let batch_s = batch_start.elapsed().as_secs_f64();
+    let batch_rps = (n_users as usize * batch_rounds) as f64 / batch_s;
+
+    // ---- criterion console output ----
+    let mut g = c.benchmark_group("http");
+    g.sample_size(if fast_mode() { 10 } else { 40 })
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+    let mut k = 0u32;
+    g.bench_function("keepalive_cold", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(193);
+            engine.flush_cache();
+            black_box(
+                client
+                    .request("GET", &format!("/v1/recommend/{}", k % n_users), None)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("keepalive_cached", |b| {
+        b.iter(|| black_box(client.request("GET", "/v1/recommend/1", None).unwrap()))
+    });
+    g.finish();
+
+    // Sanity: responses really are the engine's output.
+    let resp = client.request("GET", "/v1/recommend/7", None).unwrap();
+    let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let got: Vec<u32> = v["items"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|i| i.as_u64().unwrap() as u32)
+        .collect();
+    let expect: Vec<u32> = engine
+        .recommend(UserId(7))
+        .unwrap()
+        .iter()
+        .map(|i| i.0)
+        .collect();
+    assert_eq!(got, expect, "bench server must serve real engine output");
+
+    // ---- JSON artifact ----
+    let out_path = std::env::var("GANC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_http.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"http\",\n",
+            "  \"dataset\": {{\"users\": {users}, \"items\": {items}, \"ratings\": {nnz}}},\n",
+            "  \"n\": 10,\n",
+            "  \"keepalive_cold\": {{\"mean_us\": {kcm:.2}, \"p50_us\": {kc50:.2}, ",
+            "\"p99_us\": {kc99:.2}, \"requests\": {kcreq}}},\n",
+            "  \"keepalive_cached\": {{\"mean_us\": {khm:.2}, \"p50_us\": {kh50:.2}, ",
+            "\"p99_us\": {kh99:.2}, \"requests\": {khreq}}},\n",
+            "  \"cold_connect\": {{\"mean_us\": {ccm:.2}, \"p50_us\": {cc50:.2}, ",
+            "\"p99_us\": {cc99:.2}, \"requests\": {ccreq}}},\n",
+            "  \"batch\": {{\"batch_size\": {bsize}, \"rounds\": {brounds}, ",
+            "\"throughput_rps\": {brps:.0}}}\n",
+            "}}\n"
+        ),
+        users = n_users,
+        items = train.n_items(),
+        nnz = train.nnz(),
+        kcm = keepalive_cold.mean_us,
+        kc50 = keepalive_cold.p50_us,
+        kc99 = keepalive_cold.p99_us,
+        kcreq = keepalive_cold.requests,
+        khm = keepalive_cached.mean_us,
+        kh50 = keepalive_cached.p50_us,
+        kh99 = keepalive_cached.p99_us,
+        khreq = keepalive_cached.requests,
+        ccm = cold_connect.mean_us,
+        cc50 = cold_connect.p50_us,
+        cc99 = cold_connect.p99_us,
+        ccreq = cold_connect.requests,
+        bsize = n_users,
+        brounds = batch_rounds,
+        brps = batch_rps,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_http);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! with `GANC_BENCH_OUT`) so the perf trajectory is tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_bench::{fast_mode, latency_stats};
 use ganc_dataset::synth::DatasetProfile;
 use ganc_dataset::UserId;
 use ganc_preference::GeneralizedConfig;
@@ -17,31 +18,6 @@ use ganc_serve::{
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
-
-struct LatencyStats {
-    mean_us: f64,
-    p50_us: f64,
-    p99_us: f64,
-    requests: usize,
-}
-
-fn latency_stats(mut samples_ns: Vec<f64>) -> LatencyStats {
-    samples_ns.sort_by(f64::total_cmp);
-    let rank = |p: f64| {
-        let idx = ((p / 100.0) * (samples_ns.len() as f64 - 1.0)).round() as usize;
-        samples_ns[idx.min(samples_ns.len() - 1)] / 1_000.0
-    };
-    LatencyStats {
-        mean_us: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64 / 1_000.0,
-        p50_us: rank(50.0),
-        p99_us: rank(99.0),
-        requests: samples_ns.len(),
-    }
-}
-
-fn fast_mode() -> bool {
-    std::env::var_os("GANC_BENCH_FAST").is_some_and(|v| v != "0")
-}
 
 fn bench_serve(c: &mut Criterion) {
     let data = DatasetProfile::medium().generate(18);

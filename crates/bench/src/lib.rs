@@ -1,1 +1,40 @@
 //! Criterion benchmark crate (bench targets live in `benches/`).
+//!
+//! The helpers every bench shares — the latency-percentile reducer feeding
+//! the `BENCH_*.json` artifacts and the `GANC_BENCH_FAST` switch — live
+//! here once so the CI perf guards never read numbers produced by
+//! diverged copies.
+
+/// Latency distribution summary emitted into the `BENCH_*.json` artifacts.
+pub struct LatencyStats {
+    /// Arithmetic mean, microseconds.
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Number of samples the distribution was built from.
+    pub requests: usize,
+}
+
+/// Reduce raw nanosecond samples to the artifact's summary statistics
+/// (nearest-rank percentiles on the sorted samples).
+pub fn latency_stats(mut samples_ns: Vec<f64>) -> LatencyStats {
+    samples_ns.sort_by(f64::total_cmp);
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * (samples_ns.len() as f64 - 1.0)).round() as usize;
+        samples_ns[idx.min(samples_ns.len() - 1)] / 1_000.0
+    };
+    LatencyStats {
+        mean_us: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64 / 1_000.0,
+        p50_us: rank(50.0),
+        p99_us: rank(99.0),
+        requests: samples_ns.len(),
+    }
+}
+
+/// Whether `GANC_BENCH_FAST` asks for the milliseconds-long CI smoke run
+/// instead of full measurement.
+pub fn fast_mode() -> bool {
+    std::env::var_os("GANC_BENCH_FAST").is_some_and(|v| v != "0")
+}

@@ -1,0 +1,307 @@
+//! Blocking HTTP/1.1 client: a keep-alive connection wrapper plus the
+//! [`RemoteShard`] typed client a router node uses to dispatch a θ-band to
+//! a peer serving a `bundle.shardK.ganc` slice over the same protocol.
+
+use crate::http1::{self, Response};
+use crate::BackendError;
+use ganc_dataset::{ItemId, UserId};
+use ganc_serve::ServeError;
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tinyjson::Value;
+
+/// A keep-alive HTTP/1.1 connection to one server; reconnects lazily after
+/// an IO failure or a `Connection: close`.
+pub struct HttpClient {
+    addr: String,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// Client for `addr` (e.g. `"127.0.0.1:8080"`); connects on first use.
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            timeout: Duration::from_secs(10),
+            conn: None,
+        }
+    }
+
+    /// Replace the per-operation read timeout (default 10s).
+    pub fn with_timeout(mut self, timeout: Duration) -> HttpClient {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// Issue one request on the persistent connection. If a *reused*
+    /// connection turns out dead (the server reaped it between requests),
+    /// GETs are retried once on a fresh connection; non-idempotent methods
+    /// (ingest, refit) are never auto-resent — the server may have applied
+    /// the request before the response was lost, and a blind replay would
+    /// double-apply it. A POST the caller *knows* is read-only (the batch
+    /// recommend) goes through [`HttpClient::request_idempotent`] instead.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        self.request_with(method, path_and_query, body, method == "GET")
+    }
+
+    /// Like [`HttpClient::request`], but the caller vouches the request is
+    /// safe to re-send, so a dead reused connection gets one retry
+    /// regardless of method.
+    pub fn request_idempotent(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        self.request_with(method, path_and_query, body, true)
+    }
+
+    fn request_with(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+        idempotent: bool,
+    ) -> io::Result<Response> {
+        for attempt in 0..2 {
+            let had_conn = self.conn.is_some();
+            if self.conn.is_none() {
+                self.conn = Some(self.connect()?);
+            }
+            let conn = self.conn.as_mut().unwrap();
+            let result = send_request(conn, method, path_and_query, body)
+                .and_then(|()| http1::read_response(conn));
+            match result {
+                Ok(resp) => {
+                    if !resp.keep_alive {
+                        self.conn = None;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    if attempt == 1 || !had_conn || !idempotent {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success or final error")
+    }
+
+    /// One-shot request over a brand-new connection (no keep-alive reuse).
+    pub fn request_once(
+        addr: &str,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        let client = HttpClient::new(addr);
+        let mut conn = client.connect()?;
+        send_request(&mut conn, method, path_and_query, body)?;
+        http1::read_response(&mut conn)
+    }
+}
+
+fn send_request(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    path_and_query: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = if body.is_empty() && method == "GET" {
+        format!("{method} {path_and_query} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+    } else {
+        format!(
+            "{method} {path_and_query} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        )
+    };
+    let stream = conn.get_mut();
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse a JSON response body, mapping malformed payloads to transport
+/// errors.
+fn parse_json(resp: &Response) -> Result<Value, BackendError> {
+    let text = std::str::from_utf8(&resp.body)
+        .map_err(|_| BackendError::Transport("peer sent non-UTF-8 body".to_string()))?;
+    tinyjson::from_str(text)
+        .map_err(|e| BackendError::Transport(format!("peer sent invalid JSON: {e}")))
+}
+
+/// Map a non-200 JSON error body to the structured error it encodes.
+/// Error bodies carry machine-readable fields (`unknown_user` /
+/// `unknown_item`) precisely so this mapping never parses prose.
+fn error_from_body(resp: &Response) -> BackendError {
+    if let Ok(v) = parse_json(resp) {
+        if let Some(u) = v["unknown_user"].as_u64() {
+            return BackendError::Serve(ServeError::UnknownUser(UserId(u as u32)));
+        }
+        if let Some(i) = v["unknown_item"].as_u64() {
+            return BackendError::Serve(ServeError::UnknownItem(ItemId(i as u32)));
+        }
+        if let Some(msg) = v["error"].as_str() {
+            return BackendError::Transport(format!("peer error {}: {msg}", resp.status));
+        }
+    }
+    BackendError::Transport(format!("peer error {}", resp.status))
+}
+
+fn items_from(v: &Value) -> Result<Vec<ItemId>, BackendError> {
+    v.as_array()
+        .ok_or_else(|| BackendError::Transport("missing items array".to_string()))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .map(|i| ItemId(i as u32))
+                .ok_or_else(|| BackendError::Transport("non-integer item id".to_string()))
+        })
+        .collect()
+}
+
+/// Typed client for a peer node serving one θ-band slice (or any other
+/// ganc-http server): the transport that turns PR 3's per-node
+/// `bundle.shardK.ganc` artifacts into a working multi-node deployment.
+pub struct RemoteShard {
+    client: Mutex<HttpClient>,
+    addr: String,
+}
+
+impl RemoteShard {
+    /// Client for the peer at `addr`; verifies liveness with one
+    /// `GET /v1/healthz` round-trip.
+    pub fn connect(addr: impl Into<String>) -> Result<RemoteShard, BackendError> {
+        let addr = addr.into();
+        let shard = RemoteShard {
+            client: Mutex::new(HttpClient::new(addr.clone())),
+            addr,
+        };
+        shard.generation()?;
+        Ok(shard)
+    }
+
+    /// The peer's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn call(&self, method: &str, path: &str, body: Option<&str>) -> Result<Response, BackendError> {
+        self.client
+            .lock()
+            .unwrap()
+            .request(method, path, body)
+            .map_err(|e| BackendError::Transport(format!("{}: {e}", self.addr)))
+    }
+
+    /// For read-only calls that happen to be POSTs: retry-safe on a
+    /// reaped keep-alive connection.
+    fn call_idempotent(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, BackendError> {
+        self.client
+            .lock()
+            .unwrap()
+            .request_idempotent(method, path, body)
+            .map_err(|e| BackendError::Transport(format!("{}: {e}", self.addr)))
+    }
+
+    /// `GET /v1/recommend/{user}` on the peer.
+    pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        let resp = self.call("GET", &format!("/v1/recommend/{}", user.0), None)?;
+        if resp.status != 200 {
+            return Err(error_from_body(&resp));
+        }
+        let v = parse_json(&resp)?;
+        let generation = v["generation"]
+            .as_u64()
+            .ok_or_else(|| BackendError::Transport("missing generation".to_string()))?;
+        Ok((Arc::new(items_from(&v["items"])?), generation))
+    }
+
+    /// `POST /v1/recommend:batch` on the peer. Per-user errors come back
+    /// in-slot; the whole batch shares one generation.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let ids = Value::Array(users.iter().map(|u| Value::from(u.0)).collect());
+        let body = tinyjson::to_string(&tinyjson::obj! { "users" => ids });
+        // Read-only despite being a POST: safe to retry on a dead reused
+        // connection, so an idle deployment doesn't 502 its first batch.
+        let resp = self.call_idempotent("POST", "/v1/recommend:batch", Some(&body))?;
+        if resp.status != 200 {
+            return Err(error_from_body(&resp));
+        }
+        let v = parse_json(&resp)?;
+        let generation = v["generation"]
+            .as_u64()
+            .ok_or_else(|| BackendError::Transport("missing generation".to_string()))?;
+        let results = v["results"]
+            .as_array()
+            .ok_or_else(|| BackendError::Transport("missing results".to_string()))?;
+        if results.len() != users.len() {
+            return Err(BackendError::Transport(format!(
+                "peer answered {} slots for {} users",
+                results.len(),
+                users.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(results.len());
+        for slot in results {
+            if let Some(u) = slot["unknown_user"].as_u64() {
+                out.push(Err(ServeError::UnknownUser(UserId(u as u32))));
+            } else {
+                out.push(Ok(Arc::new(items_from(&slot["items"])?)));
+            }
+        }
+        Ok((out, generation))
+    }
+
+    /// `POST /v1/ingest` on the peer.
+    pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        let body = tinyjson::to_string(&tinyjson::obj! {
+            "user" => user.0,
+            "item" => item.0,
+            "rating" => rating as f64,
+        });
+        let resp = self.call("POST", "/v1/ingest", Some(&body))?;
+        if resp.status != 200 {
+            return Err(error_from_body(&resp));
+        }
+        Ok(())
+    }
+
+    /// The peer's current bundle generation (`GET /v1/healthz`).
+    pub fn generation(&self) -> Result<u64, BackendError> {
+        let resp = self.call("GET", "/v1/healthz", None)?;
+        if resp.status != 200 {
+            return Err(error_from_body(&resp));
+        }
+        parse_json(&resp)?["generation"]
+            .as_u64()
+            .ok_or_else(|| BackendError::Transport("missing generation".to_string()))
+    }
+}

@@ -1,0 +1,464 @@
+//! HTTP/1.1 wire protocol: request framing, response writing, and the
+//! connection state machine rules the server and client share.
+//!
+//! Scope is exactly what a JSON API over loopback/LAN needs: request-line +
+//! headers + `Content-Length` body framing, keep-alive, and hard limits on
+//! header and body size. Chunked transfer encoding is rejected rather than
+//! implemented. Every framing violation maps to one of two recovery modes:
+//!
+//! * **fatal** — the byte stream can no longer be re-synchronized (torn
+//!   request line, oversized or malformed framing): respond once and close;
+//! * **recoverable** — framing was intact but the request is semantically
+//!   bad (handled a layer up: bad JSON, unknown route): respond and keep
+//!   the connection.
+//!
+//! Responses carry a fixed, deterministic header set (no `Date`), so a
+//! response's bytes depend only on status, body, and keep-alive flag —
+//! which is what lets the equivalence suite assert byte-identical output.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Framing limits; requests beyond them are refused.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (terminator included).
+    pub max_head_bytes: usize,
+    /// Maximum request body bytes ([`StatusCode::PAYLOAD_TOO_LARGE`] beyond).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// The status codes this API emits.
+pub struct StatusCode;
+
+impl StatusCode {
+    /// 200.
+    pub const OK: u16 = 200;
+    /// 400.
+    pub const BAD_REQUEST: u16 = 400;
+    /// 404.
+    pub const NOT_FOUND: u16 = 404;
+    /// 413.
+    pub const PAYLOAD_TOO_LARGE: u16 = 413;
+    /// 502 (router fronts: an upstream shard failed).
+    pub const BAD_GATEWAY: u16 = 502;
+
+    /// Canonical reason phrase.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            413 => "Payload Too Large",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Method verbatim (e.g. `GET`).
+    pub method: String,
+    /// Path without the query string (e.g. `/v1/recommend/3`).
+    pub path: String,
+    /// Raw query string after `?`, if any (e.g. `n=5`).
+    pub query: Option<String>,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// What reading one request off a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A well-framed request (it may still be semantically invalid).
+    Request(Request),
+    /// The peer closed (or went idle past the read timeout) between
+    /// requests — normal end of a keep-alive session; nothing to send.
+    Disconnected,
+    /// The byte stream violated framing. Send the error response, then
+    /// close: the stream cannot be re-synchronized.
+    Fatal {
+        /// Status to answer with before closing.
+        status: u16,
+        /// Human-readable cause (becomes the JSON error body).
+        message: &'static str,
+    },
+}
+
+/// Read one line (through `\n`), enforcing the remaining head budget.
+/// Returns the line without its terminator, or `None` for a clean EOF
+/// before any byte.
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> io::Result<Option<Vec<u8>>> {
+    let mut line = Vec::new();
+    let n = reader
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > *budget {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "head too large"));
+    }
+    *budget -= n;
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    } else {
+        // EOF mid-line: torn request head.
+        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn head"))
+    }
+}
+
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Read and parse one request. `reader` must wrap a stream with a read
+/// timeout if idle connections should ever be reclaimed.
+pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> ReadOutcome {
+    let mut budget = limits.max_head_bytes;
+    let fatal = |message| ReadOutcome::Fatal {
+        status: StatusCode::BAD_REQUEST,
+        message,
+    };
+
+    // ---- request line ----
+    let line = match read_line(reader, &mut budget) {
+        Ok(None) => return ReadOutcome::Disconnected,
+        Ok(Some(line)) => line,
+        Err(e) if idle_disconnect(&e) => return ReadOutcome::Disconnected,
+        Err(_) => return fatal("malformed request head"),
+    };
+    let Ok(line) = String::from_utf8(line) else {
+        return fatal("request line is not UTF-8");
+    };
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return fatal("malformed request line");
+    };
+    if !is_token(method) {
+        return fatal("malformed method");
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return fatal("unsupported HTTP version"),
+    };
+    if !target.starts_with('/') {
+        return fatal("request target must be absolute path");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    // ---- headers ----
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = http11;
+    loop {
+        let line = match read_line(reader, &mut budget) {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(_) => return fatal("malformed request head"),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Ok(line) = String::from_utf8(line) else {
+            return fatal("header is not UTF-8");
+        };
+        let Some((name, value)) = line.split_once(':') else {
+            return fatal("malformed header");
+        };
+        if !is_token(name) {
+            return fatal("malformed header name");
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            // Digits only — `u64::from_str` would accept a leading '+',
+            // and any framing disagreement with a standards-conformant
+            // intermediary is a smuggling vector.
+            "content-length" if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) => {
+                return fatal("invalid content-length")
+            }
+            "content-length" => match value.parse::<u64>() {
+                Ok(len) if len <= limits.max_body_bytes as u64 => {
+                    if content_length.replace(len as usize).is_some() {
+                        return fatal("duplicate content-length");
+                    }
+                }
+                Ok(_) => {
+                    // Too large to even drain within budget: refuse + close.
+                    return ReadOutcome::Fatal {
+                        status: StatusCode::PAYLOAD_TOO_LARGE,
+                        message: "request body too large",
+                    };
+                }
+                Err(_) => return fatal("invalid content-length"),
+            },
+            "transfer-encoding" => return fatal("transfer-encoding not supported"),
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.split(',').any(|t| t.trim() == "close") {
+                    keep_alive = false;
+                } else if v.split(',').any(|t| t.trim() == "keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- body ----
+    let mut body = Vec::new();
+    if let Some(len) = content_length {
+        body.resize(len, 0);
+        if reader.read_exact(&mut body).is_err() {
+            return fatal("body shorter than content-length");
+        }
+    }
+
+    ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+/// Whether a read error means the peer simply went away between requests.
+fn idle_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// Write one response with the fixed deterministic header set.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        StatusCode::reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A parsed response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Largest response body a client will buffer; a peer declaring more is
+/// answering garbage, and the caller gets an error instead of the process
+/// attempting an arbitrary allocation.
+pub const MAX_RESPONSE_BODY: usize = 16 * 1024 * 1024;
+
+/// Read one response off a client connection.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut budget = 64 * 1024;
+    let line = read_line(reader, &mut budget)?.ok_or_else(|| bad("no status line"))?;
+    let line = String::from_utf8(line).map_err(|_| bad("status line not UTF-8"))?;
+    let mut parts = line.splitn(3, ' ');
+    let (Some(version), Some(code), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(bad("malformed status line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP response"));
+    }
+    let status: u16 = code.parse().map_err(|_| bad("malformed status code"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let line = read_line(reader, &mut budget)?.ok_or_else(|| bad("truncated head"))?;
+        if line.is_empty() {
+            break;
+        }
+        let line = String::from_utf8(line).map_err(|_| bad("header not UTF-8"))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid content-length"))?;
+                if content_length > MAX_RESPONSE_BODY {
+                    return Err(bad("response body too large"));
+                }
+            }
+            "connection" => keep_alive = !value.trim().eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        keep_alive,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(bytes), Limits::default())
+    }
+
+    #[test]
+    fn parses_get_with_query_and_keep_alive_default() {
+        let out = parse(b"GET /v1/recommend/3?n=5 HTTP/1.1\r\nHost: x\r\n\r\n");
+        let ReadOutcome::Request(r) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/recommend/3");
+        assert_eq!(r.query.as_deref(), Some("n=5"));
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length_and_leaves_pipelined_bytes() {
+        let bytes =
+            b"POST /v1/ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /v1/healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&bytes[..]);
+        let ReadOutcome::Request(r) = read_request(&mut reader, Limits::default()) else {
+            panic!("first request");
+        };
+        assert_eq!(r.body, b"abcd");
+        let ReadOutcome::Request(r2) = read_request(&mut reader, Limits::default()) else {
+            panic!("pipelined request");
+        };
+        assert_eq!(r2.path, "/v1/healthz");
+    }
+
+    #[test]
+    fn framing_violations_are_fatal() {
+        let cases: [(&[u8], u16); 9] = [
+            (b"GARBAGE\r\n\r\n".as_slice(), StatusCode::BAD_REQUEST),
+            (b"GET /x\r\n\r\n".as_slice(), StatusCode::BAD_REQUEST),
+            (
+                b"GET /x HTTP/2.0\r\n\r\n".as_slice(),
+                StatusCode::BAD_REQUEST,
+            ),
+            (
+                b"GET /x HTTP/1.1\r\nBad Header\r\n\r\n".as_slice(),
+                StatusCode::BAD_REQUEST,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".as_slice(),
+                StatusCode::BAD_REQUEST,
+            ),
+            (
+                // u64::from_str would take the '+'; strict framing must not
+                // (request-smuggling disagreement with conformant proxies).
+                b"POST /x HTTP/1.1\r\nContent-Length: +4\r\n\r\nabcd".as_slice(),
+                StatusCode::BAD_REQUEST,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".as_slice(),
+                StatusCode::BAD_REQUEST,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n".as_slice(),
+                StatusCode::PAYLOAD_TOO_LARGE,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort".as_slice(),
+                StatusCode::BAD_REQUEST,
+            ),
+        ];
+        for (bytes, want) in cases {
+            match parse(bytes) {
+                ReadOutcome::Fatal { status, .. } => {
+                    assert_eq!(status, want, "{:?}", String::from_utf8_lossy(bytes))
+                }
+                other => panic!(
+                    "{:?}: expected fatal, got {other:?}",
+                    String::from_utf8_lossy(bytes)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_fatal() {
+        let mut bytes = b"GET /x HTTP/1.1\r\n".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', 9000));
+        assert!(matches!(parse(&bytes), ReadOutcome::Fatal { .. }));
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_disconnect() {
+        assert!(matches!(parse(b""), ReadOutcome::Disconnected));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let out = parse(b"GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let ReadOutcome::Request(r) = out else {
+            panic!()
+        };
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn response_round_trips_through_client_parser() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, b"{\"ok\":true}", true).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.keep_alive);
+        assert_eq!(resp.body, b"{\"ok\":true}");
+        let text = String::from_utf8(wire).unwrap();
+        assert!(
+            !text.to_ascii_lowercase().contains("date:"),
+            "responses must be byte-deterministic (no Date header)"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! # ganc-http
+//!
+//! A dependency-free HTTP/1.1 front-end for the `ganc-serve` engines,
+//! built on `std::net` alone (the build environment has no crates.io
+//! registry; JSON comes from the vendored `tinyjson` stand-in, swappable
+//! for `serde_json` later).
+//!
+//! Three layers:
+//!
+//! 1. **Wire** ([`http1`]) — request/response framing with hard limits and
+//!    a deterministic response header set (no `Date`), so identical state
+//!    produces byte-identical responses.
+//! 2. **Server** ([`server`]) — [`HttpServer`]: a fixed worker thread pool
+//!    with keep-alive and content-length framing, fronting a
+//!    [`Frontend`] (single engine, in-process sharded engine, or router),
+//!    with `POST /admin/refit` wired to the background-refit machinery.
+//! 3. **Client** ([`client`], [`router`]) — [`HttpClient`] /
+//!    [`RemoteShard`] / [`RouterNode`]: a router node loads θ + cuts,
+//!    serves some bands from local bundle slices, and dispatches the rest
+//!    to peer nodes serving `bundle.shardK.ganc` artifacts over the same
+//!    protocol — PR 3's per-node slices become a working multi-node
+//!    deployment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ganc_http::{Frontend, HttpClient, HttpServer, ServerConfig};
+//! use ganc_serve::{EngineConfig, FitConfig, FittedModel, ModelBundle, ServingEngine};
+//! use ganc_dataset::synth::DatasetProfile;
+//! use ganc_preference::GeneralizedConfig;
+//! use ganc_recommender::pop::MostPopular;
+//! use ganc_recommender::Recommender;
+//! use std::sync::Arc;
+//!
+//! let data = DatasetProfile::tiny().generate(42);
+//! let split = data.split_per_user(0.5, 7).unwrap();
+//! let theta = GeneralizedConfig::default().estimate(&split.train);
+//! let pop = MostPopular::fit(&split.train);
+//! let cfg = FitConfig { sample_size: 20, ..FitConfig::new(10) };
+//! let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg);
+//! let engine = Arc::new(ServingEngine::new(bundle, EngineConfig::default()));
+//!
+//! let server = HttpServer::bind(
+//!     Frontend::Single(engine),
+//!     None,
+//!     ServerConfig::default(),
+//!     "127.0.0.1:0",
+//! )
+//! .unwrap();
+//! let mut client = HttpClient::new(server.local_addr().to_string());
+//! let resp = client.request("GET", "/v1/recommend/3?n=5", None).unwrap();
+//! assert_eq!(resp.status, 200);
+//! ```
+
+pub mod client;
+pub mod http1;
+pub mod router;
+pub mod server;
+
+pub use client::{HttpClient, RemoteShard};
+pub use http1::{Limits, Request, Response, StatusCode};
+pub use router::{RouterNode, ShardRoute};
+pub use server::{Frontend, HttpServer, RefitHook, ServerConfig};
+
+use ganc_serve::ServeError;
+
+/// Why a backend could not answer: a typed serving rejection, or the
+/// transport to a remote shard failed.
+#[derive(Debug)]
+pub enum BackendError {
+    /// The engine rejected the request (unknown user/item).
+    Serve(ServeError),
+    /// A peer node was unreachable, answered garbage, or the deployment's
+    /// generations were skewed mid-batch.
+    Transport(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Serve(e) => write!(f, "{e}"),
+            BackendError::Transport(msg) => write!(f, "transport: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}

@@ -1,0 +1,205 @@
+//! A router node for multi-node θ-band deployment: PR 3 made multi-node
+//! serving "a routing problem" by slicing one bundle into per-band
+//! artifacts; this module is the router. Each band is served either by a
+//! local [`ServingEngine`] over its slice or by a peer node reached through
+//! [`RemoteShard`] — the same `/v1/*` protocol either way, so a band can be
+//! moved across nodes without the router's callers noticing.
+//!
+//! Output equivalence: a user's request is answered by the engine holding
+//! their band's slice, and serving from a slice is byte-identical to
+//! serving from the full bundle ([`ganc_serve::ModelBundle::slice_theta_band`]),
+//! so a router over any local/remote mix produces exactly the lists an
+//! in-process [`ganc_serve::ShardedEngine`] produces — which
+//! `tests/http_equivalence.rs` asserts across a real two-node topology.
+
+use crate::client::RemoteShard;
+use crate::BackendError;
+use ganc_core::query::shard_of;
+use ganc_dataset::{ItemId, UserId};
+use ganc_serve::{ServeError, ServingEngine};
+use std::sync::Arc;
+
+/// Where one θ band is served.
+pub enum ShardRoute {
+    /// In this process, over the band's bundle slice.
+    Local(Arc<ServingEngine>),
+    /// On a peer node, over HTTP.
+    Remote(RemoteShard),
+}
+
+impl ShardRoute {
+    /// Short label for stats.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            ShardRoute::Local(_) => "local",
+            ShardRoute::Remote(_) => "remote",
+        }
+    }
+
+    /// Peer address for remote routes.
+    pub(crate) fn addr(&self) -> Option<&str> {
+        match self {
+            ShardRoute::Local(_) => None,
+            ShardRoute::Remote(r) => Some(r.addr()),
+        }
+    }
+
+    fn generation(&self) -> Result<u64, BackendError> {
+        match self {
+            ShardRoute::Local(e) => Ok(e.generation()),
+            ShardRoute::Remote(r) => r.generation(),
+        }
+    }
+}
+
+/// Routes each user's request to the engine serving their θ band.
+pub struct RouterNode {
+    /// Per-user θ (the full population — routing needs every user).
+    theta: Arc<Vec<f64>>,
+    /// Ascending cut points; `cuts.len() + 1` bands.
+    cuts: Vec<f64>,
+    routes: Vec<ShardRoute>,
+}
+
+impl RouterNode {
+    /// Build a router over `cuts.len() + 1` routes. `theta` must be the
+    /// full bundle's per-user vector (every route's slice carries it, so
+    /// any node can stand up a router without extra state).
+    pub fn new(theta: Arc<Vec<f64>>, cuts: Vec<f64>, routes: Vec<ShardRoute>) -> RouterNode {
+        assert_eq!(
+            routes.len(),
+            cuts.len() + 1,
+            "k cuts require k+1 shard routes"
+        );
+        assert!(
+            cuts.windows(2).all(|w| w[0] <= w[1]),
+            "cuts must be ascending"
+        );
+        RouterNode {
+            theta,
+            cuts,
+            routes,
+        }
+    }
+
+    /// Number of bands.
+    pub fn shards(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Users this router can place.
+    pub fn n_users(&self) -> u32 {
+        self.theta.len() as u32
+    }
+
+    pub(crate) fn routes(&self) -> &[ShardRoute] {
+        &self.routes
+    }
+
+    fn route_of(&self, user: UserId) -> Result<usize, ServeError> {
+        match self.theta.get(user.idx()) {
+            Some(&t) => Ok(shard_of(&self.cuts, t)),
+            None => Err(ServeError::UnknownUser(user)),
+        }
+    }
+
+    /// Answer one request from the user's band, local or remote.
+    pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        let j = self.route_of(user).map_err(BackendError::Serve)?;
+        match &self.routes[j] {
+            ShardRoute::Local(engine) => engine.recommend_traced(user).map_err(BackendError::Serve),
+            ShardRoute::Remote(remote) => remote.recommend_traced(user),
+        }
+    }
+
+    /// Split a batch across bands and dispatch each sub-batch through its
+    /// route, reassembling answers in request order. Every touched route
+    /// must report the same generation — nodes are refit together in a real
+    /// rollout, and a skewed response here means the caller would silently
+    /// mix two model versions, so skew is a hard error instead.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
+            vec![None; users.len()];
+        let mut per_route: Vec<Vec<usize>> = vec![Vec::new(); self.routes.len()];
+        for (k, &u) in users.iter().enumerate() {
+            match self.route_of(u) {
+                Ok(j) => per_route[j].push(k),
+                Err(e) => results[k] = Some(Err(e)),
+            }
+        }
+        let mut generation: Option<u64> = None;
+        let mut check = |g: u64| match generation {
+            None => {
+                generation = Some(g);
+                Ok(())
+            }
+            Some(have) if have == g => Ok(()),
+            Some(have) => Err(BackendError::Transport(format!(
+                "generation skew across shards: {have} vs {g}"
+            ))),
+        };
+        for (j, idxs) in per_route.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+            let (answers, g) = match &self.routes[j] {
+                ShardRoute::Local(engine) => engine.recommend_batch_traced(&sub),
+                ShardRoute::Remote(remote) => remote.recommend_batch_traced(&sub)?,
+            };
+            check(g)?;
+            for (&k, answer) in idxs.iter().zip(answers) {
+                results[k] = Some(answer);
+            }
+        }
+        let generation = match generation {
+            Some(g) => g,
+            // Nothing dispatched (empty batch / all unknown): any route's
+            // generation describes the deployment.
+            None => self.routes[0].generation()?,
+        };
+        Ok((
+            results.into_iter().map(|r| r.unwrap()).collect(),
+            generation,
+        ))
+    }
+
+    /// Fan an ingested interaction to every route: popularity is global
+    /// state each band replica tracks, exactly like
+    /// [`ganc_serve::ShardedEngine`]'s in-process fan-out.
+    ///
+    /// Cross-process fan-out cannot be atomic: if a route fails mid-way,
+    /// the routes already reached keep the interaction and the rest never
+    /// see it, so an `Err` here means the deployment's replicas have
+    /// diverged and should be re-synced (redeploy the slices, or refit and
+    /// roll new artifacts). Remote hops run *first* — the failure mode
+    /// that matters in practice is an unreachable peer, and failing before
+    /// any local mutation keeps this node clean in that case.
+    pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        if user.idx() >= self.theta.len() {
+            return Err(BackendError::Serve(ServeError::UnknownUser(user)));
+        }
+        for route in &self.routes {
+            if let ShardRoute::Remote(remote) = route {
+                remote.ingest(user, item, rating)?;
+            }
+        }
+        for route in &self.routes {
+            if let ShardRoute::Local(engine) = route {
+                engine
+                    .ingest(user, item, rating)
+                    .map_err(BackendError::Serve)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The deployment's generation (route 0's view).
+    pub fn generation(&self) -> Result<u64, BackendError> {
+        self.routes[0].generation()
+    }
+}

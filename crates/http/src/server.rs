@@ -1,0 +1,552 @@
+//! The HTTP server: a fixed worker pool over `std::net::TcpListener`
+//! fronting a serving backend.
+//!
+//! ## Endpoints
+//!
+//! | method | path | body | answers |
+//! |--------|------|------|---------|
+//! | GET  | `/v1/recommend/{user}?n=K` | — | `{"user":u,"generation":g,"items":[...]}` (top-K prefix of the bundle's top-N) |
+//! | POST | `/v1/recommend:batch` | `{"users":[...]}` | `{"generation":g,"results":[...]}` — one generation for the whole batch |
+//! | POST | `/v1/ingest` | `{"user":u,"item":i,"rating":r}` | `{"ok":true}` |
+//! | GET  | `/v1/healthz` | — | `{"ok":true,"generation":g}` |
+//! | GET  | `/v1/stats` | — | generation, cache hit rate, shard map |
+//! | POST | `/admin/refit` | — | runs one refit pass and hot-swaps |
+//!
+//! Batches route through the backend's `recommend_batch_traced`, so a batch
+//! is always served from exactly one bundle generation even while
+//! `/admin/refit` swaps underneath it. Error responses are always JSON with
+//! an `"error"` key; unknown ids additionally carry `unknown_user` /
+//! `unknown_item` so a [`crate::RemoteShard`] can reconstruct the typed
+//! error without parsing prose.
+//!
+//! ## Connection state machine
+//!
+//! Framing violations (torn heads, bad `Content-Length`, oversized bodies)
+//! answer once and close — the stream cannot be re-synchronized.
+//! Well-framed but invalid requests (bad JSON, unknown route, unknown ids)
+//! answer 400/404 and keep the connection, so a client burst survives its
+//! own mistakes. `tests/http_protocol.rs` fuzzes exactly this contract.
+
+use crate::http1::{self, Limits, ReadOutcome, Request, StatusCode};
+use crate::router::RouterNode;
+use crate::BackendError;
+use ganc_dataset::{ItemId, UserId};
+use ganc_serve::refit::{RefitOutcome, Refitter};
+use ganc_serve::{FitConfig, ServeError, ServingEngine, ShardedEngine};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tinyjson::{obj, Value};
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Framing limits (oversized heads → 400, oversized bodies → 413).
+    pub limits: Limits,
+    /// Requests served per connection before the server closes it.
+    pub keep_alive_requests: u32,
+    /// Per-read socket timeout; an idle keep-alive connection is reclaimed
+    /// after this long. Note this bounds each *read*, not a connection's
+    /// total hold time: a peer trickling one byte per timeout window can
+    /// pin a worker indefinitely (slow-loris). The server is built for
+    /// trusted networks (loopback, an internal shard mesh) where that
+    /// trade — blocking std IO, no timer wheel — is the right simplicity;
+    /// don't expose it to untrusted clients without a reverse proxy in
+    /// front.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            // Thread-per-connection with keep-alive: a persistent client
+            // pins its worker, so the pool must track expected concurrent
+            // connections, not cores — the floor of 8 keeps small hosts
+            // (including 1-CPU CI runners) from starving a handful of
+            // keep-alive clients.
+            workers: std::thread::available_parallelism().map_or(8, |p| p.get().clamp(8, 16)),
+            limits: Limits::default(),
+            keep_alive_requests: 100_000,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The engine a server fronts: single-node, in-process sharded, or a
+/// multi-node router.
+#[derive(Clone)]
+pub enum Frontend {
+    /// One [`ServingEngine`] over one bundle (or one θ-band slice — this is
+    /// what a shard node runs).
+    Single(Arc<ServingEngine>),
+    /// An in-process [`ShardedEngine`] (router + all bands in one process).
+    Sharded(Arc<ShardedEngine>),
+    /// A [`RouterNode`] dispatching bands to local slices and remote peers.
+    Router(Arc<RouterNode>),
+}
+
+impl Frontend {
+    fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        match self {
+            Frontend::Single(e) => e.recommend_traced(user).map_err(BackendError::Serve),
+            Frontend::Sharded(e) => e.recommend_traced(user).map_err(BackendError::Serve),
+            Frontend::Router(r) => r.recommend_traced(user),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        match self {
+            Frontend::Single(e) => Ok(e.recommend_batch_traced(users)),
+            Frontend::Sharded(e) => Ok(e.recommend_batch_traced(users)),
+            Frontend::Router(r) => r.recommend_batch_traced(users),
+        }
+    }
+
+    fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        match self {
+            Frontend::Single(e) => e.ingest(user, item, rating).map_err(BackendError::Serve),
+            Frontend::Sharded(e) => e.ingest(user, item, rating).map_err(BackendError::Serve),
+            Frontend::Router(r) => r.ingest(user, item, rating),
+        }
+    }
+
+    fn generation(&self) -> Result<u64, BackendError> {
+        match self {
+            Frontend::Single(e) => Ok(e.generation()),
+            Frontend::Sharded(e) => Ok(e.generation()),
+            Frontend::Router(r) => r.generation(),
+        }
+    }
+}
+
+/// Refit support for `POST /admin/refit`: the fitter and fit config one
+/// pass runs with (the same pair a [`ganc_serve::RefitController`] is
+/// spawned with).
+#[derive(Clone)]
+pub struct RefitHook {
+    /// Refits the base model and θ from accumulated interactions.
+    pub fitter: Arc<Refitter>,
+    /// Bundle fit configuration for the refit.
+    pub cfg: FitConfig,
+}
+
+/// A running HTTP server; dropping it stops the acceptor and joins every
+/// worker.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `frontend`. `refit` enables `POST /admin/refit` (sharded fronts
+    /// only — the refit path needs the ingest log the sharded engine
+    /// keeps).
+    pub fn bind(
+        frontend: Frontend,
+        refit: Option<RefitHook>,
+        cfg: ServerConfig,
+        addr: &str,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let app = Arc::new(App {
+            frontend,
+            refit,
+            cfg: cfg.clone(),
+        });
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let app = Arc::clone(&app);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    let stream = match rx.lock().unwrap().recv() {
+                        Ok(stream) => stream,
+                        Err(_) => return, // acceptor gone, queue drained
+                    };
+                    // A handler panic must not take the worker down with it
+                    // (the fuzz suite's "never crash" property); the
+                    // connection is simply dropped.
+                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        app.handle_connection(stream, &stop);
+                    }));
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // tx drops here; workers exit once the queue drains.
+            })
+        };
+
+        Ok(HttpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the acceptor, and join all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform, so aim the wake-up at the loopback of the same family
+        // instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct App {
+    frontend: Frontend,
+    refit: Option<RefitHook>,
+    cfg: ServerConfig,
+}
+
+impl App {
+    fn handle_connection(&self, stream: TcpStream, stop: &AtomicBool) {
+        let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(stream);
+        let mut served = 0u32;
+        loop {
+            match http1::read_request(&mut reader, self.cfg.limits) {
+                ReadOutcome::Disconnected => return,
+                ReadOutcome::Fatal { status, message } => {
+                    let body = tinyjson::to_string(&obj! { "error" => message });
+                    let _ = http1::write_response(reader.get_mut(), status, body.as_bytes(), false);
+                    // Drain (bounded) what the peer already sent before
+                    // closing: dropping a socket with unread bytes makes the
+                    // OS send RST, which can discard the error response
+                    // before the client reads it — a 413'd client deserves
+                    // to see its 413. Bounded in bytes here and per read by
+                    // the socket timeout (a trickling peer can stretch it —
+                    // see the `read_timeout` trust-model note).
+                    let _ = std::io::copy(
+                        &mut std::io::Read::take(&mut reader, 1024 * 1024),
+                        &mut std::io::sink(),
+                    );
+                    return;
+                }
+                ReadOutcome::Request(req) => {
+                    served += 1;
+                    let (status, value) = self.route(&req);
+                    let body = tinyjson::to_string(&value);
+                    let keep_alive = req.keep_alive
+                        && served < self.cfg.keep_alive_requests
+                        && !stop.load(Ordering::Relaxed);
+                    if http1::write_response(reader.get_mut(), status, body.as_bytes(), keep_alive)
+                        .is_err()
+                        || !keep_alive
+                    {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatch one well-framed request. Always returns JSON; the status
+    /// contract is 200 / 400 / 404 / 413 (+ 502 for router upstream
+    /// failures).
+    fn route(&self, req: &Request) -> (u16, Value) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/v1/healthz") => self.healthz(),
+            ("GET", "/v1/stats") => self.stats(),
+            ("POST", "/v1/recommend:batch") => self.recommend_batch(&req.body),
+            ("POST", "/v1/ingest") => self.ingest(&req.body),
+            ("POST", "/admin/refit") => self.admin_refit(),
+            ("GET", path) if path.starts_with("/v1/recommend/") => {
+                self.recommend(&path["/v1/recommend/".len()..], req.query.as_deref())
+            }
+            _ => error(StatusCode::NOT_FOUND, "not found"),
+        }
+    }
+
+    fn healthz(&self) -> (u16, Value) {
+        match self.frontend.generation() {
+            Ok(g) => (StatusCode::OK, obj! { "ok" => true, "generation" => g }),
+            Err(e) => backend_error(e),
+        }
+    }
+
+    fn recommend(&self, user_part: &str, query: Option<&str>) -> (u16, Value) {
+        let Ok(user) = user_part.parse::<u32>() else {
+            return error(StatusCode::BAD_REQUEST, "user id must be an integer");
+        };
+        let mut take: Option<usize> = None;
+        for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+            match pair.split_once('=') {
+                Some(("n", v)) => match v.parse::<usize>() {
+                    Ok(n) => take = Some(n),
+                    Err(_) => return error(StatusCode::BAD_REQUEST, "n must be an integer"),
+                },
+                _ => return error(StatusCode::BAD_REQUEST, "unknown query parameter"),
+            }
+        }
+        match self.frontend.recommend_traced(UserId(user)) {
+            Ok((list, generation)) => {
+                let shown = take.unwrap_or(list.len()).min(list.len());
+                let items = Value::Array(list[..shown].iter().map(|i| Value::from(i.0)).collect());
+                (
+                    StatusCode::OK,
+                    obj! { "user" => user, "generation" => generation, "items" => items },
+                )
+            }
+            Err(e) => backend_error(e),
+        }
+    }
+
+    fn recommend_batch(&self, body: &[u8]) -> (u16, Value) {
+        let users = match parse_body(body).and_then(|v| {
+            v["users"]
+                .as_array()
+                .ok_or("body must be {\"users\":[...]}")?
+                .iter()
+                .map(|u| {
+                    u.as_u64()
+                        .filter(|&u| u <= u32::MAX as u64)
+                        .map(|u| UserId(u as u32))
+                        .ok_or("user ids must be u32 integers")
+                })
+                .collect::<Result<Vec<_>, _>>()
+        }) {
+            Ok(users) => users,
+            Err(msg) => return error(StatusCode::BAD_REQUEST, msg),
+        };
+        match self.frontend.recommend_batch_traced(&users) {
+            Ok((answers, generation)) => {
+                let results: Vec<Value> = users
+                    .iter()
+                    .zip(answers)
+                    .map(|(u, answer)| match answer {
+                        Ok(list) => {
+                            let items =
+                                Value::Array(list.iter().map(|i| Value::from(i.0)).collect());
+                            obj! { "user" => u.0, "items" => items }
+                        }
+                        Err(e) => serve_error_value(&e),
+                    })
+                    .collect();
+                (
+                    StatusCode::OK,
+                    obj! { "generation" => generation, "results" => Value::Array(results) },
+                )
+            }
+            Err(e) => backend_error(e),
+        }
+    }
+
+    fn ingest(&self, body: &[u8]) -> (u16, Value) {
+        let parsed = parse_body(body).and_then(|v| {
+            let user = v["user"]
+                .as_u64()
+                .filter(|&u| u <= u32::MAX as u64)
+                .ok_or("user must be a u32 integer")?;
+            let item = v["item"]
+                .as_u64()
+                .filter(|&i| i <= u32::MAX as u64)
+                .ok_or("item must be a u32 integer")?;
+            let rating = v["rating"].as_f64().ok_or("rating must be a number")?;
+            Ok((UserId(user as u32), ItemId(item as u32), rating as f32))
+        });
+        let (user, item, rating) = match parsed {
+            Ok(t) => t,
+            Err(msg) => return error(StatusCode::BAD_REQUEST, msg),
+        };
+        match self.frontend.ingest(user, item, rating) {
+            Ok(()) => (StatusCode::OK, obj! { "ok" => true }),
+            Err(e) => backend_error(e),
+        }
+    }
+
+    fn admin_refit(&self) -> (u16, Value) {
+        let Some(hook) = &self.refit else {
+            return error(StatusCode::BAD_REQUEST, "refit not configured");
+        };
+        let Frontend::Sharded(engine) = &self.frontend else {
+            return error(
+                StatusCode::BAD_REQUEST,
+                "refit requires a sharded engine front",
+            );
+        };
+        match engine.refit_once(hook.fitter.as_ref(), &hook.cfg) {
+            RefitOutcome::Swapped { generation, .. } => (
+                StatusCode::OK,
+                obj! { "outcome" => "swapped", "generation" => generation },
+            ),
+            RefitOutcome::Raced => (
+                StatusCode::OK,
+                obj! { "outcome" => "raced", "generation" => engine.generation() },
+            ),
+        }
+    }
+
+    fn stats(&self) -> (u16, Value) {
+        let engine_stats = |stats: ganc_serve::EngineStats| {
+            let total = stats.cache_hits + stats.cache_misses;
+            let hit_rate = if total == 0 {
+                0.0
+            } else {
+                stats.cache_hits as f64 / total as f64
+            };
+            obj! {
+                "hits" => stats.cache_hits,
+                "misses" => stats.cache_misses,
+                "hit_rate" => hit_rate,
+                "cached" => stats.cached,
+            }
+        };
+        match &self.frontend {
+            Frontend::Single(e) => {
+                let s = e.stats();
+                (
+                    StatusCode::OK,
+                    obj! {
+                        "backend" => "single",
+                        "generation" => e.generation(),
+                        "n" => e.n(),
+                        "cache" => engine_stats(s),
+                        "ingested" => s.ingested,
+                        "shards" => Value::Array(Vec::new()),
+                    },
+                )
+            }
+            Frontend::Sharded(e) => {
+                let s = e.stats();
+                let shards: Vec<Value> = e
+                    .shard_info()
+                    .into_iter()
+                    .map(|i| {
+                        obj! {
+                            // ±∞ band edges encode as null (JSON has no Inf).
+                            "theta_lo" => i.theta_lo,
+                            "theta_hi" => i.theta_hi,
+                            "users" => i.users,
+                            "snapshots" => i.snapshots,
+                            "coverage_bytes" => i.coverage_bytes,
+                        }
+                    })
+                    .collect();
+                (
+                    StatusCode::OK,
+                    obj! {
+                        "backend" => "sharded",
+                        "generation" => e.generation(),
+                        "n" => e.n(),
+                        "cache" => engine_stats(s),
+                        "ingested" => s.ingested,
+                        "shards" => Value::Array(shards),
+                    },
+                )
+            }
+            Frontend::Router(r) => {
+                let shards: Vec<Value> = r
+                    .routes()
+                    .iter()
+                    .map(|route| {
+                        let addr = route.addr().map(Value::from).unwrap_or(Value::Null);
+                        obj! { "kind" => route.kind(), "addr" => addr }
+                    })
+                    .collect();
+                match r.generation() {
+                    Ok(g) => (
+                        StatusCode::OK,
+                        obj! {
+                            "backend" => "router",
+                            "generation" => g,
+                            "shards" => Value::Array(shards),
+                        },
+                    ),
+                    Err(e) => backend_error(e),
+                }
+            }
+        }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, &'static str> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
+    tinyjson::from_str(text).map_err(|_| "body is not valid JSON")
+}
+
+fn error(status: u16, message: &str) -> (u16, Value) {
+    (status, obj! { "error" => message })
+}
+
+/// Error body for an unknown id, with the machine-readable field a remote
+/// client maps back to [`ServeError`].
+fn serve_error_value(e: &ServeError) -> Value {
+    match e {
+        ServeError::UnknownUser(u) => obj! {
+            "error" => format!("unknown user {}", u.0),
+            "unknown_user" => u.0,
+        },
+        ServeError::UnknownItem(i) => obj! {
+            "error" => format!("unknown item {}", i.0),
+            "unknown_item" => i.0,
+        },
+    }
+}
+
+fn backend_error(e: BackendError) -> (u16, Value) {
+    match e {
+        BackendError::Serve(e) => (StatusCode::NOT_FOUND, serve_error_value(&e)),
+        BackendError::Transport(msg) => (StatusCode::BAD_GATEWAY, obj! { "error" => msg }),
+    }
+}

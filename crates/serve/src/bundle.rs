@@ -22,6 +22,7 @@ use ganc_recommender::rsvd::Rsvd;
 use ganc_recommender::Recommender;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An owned, serializable fitted base recommender.
 ///
@@ -274,10 +275,16 @@ pub struct ModelBundle {
     pub n: usize,
     /// Accuracy adaptation mode.
     pub accuracy_mode: AccuracyMode,
-    /// Per-user long-tail preference θ, indexed by user id.
-    pub theta: Vec<f64>,
-    /// The fitted base recommender.
-    pub model: FittedModel,
+    /// Per-user long-tail preference θ, indexed by user id. Behind `Arc` so
+    /// θ-band slices ([`ModelBundle::slice_theta_band`]) share one
+    /// allocation instead of cloning `O(|U|)` per shard; `Arc` is
+    /// transparent on the wire, so the artifact format is unchanged.
+    pub theta: Arc<Vec<f64>>,
+    /// The fitted base recommender, shared across θ-band slices. Ingestion
+    /// paths that mutate the model (the Pop bump) copy-on-write through
+    /// [`Arc::make_mut`], so a shard's ingest never leaks into its
+    /// siblings.
+    pub model: Arc<FittedModel>,
     /// Serving-time coverage state.
     pub coverage: CoverageState,
     /// For Dyn coverage: the sequential phase's assignments (last draw per
@@ -285,8 +292,10 @@ pub struct ModelBundle {
     /// batch output for sampled users too. Empty for Rand/Stat.
     pub seed_lists: Vec<(UserId, Vec<ItemId>)>,
     /// The train interactions: candidate pools (`I^R \ I_u^R`) and the
-    /// per-user rows kNN scoring reads.
-    pub train: Interactions,
+    /// per-user rows kNN scoring reads. Shared across θ-band slices — the
+    /// train set is the largest replicated component, and nothing mutates
+    /// it after fit.
+    pub train: Arc<Interactions>,
 }
 
 impl ModelBundle {
@@ -337,11 +346,11 @@ impl ModelBundle {
             model_name,
             n: cfg.n,
             accuracy_mode: cfg.accuracy_mode,
-            theta,
-            model,
+            theta: Arc::new(theta),
+            model: Arc::new(model),
             coverage,
             seed_lists,
-            train,
+            train: Arc::new(train),
         }
     }
 
@@ -356,9 +365,10 @@ impl ModelBundle {
     /// Serving an in-band user from the slice is byte-identical to serving
     /// them from the full bundle: the snapshot sub-range provably resolves
     /// nearest-θ the same way, and every other component is unchanged. The
-    /// train set travels with each shard (candidate pools and kNN rows need
-    /// it) — the state that was `O(S·|I|)` and is now `O(band)` per shard is
-    /// the snapshot store.
+    /// train set, base model, and θ vector travel with each shard by
+    /// `Arc` — an in-process [`crate::ShardedEngine`] holds them *once*
+    /// regardless of shard count — while the state that was `O(S·|I|)` and
+    /// is now `O(band)` per shard is the snapshot store.
     pub fn slice_theta_band(&self, lo: f64, hi: f64) -> ModelBundle {
         let coverage = match &self.coverage {
             CoverageState::Dynamic(snaps) => CoverageState::Dynamic(snaps.slice_band(lo, hi)),
@@ -377,11 +387,11 @@ impl ModelBundle {
             model_name: self.model_name.clone(),
             n: self.n,
             accuracy_mode: self.accuracy_mode,
-            theta: self.theta.clone(),
-            model: self.model.clone(),
+            theta: Arc::clone(&self.theta),
+            model: Arc::clone(&self.model),
             coverage,
             seed_lists,
-            train: self.train.clone(),
+            train: Arc::clone(&self.train),
         }
     }
 

@@ -155,7 +155,7 @@ impl EngineState {
                 .bind(&bundle.train)
                 .scores_are_user_independent();
         let non_train = ganc_recommender::topn::non_train_items(&in_train);
-        let pop_bump_ok = match &bundle.model {
+        let pop_bump_ok = match &*bundle.model {
             FittedModel::Pop(pop) => pop_counts
                 .iter()
                 .enumerate()
@@ -463,15 +463,21 @@ impl ServingEngine {
         // `1/√(f+1)`) support single-item updates identical to a full
         // rebuild from `pop_counts`.
         let pop_bump_ok = state.pop_bump_ok;
-        if let FittedModel::Pop(pop) = &mut state.bundle.model {
+        if matches!(&*state.bundle.model, FittedModel::Pop(_)) {
             if pop_bump_ok {
-                pop.bump(item);
+                // The model allocation may be shared with sibling θ-band
+                // shards (see `ModelBundle::slice_theta_band`); copy-on-write
+                // keeps this shard's bump from leaking into theirs.
+                if let FittedModel::Pop(pop) = Arc::make_mut(&mut state.bundle.model) {
+                    pop.bump(item);
+                }
             } else {
                 // Legacy v1 artifacts store normalized scores (and a Pop
                 // model could have been fit off-train); a +1 bump would be
                 // on the wrong scale, so rebuild from the live counts.
-                state.bundle.model =
-                    FittedModel::Pop(MostPopular::from_popularity(&state.pop_counts));
+                state.bundle.model = Arc::new(FittedModel::Pop(MostPopular::from_popularity(
+                    &state.pop_counts,
+                )));
                 state.pop_bump_ok = true;
             }
             // The shared normalized-accuracy vector is derived from the
@@ -543,6 +549,13 @@ impl ServingEngine {
     /// Number of users the bundle covers.
     pub fn n_users(&self) -> u32 {
         self.state.read().unwrap().bundle.n_users()
+    }
+
+    /// Run `f` against the currently served bundle (crate-internal: the
+    /// sharding layer uses it to verify allocation sharing across slices).
+    #[cfg(test)]
+    pub(crate) fn with_bundle<R>(&self, f: impl FnOnce(&ModelBundle) -> R) -> R {
+        f(&self.state.read().unwrap().bundle)
     }
 }
 
@@ -690,7 +703,7 @@ mod tests {
         e.ingest(UserId(0), ItemId(3), 5.0).unwrap();
         let state = e.state.read().unwrap();
         assert!(state.pop_bump_ok, "rebuild resets to raw-count scores");
-        match &state.bundle.model {
+        match &*state.bundle.model {
             FittedModel::Pop(pop) => {
                 assert_eq!(pop, &MostPopular::from_popularity(&state.pop_counts));
             }
@@ -713,7 +726,7 @@ mod tests {
             }
             other => panic!("expected Static coverage, got {:?}", other.kind()),
         }
-        match &state.bundle.model {
+        match &*state.bundle.model {
             FittedModel::Pop(pop) => {
                 assert_eq!(pop, &MostPopular::from_popularity(&state.pop_counts));
             }

@@ -629,6 +629,73 @@ mod tests {
     }
 
     #[test]
+    fn shards_share_train_model_theta_allocations() {
+        // The ROADMAP fix: an in-process ShardedEngine must not clone the
+        // train set, the fitted model, or the θ vector per shard — every
+        // slice points at the baseline bundle's allocations.
+        let b = bundle(CoverageKind::Dynamic);
+        const SHARDS: usize = 4;
+        let sharded = ShardedEngine::new(b, ShardConfig::quantile(SHARDS));
+        let baseline = sharded.baseline_bundle();
+        let mut distinct_coverage = 0usize;
+        let set = sharded.set.read().unwrap();
+        for engine in &set.engines {
+            engine.with_bundle(|slice| {
+                assert!(
+                    Arc::ptr_eq(&slice.train, &baseline.train),
+                    "shard cloned the train set"
+                );
+                assert!(
+                    Arc::ptr_eq(&slice.model, &baseline.model),
+                    "shard cloned the fitted model"
+                );
+                assert!(
+                    Arc::ptr_eq(&slice.theta, &baseline.theta),
+                    "shard cloned the θ vector"
+                );
+                // The per-band coverage sub-range is the one component each
+                // shard genuinely owns.
+                if slice.coverage != baseline.coverage {
+                    distinct_coverage += 1;
+                }
+            });
+        }
+        assert!(
+            distinct_coverage >= SHARDS - 1,
+            "θ-band slices must hold band-local coverage state"
+        );
+        // Memory parity: S shards hold exactly one train/model/θ replica
+        // between them (strong count = S slices + the baseline bundle),
+        // not one each.
+        assert_eq!(Arc::strong_count(&baseline.train), SHARDS + 1);
+        assert_eq!(Arc::strong_count(&baseline.model), SHARDS + 1);
+        assert_eq!(Arc::strong_count(&baseline.theta), SHARDS + 1);
+    }
+
+    #[test]
+    fn ingest_copy_on_write_keeps_shards_isolated_but_consistent() {
+        // Ingestion bumps the Pop model per shard through Arc::make_mut;
+        // output must stay byte-identical to an unsharded engine fed the
+        // same stream (the pre-Arc behavior).
+        let b = bundle(CoverageKind::Static);
+        let single = ServingEngine::new(b.clone(), EngineConfig::default());
+        let sharded = ShardedEngine::new(b, ShardConfig::quantile(3));
+        for k in 0..5u32 {
+            let u = UserId(k % sharded.n_users());
+            let pick = sharded.recommend(u).unwrap()[k as usize % 5];
+            sharded.ingest(u, pick, 4.0).unwrap();
+            single.ingest(u, pick, 4.0).unwrap();
+        }
+        for u in 0..sharded.n_users() {
+            assert_eq!(
+                sharded.recommend(UserId(u)).unwrap(),
+                single.recommend(UserId(u)).unwrap(),
+                "user {u} diverges after copy-on-write ingest"
+            );
+        }
+    }
+
+    #[test]
     fn single_shard_plan_degenerates_to_unsharded() {
         let b = bundle(CoverageKind::Dynamic);
         let single = ServingEngine::new(b.clone(), EngineConfig::default());

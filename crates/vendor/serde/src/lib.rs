@@ -232,3 +232,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
         (**self).serialize(s)
     }
 }
+
+// Shared pointers are transparent on the wire: an `Arc<T>` encodes exactly
+// as `T` (real serde behaves the same), so putting a bundle field behind
+// `Arc` for in-memory sharing never changes the artifact format.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(std::sync::Arc::new(T::deserialize(d)?))
+    }
+}

@@ -1,0 +1,691 @@
+//! Offline stand-in for a `serde_json` subset: a hand-rolled JSON value
+//! model, parser, and encoder with no dependencies.
+//!
+//! The API mirrors the slice of `serde_json` the workspace consumes —
+//! [`Value`] with `as_*` accessors and `Index` by key/position,
+//! [`from_str`], [`to_string`], and a [`json!`]-shaped [`obj!`]/[`arr!`]
+//! builder pair — so the crate can be swapped for the real one when
+//! registry access exists.
+//!
+//! Guarantees the HTTP layer leans on:
+//!
+//! * **Deterministic encoding** — object keys serialize in insertion
+//!   order, numbers that are mathematically integral within `i64`/`u64`
+//!   range print without a fractional part, and no whitespace is emitted;
+//!   encoding the same value twice yields identical bytes.
+//! * **Strict parsing** — trailing garbage, unterminated strings, bad
+//!   escapes, lone surrogates, leading zeros, and over-deep nesting
+//!   (> [`MAX_DEPTH`]) are all errors, never panics. The parser is fuzzed
+//!   through `tests/http_protocol.rs`.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts (arrays + objects combined).
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, the serde_json `f64` model).
+    Number(f64),
+    /// A string (escapes already resolved).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order (first write of a key wins position;
+    /// duplicate keys keep the latest value, like serde_json).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// `Some(bool)` when the value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` when the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` when the value is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` when the value is an integral number in `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// `Some(&str)` when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(&[Value])` when the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(entries)` when the value is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a key on an object; panics on non-objects (the
+    /// builder macros use it on freshly made objects only).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let Value::Object(o) = self else {
+            panic!("insert on non-object JSON value");
+        };
+        let key = key.into();
+        match o.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => o.push((key, value)),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Like `serde_json::Value`: missing keys index to `Null`.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Number(v as f64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(v as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Number(v as f64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Number(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build a [`Value::Object`] literal: `obj! { "k" => v, ... }`.
+#[macro_export]
+macro_rules! obj {
+    ($($key:expr => $val:expr),* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut o = $crate::Value::Object(Vec::new());
+        $(o.insert($key, $crate::Value::from($val));)*
+        o
+    }};
+}
+
+/// Build a [`Value::Array`] literal: `arr![v1, v2, ...]`.
+#[macro_export]
+macro_rules! arr {
+    ($($val:expr),* $(,)?) => {
+        $crate::Value::Array(vec![$($crate::Value::from($val)),*])
+    };
+}
+
+/// Why a document failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset the error was detected at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Encode a value as compact JSON (no whitespace, deterministic bytes).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (k, item) in a.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(o) => {
+            out.push('{');
+            for (k, (key, val)) in o.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write;
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; serde_json refuses them at a different
+        // layer. Encode as null so the encoder is total.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, lit: &'static [u8], v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // '{'
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            match entries.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = val,
+                None => entries.push((key, val)),
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => c - b'0',
+                Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = (v << 4) | d as u16;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + ((hi as u32 - 0xD800) << 10) + (lo as u32 - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone surrogate"));
+                            } else {
+                                char::from_u32(hi as u32)
+                                    .ok_or_else(|| self.err("invalid codepoint"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing at
+                    // the next char boundary is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: no leading zeros.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("leading zero"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        for doc in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "3.25",
+            "1e3",
+            "\"hi\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"a\":1,\"b\":[true,null]}",
+        ] {
+            let v = from_str(doc).unwrap();
+            let enc = to_string(&v);
+            assert_eq!(from_str(&enc).unwrap(), v, "{doc}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_compact() {
+        let v = obj! {
+            "user" => 3u32,
+            "items" => vec![5u32, 2, 9],
+            "rate" => 0.5,
+        };
+        let s = to_string(&v);
+        assert_eq!(s, "{\"user\":3,\"items\":[5,2,9],\"rate\":0.5}");
+        assert_eq!(to_string(&from_str(&s).unwrap()), s);
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        assert_eq!(to_string(&Value::Number(4.0)), "4");
+        assert_eq!(to_string(&Value::Number(-4.0)), "-4");
+        assert_eq!(to_string(&Value::Number(4.5)), "4.5");
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = from_str("\"a\\\"b\\\\c\\n\\u0041\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c\nA😀");
+        let enc = to_string(&v);
+        assert_eq!(from_str(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\uD800\"",
+            "tru",
+            "nulll",
+            "1 2",
+            "[1] []",
+            "\u{1}",
+        ] {
+            assert!(from_str(doc).is_err(), "{doc:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str(&deep_ok).is_ok());
+        let deep_bad = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 2),
+            "]".repeat(MAX_DEPTH + 2)
+        );
+        assert_eq!(from_str(&deep_bad).unwrap_err().message, "nesting too deep");
+    }
+
+    #[test]
+    fn accessors_and_indexing_match_serde_json_shapes() {
+        let v = from_str("{\"n\":10,\"items\":[4,5],\"name\":\"pop\",\"ok\":true}").unwrap();
+        assert_eq!(v["n"].as_u64(), Some(10));
+        assert_eq!(v["items"][1].as_u64(), Some(5));
+        assert_eq!(v["items"][9], Value::Null);
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["name"].as_str(), Some("pop"));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(10));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_latest_value() {
+        let v = from_str("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(v["a"].as_u64(), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Two-process sharded HTTP serving, end to end:
+//!
+//! 1. fit a bundle, cut it into two θ-band artifacts
+//!    (`bundle.shard0.ganc`, `bundle.shard1.ganc`);
+//! 2. spawn a **separate OS process** (this same example re-executed with
+//!    `node-b <artifact>`) that loads shard 1's slice and serves its band
+//!    over HTTP;
+//! 3. run node A in this process: shard 0 served locally, shard 1 routed
+//!    to node B through `RemoteShard`;
+//! 4. drive a client session against node A and verify every response
+//!    matches a single-process `ShardedEngine` exactly.
+//!
+//! Run with `cargo run --release --example http_demo`.
+
+use ganc::dataset::synth::DatasetProfile;
+use ganc::dataset::UserId;
+use ganc::http::{
+    Frontend, HttpClient, HttpServer, RemoteShard, RouterNode, ServerConfig, ShardRoute,
+};
+use ganc::preference::generalized::GeneralizedConfig;
+use ganc::recommender::pop::MostPopular;
+use ganc::serve::{
+    EngineConfig, FitConfig, FittedModel, ModelBundle, SaveLoad, ServingEngine, ShardConfig,
+    ShardedEngine,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 3 && args[1] == "node-b" {
+        run_shard_node(&args[2]);
+        return;
+    }
+    run_router_demo();
+}
+
+/// Node B: load one θ-band artifact, serve it, announce the port, and stay
+/// up until the parent closes our stdin.
+fn run_shard_node(artifact: &str) {
+    let slice = ModelBundle::load(artifact).expect("load shard artifact");
+    let engine = Arc::new(ServingEngine::new(slice, EngineConfig::default()));
+    let server = HttpServer::bind(
+        Frontend::Single(engine),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind node B");
+    println!("LISTENING {}", server.local_addr());
+    std::io::stdout().flush().unwrap();
+    // Block until the parent drops our stdin — then shut down cleanly.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+}
+
+/// Node A (and the orchestration): fit, slice, spawn B, route, verify.
+fn run_router_demo() {
+    // ---- fit and shard ----
+    let data = DatasetProfile::small().generate(2024);
+    let split = data.split_per_user(0.5, 9).unwrap();
+    let train = split.train;
+    println!(
+        "fitting on {} users × {} items ({} ratings)",
+        train.n_users(),
+        train.n_items(),
+        train.nnz()
+    );
+    let theta = GeneralizedConfig::default().estimate(&train);
+    let pop = MostPopular::fit(&train);
+    let cfg = FitConfig {
+        sample_size: 200,
+        ..FitConfig::new(10)
+    };
+    let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, train, &cfg);
+    let n_users = bundle.n_users();
+
+    let reference = ShardedEngine::new(bundle.clone(), ShardConfig::quantile(2));
+    let dir = std::env::temp_dir().join("ganc_http_demo");
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = reference
+        .save_shard_artifacts(dir.join("bundle.ganc"))
+        .unwrap();
+    let info = reference.shard_info();
+    for (path, i) in paths.iter().zip(&info) {
+        println!(
+            "wrote {} — θ ∈ [{:.3}, {:.3}), {} users, {} snapshots",
+            path.display(),
+            i.theta_lo,
+            i.theta_hi,
+            i.users,
+            i.snapshots
+        );
+    }
+
+    // ---- node B: a second OS process serving shard 1's artifact ----
+    let mut node_b = Command::new(std::env::current_exe().unwrap())
+        .arg("node-b")
+        .arg(&paths[1])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn node B process");
+    let addr_b = {
+        let stdout = node_b.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        line.trim()
+            .strip_prefix("LISTENING ")
+            .expect("node B announcement")
+            .to_string()
+    };
+    println!("node B (pid {}) serving shard 1 at {addr_b}", node_b.id());
+
+    // ---- node A: shard 0 local, shard 1 via RemoteShard ----
+    let slice_a = ModelBundle::load(&paths[0]).unwrap();
+    let theta = Arc::clone(&slice_a.theta);
+    let cuts: Vec<f64> = info[1..].iter().map(|i| i.theta_lo).collect();
+    let local = Arc::new(ServingEngine::new(slice_a, EngineConfig::default()));
+    let remote = RemoteShard::connect(addr_b.clone()).expect("node B reachable");
+    let router = Arc::new(RouterNode::new(
+        theta,
+        cuts,
+        vec![ShardRoute::Local(local), ShardRoute::Remote(remote)],
+    ));
+    let node_a = HttpServer::bind(
+        Frontend::Router(router),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    println!("node A (router) at {}", node_a.local_addr());
+
+    // ---- client session against node A ----
+    let mut client = HttpClient::new(node_a.local_addr().to_string());
+    for path in [
+        "/v1/healthz".to_string(),
+        "/v1/stats".to_string(),
+        "/v1/recommend/17?n=5".to_string(),
+        format!("/v1/recommend/{}?n=5", n_users - 1),
+    ] {
+        let resp = client.request("GET", &path, None).unwrap();
+        println!(
+            "GET {path} -> {} {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        );
+    }
+    let batch_body = "{\"users\":[0,1,2,3,4]}";
+    let resp = client
+        .request("POST", "/v1/recommend:batch", Some(batch_body))
+        .unwrap();
+    println!(
+        "POST /v1/recommend:batch {batch_body} -> {} ({} bytes)",
+        resp.status,
+        resp.body.len()
+    );
+
+    // ---- verify: two-process output == single-process ShardedEngine ----
+    let mut verified = 0u32;
+    for u in 0..n_users {
+        let resp = client
+            .request("GET", &format!("/v1/recommend/{u}"), None)
+            .unwrap();
+        assert_eq!(resp.status, 200, "user {u}");
+        let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let got: Vec<u32> = v["items"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|i| i.as_u64().unwrap() as u32)
+            .collect();
+        let expect: Vec<u32> = reference
+            .recommend(UserId(u))
+            .unwrap()
+            .iter()
+            .map(|i| i.0)
+            .collect();
+        assert_eq!(got, expect, "user {u}: two-process ≠ single-process");
+        verified += 1;
+    }
+    println!(
+        "verified {verified}/{n_users} users: two-process routing output \
+         is identical to the single-process ShardedEngine"
+    );
+
+    // ---- shutdown: close B's stdin, wait for it to exit ----
+    drop(node_b.stdin.take());
+    let status = node_b.wait().unwrap();
+    println!("node B exited: {status}");
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+}

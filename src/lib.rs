@@ -20,6 +20,8 @@
 //! * [`serve`] — the online serving subsystem: model persistence, a
 //!   per-request incremental query path, and a concurrent serving engine
 //!   ([`ganc_serve`])
+//! * [`http`] — the std-only HTTP/1.1 front-end: server, remote θ-band
+//!   shard client, and multi-node router ([`ganc_http`])
 //!
 //! ## Quickstart
 //!
@@ -74,6 +76,7 @@
 pub use ganc_core as core;
 pub use ganc_dataset as dataset;
 pub use ganc_eval as eval;
+pub use ganc_http as http;
 pub use ganc_linalg as linalg;
 pub use ganc_metrics as metrics;
 pub use ganc_preference as preference;

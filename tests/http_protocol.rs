@@ -1,0 +1,262 @@
+//! Protocol robustness fuzz: the server must survive arbitrary bytes on
+//! the wire — torn heads, oversized bodies, bad JSON, pipelined junk —
+//! without ever panicking, always answering with a JSON error body on one
+//! of the contract statuses (400/404/413), and keeping its connection
+//! state machine consistent: framing violations close the connection,
+//! semantically bad requests keep it, and the server stays fully
+//! serviceable for the next connection either way.
+
+use ganc::core::coverage::CoverageKind;
+use ganc::dataset::synth::DatasetProfile;
+use ganc::http::http1;
+use ganc::http::{Frontend, HttpClient, HttpServer, ServerConfig};
+use ganc::preference::generalized::GeneralizedConfig;
+use ganc::recommender::pop::MostPopular;
+use ganc::serve::{EngineConfig, FitConfig, FittedModel, ModelBundle, ServingEngine};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Statuses the fuzz contract allows (200 for bytes that happen to form a
+/// valid request, plus the three error codes the API answers junk with).
+const ALLOWED: [u16; 4] = [200, 400, 404, 413];
+
+fn bundle() -> ModelBundle {
+    static BUNDLE: OnceLock<ModelBundle> = OnceLock::new();
+    BUNDLE
+        .get_or_init(|| {
+            let data = DatasetProfile::tiny().generate(31);
+            let split = data.split_per_user(0.5, 2).unwrap();
+            let theta = GeneralizedConfig::default().estimate(&split.train);
+            let pop = MostPopular::fit(&split.train);
+            let cfg = FitConfig {
+                coverage: CoverageKind::Dynamic,
+                sample_size: 10,
+                ..FitConfig::new(5)
+            };
+            ModelBundle::fit(FittedModel::Pop(pop), theta, split.train, &cfg)
+        })
+        .clone()
+}
+
+fn spawn_server() -> HttpServer {
+    let engine = Arc::new(ServingEngine::new(bundle(), EngineConfig::default()));
+    let cfg = ServerConfig {
+        // Short read timeout: junk that never completes a request must not
+        // pin a worker (or this test) for long.
+        read_timeout: Duration::from_millis(300),
+        limits: ganc::http::Limits {
+            max_head_bytes: 2048,
+            max_body_bytes: 4096,
+        },
+        ..ServerConfig::default()
+    };
+    HttpServer::bind(Frontend::Single(engine), None, cfg, "127.0.0.1:0").unwrap()
+}
+
+/// Write raw bytes on a fresh connection, half-close, and collect whatever
+/// the server answers (possibly several pipelined responses).
+fn exchange(server: &HttpServer, bytes: &[u8]) -> Vec<u8> {
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    (&stream).write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    let _ = (&stream).read_to_end(&mut out);
+    out
+}
+
+/// Parse every response on a wire capture, asserting each obeys the error
+/// contract: allowed status, JSON body, `"error"` key on non-200.
+fn check_responses(wire: &[u8], context: &str) -> Vec<u16> {
+    let mut reader = BufReader::new(wire);
+    let mut statuses = Vec::new();
+    loop {
+        // Peek through the buffer: stop at end of capture.
+        if reader.fill_buf().map(|b| b.is_empty()).unwrap_or(true) {
+            break;
+        }
+        match http1::read_response(&mut reader) {
+            Ok(resp) => {
+                assert!(
+                    ALLOWED.contains(&resp.status),
+                    "{context}: status {} outside the 200/400/404/413 contract",
+                    resp.status
+                );
+                let text = std::str::from_utf8(&resp.body)
+                    .unwrap_or_else(|_| panic!("{context}: non-UTF-8 body"));
+                let v = tinyjson::from_str(text)
+                    .unwrap_or_else(|e| panic!("{context}: body is not JSON ({e}): {text:?}"));
+                if resp.status != 200 {
+                    assert!(
+                        v["error"].as_str().is_some(),
+                        "{context}: error response without an \"error\" key: {text}"
+                    );
+                }
+                statuses.push(resp.status);
+                if !resp.keep_alive {
+                    break;
+                }
+            }
+            Err(_) => break, // ran off the end of the capture
+        }
+    }
+    statuses
+}
+
+/// The server is still fully serviceable: a fresh connection gets a good
+/// answer.
+fn assert_alive(server: &HttpServer, context: &str) {
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let resp = client
+        .request("GET", "/v1/healthz", None)
+        .unwrap_or_else(|e| panic!("{context}: server unreachable after fuzz case: {e}"));
+    assert_eq!(resp.status, 200, "{context}");
+    assert_eq!(resp.body, b"{\"ok\":true,\"generation\":0}", "{context}");
+}
+
+proptest! {
+    /// Completely random bytes: never a panic, never a non-contract status,
+    /// server alive afterwards.
+    #[test]
+    fn random_bytes_never_wedge_the_server(
+        bytes in collection::vec((0u32..256).prop_map(|b| b as u8), 0..300),
+    ) {
+        static SERVER: OnceLock<HttpServer> = OnceLock::new();
+        let server = SERVER.get_or_init(spawn_server);
+        let wire = exchange(server, &bytes);
+        check_responses(&wire, "random bytes");
+        assert_alive(server, "random bytes");
+    }
+
+    /// Structured junk: a method-shaped token, a path, torn or valid
+    /// headers, and a body that is JSON-shaped garbage. Same contract.
+    #[test]
+    fn structured_junk_answers_the_contract(
+        verb in (0usize..6),
+        path_pick in (0usize..6),
+        body_pick in (0usize..6),
+        torn in (0u32..2).prop_map(|t| t == 1),
+    ) {
+        static SERVER: OnceLock<HttpServer> = OnceLock::new();
+        let server = SERVER.get_or_init(spawn_server);
+        let verb = ["GET", "POST", "PUT", "DELETE", "G@T", ""][verb];
+        let path = [
+            "/v1/recommend/0",
+            "/v1/recommend/notanumber",
+            "/v1/recommend/0?n=abc",
+            "/v1/ingest",
+            "/nope",
+            "v1/healthz", // not absolute
+        ][path_pick];
+        let body = [
+            "",
+            "{",
+            "{\"users\":}",
+            "{\"users\":[1,2,",
+            "{\"user\":true}",
+            "[\"not\",\"an\",\"object\"]",
+        ][body_pick];
+        let mut request = format!("{verb} {path} HTTP/1.1\r\n");
+        if !body.is_empty() {
+            request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        if torn {
+            // Cut the head mid-header: the server must treat it as fatal.
+            request.push_str("X-Torn: yes");
+        } else {
+            request.push_str("\r\n");
+            request.push_str(body);
+        }
+        let wire = exchange(server, request.as_bytes());
+        check_responses(&wire, "structured junk");
+        assert_alive(server, "structured junk");
+    }
+}
+
+/// Torn head: bytes stop mid-request-line. Fatal 400, then close.
+#[test]
+fn torn_head_gets_400_and_close() {
+    let server = spawn_server();
+    let wire = exchange(&server, b"GET /v1/reco");
+    let statuses = check_responses(&wire, "torn head");
+    assert_eq!(statuses, vec![400]);
+}
+
+/// Declared body larger than the limit: 413 with a JSON error, then close
+/// (the unread body makes the stream unrecoverable).
+#[test]
+fn oversized_body_gets_413_and_close() {
+    let server = spawn_server();
+    let wire = exchange(
+        &server,
+        b"POST /v1/ingest HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+    );
+    let statuses = check_responses(&wire, "oversized body");
+    assert_eq!(statuses, vec![413]);
+    assert_alive(&server, "oversized body");
+}
+
+/// Well-framed but semantically bad requests keep the connection: bad
+/// JSON answers 400, an unknown route answers 404, and the *same*
+/// connection then serves a good request — the recoverable half of the
+/// state machine.
+#[test]
+fn bad_json_and_unknown_routes_keep_the_connection() {
+    let server = spawn_server();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    let resp = client
+        .request("POST", "/v1/recommend:batch", Some("{\"users\":[oops"))
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.keep_alive, "bad JSON must not cost the connection");
+
+    let resp = client.request("GET", "/v1/unknown", None).unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(resp.keep_alive);
+
+    let resp = client.request("GET", "/v1/recommend/0", None).unwrap();
+    assert_eq!(
+        resp.status, 200,
+        "connection must still serve good requests"
+    );
+
+    // Unknown ids: 404 with the machine-readable field, connection kept.
+    let resp = client.request("GET", "/v1/recommend/999999", None).unwrap();
+    assert_eq!(resp.status, 404);
+    let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(v["unknown_user"].as_u64(), Some(999_999));
+    let resp = client.request("GET", "/v1/recommend/0", None).unwrap();
+    assert_eq!(resp.status, 200);
+}
+
+/// Pipelined requests: a valid request followed by garbage. The valid one
+/// is answered 200, the garbage gets its fatal 400, then the connection
+/// closes — responses in order, no interleaving.
+#[test]
+fn pipelined_junk_answers_in_order_then_closes() {
+    let server = spawn_server();
+    let wire = exchange(
+        &server,
+        b"GET /v1/healthz HTTP/1.1\r\n\r\nNONSENSE BYTES HERE\r\n\r\n",
+    );
+    let statuses = check_responses(&wire, "pipelined junk");
+    assert_eq!(statuses, vec![200, 400]);
+}
+
+/// Pipelined *valid* requests all answer in order on one connection.
+#[test]
+fn pipelined_valid_requests_all_answer() {
+    let server = spawn_server();
+    let wire = exchange(
+        &server,
+        b"GET /v1/healthz HTTP/1.1\r\n\r\nGET /v1/recommend/0 HTTP/1.1\r\n\r\nGET /v1/stats HTTP/1.1\r\n\r\n",
+    );
+    let statuses = check_responses(&wire, "pipelined valid");
+    assert_eq!(statuses, vec![200, 200, 200]);
+}
