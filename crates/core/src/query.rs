@@ -113,6 +113,26 @@ pub fn shard_of(cuts: &[f64], theta: f64) -> usize {
     cuts.partition_point(|&c| c <= theta)
 }
 
+/// The half-open θ interval `[lo, hi)` of band `j` under ascending `cuts`
+/// (`−∞` below the first cut, `+∞` above the last) — the single source of
+/// the band-boundary convention [`shard_of`] routes by and
+/// `ModelBundle::slice_theta_band` slices by.
+#[inline]
+pub fn band_bounds(cuts: &[f64], j: usize) -> (f64, f64) {
+    debug_assert!(j <= cuts.len(), "band index out of range");
+    let lo = if j == 0 {
+        f64::NEG_INFINITY
+    } else {
+        cuts[j - 1]
+    };
+    let hi = if j == cuts.len() {
+        f64::INFINITY
+    } else {
+        cuts[j]
+    };
+    (lo, hi)
+}
+
 /// Combined GANC score `(1−θ)a + θc` written into `out` (Eq. III.1) — the
 /// dense reference combiner; the fused path computes the same expression
 /// per candidate without materializing `out`.
@@ -133,14 +153,14 @@ pub fn combine_into(theta_u: f64, a: &[f64], c: &[f64], out: &mut [f64]) {
 /// ([`ganc_recommender::topn::non_train_items`]) — request-independent, so
 /// callers compute it once and the candidate space becomes contiguous id
 /// runs with no per-item mask branch. The exclusion merge costs
-/// `O(|seen| + |extra_seen| + |non_train|)` for the whole request.
+/// `O(|seen| + |extra_seen| + |non_train|)` for the whole request; batch
+/// phases that serve the same user repeatedly can pay it once via
+/// [`candidate_runs`] + [`fused_select_runs`] instead.
 ///
 /// The inner loops are monomorphized per [`CoverageView`] variant, and the
 /// scores are the exact expression [`combine_into`] computes, so results
 /// are bit-identical to the three-buffer reference.
-// The negated `!(cap <= floor)` is deliberate: it must also take the slow
-// path when either side is NaN, which `cap > floor` would skip.
-#[allow(clippy::too_many_arguments, clippy::neg_cmp_op_on_partial_ord)]
+#[allow(clippy::too_many_arguments)]
 pub fn fused_select(
     n: usize,
     theta_u: f64,
@@ -152,6 +172,153 @@ pub fn fused_select(
     extra_seen: &[u32],
 ) -> Vec<ItemId> {
     debug_assert!(extra_seen.windows(2).all(|w| w[0] < w[1]));
+    fused_select_with(
+        n,
+        theta_u,
+        a,
+        view,
+        StreamRuns {
+            train,
+            user,
+            extra_seen,
+            non_train,
+        },
+    )
+}
+
+/// The user's candidate id space as materialized `[lo, hi)` runs — what
+/// [`for_each_candidate_run`] streams, frozen into a reusable list. The
+/// runs only change when the user's exclusion state does (an ingested
+/// interaction), so batch phases hoist them per user and replay them with
+/// [`fused_select_runs`] instead of re-merging the exclusion lists on
+/// every request.
+pub fn candidate_runs(
+    train: &Interactions,
+    user: UserId,
+    extra_seen: &[u32],
+    non_train: &[u32],
+) -> Vec<(u32, u32)> {
+    let mut runs = Vec::new();
+    for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+        runs.push((lo, hi));
+    });
+    runs
+}
+
+/// [`fused_select`] that also *records* the candidate runs it streamed:
+/// the returned run list equals [`candidate_runs`] for the same exclusion
+/// state, captured during the selection pass itself, so a caller that
+/// wants to hoist the runs for later requests pays only the `Vec` pushes
+/// on the first serve — never a separate merge walk.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_select_recording(
+    n: usize,
+    theta_u: f64,
+    a: &[f64],
+    view: &CoverageView<'_>,
+    train: &Interactions,
+    non_train: &[u32],
+    user: UserId,
+    extra_seen: &[u32],
+) -> (Vec<ItemId>, Vec<(u32, u32)>) {
+    debug_assert!(extra_seen.windows(2).all(|w| w[0] < w[1]));
+    let mut runs = Vec::new();
+    let list = fused_select_with(
+        n,
+        theta_u,
+        a,
+        view,
+        RecordingRuns {
+            inner: StreamRuns {
+                train,
+                user,
+                extra_seen,
+                non_train,
+            },
+            out: &mut runs,
+        },
+    );
+    (list, runs)
+}
+
+/// [`fused_select`] over precomputed [`candidate_runs`]: identical scoring
+/// and selection, with the exclusion merge already paid. Results are
+/// bit-identical to the streaming variant by construction (both walk the
+/// exact same runs in the same order).
+pub fn fused_select_runs(
+    n: usize,
+    theta_u: f64,
+    a: &[f64],
+    view: &CoverageView<'_>,
+    runs: &[(u32, u32)],
+) -> Vec<ItemId> {
+    fused_select_with(n, theta_u, a, view, SliceRuns(runs))
+}
+
+/// A producer of ascending candidate `[lo, hi)` runs the fused core can
+/// consume. A concrete type (not a `dyn` callback) so every
+/// (source, view-variant) pairing monomorphizes into the same tight loop
+/// nest the original single-function implementation compiled to —
+/// indirection here measurably deoptimizes the per-item hot loop.
+trait RunSource {
+    fn for_each(self, run: impl FnMut(u32, u32));
+}
+
+/// Stream the exclusion merge ([`for_each_candidate_run`]).
+struct StreamRuns<'a> {
+    train: &'a Interactions,
+    user: UserId,
+    extra_seen: &'a [u32],
+    non_train: &'a [u32],
+}
+
+impl RunSource for StreamRuns<'_> {
+    fn for_each(self, run: impl FnMut(u32, u32)) {
+        for_each_candidate_run(self.train, self.user, self.extra_seen, self.non_train, run);
+    }
+}
+
+/// Stream the merge while recording each run into `out`.
+struct RecordingRuns<'a> {
+    inner: StreamRuns<'a>,
+    out: &'a mut Vec<(u32, u32)>,
+}
+
+impl RunSource for RecordingRuns<'_> {
+    fn for_each(self, mut run: impl FnMut(u32, u32)) {
+        let out = self.out;
+        self.inner.for_each(|lo, hi| {
+            out.push((lo, hi));
+            run(lo, hi);
+        });
+    }
+}
+
+/// Replay precomputed runs.
+struct SliceRuns<'a>(&'a [(u32, u32)]);
+
+impl RunSource for SliceRuns<'_> {
+    fn for_each(self, mut run: impl FnMut(u32, u32)) {
+        for &(lo, hi) in self.0 {
+            run(lo, hi);
+        }
+    }
+}
+
+/// Shared core of [`fused_select`] / [`fused_select_recording`] /
+/// [`fused_select_runs`]: `runs` yields the candidate `[lo, hi)` runs in
+/// ascending order; the scoring loops are identical between the streaming
+/// and hoisted callers.
+// The negated `!(cap <= floor)` is deliberate: it must also take the slow
+// path when either side is NaN, which `cap > floor` would skip.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn fused_select_with<R: RunSource>(
+    n: usize,
+    theta_u: f64,
+    a: &[f64],
+    view: &CoverageView<'_>,
+    runs: R,
+) -> Vec<ItemId> {
     let w_a = 1.0 - theta_u;
     let mut col = TopNCollector::new(n);
     // The collector's cached-minimum fast reject makes each losing offer a
@@ -166,7 +333,7 @@ pub fn fused_select(
     // the per-item loads carry no bounds checks.
     match view {
         CoverageView::Dense(c) => {
-            for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+            runs.for_each(|lo, hi| {
                 let (l, h) = (lo as usize, hi as usize);
                 for (off, (&av, &cv)) in a[l..h].iter().zip(&c[l..h]).enumerate() {
                     col.offer(lo + off as u32, w_a * av + theta_u * cv);
@@ -174,7 +341,7 @@ pub fn fused_select(
             });
         }
         CoverageView::Hashed { seed, user: u } => {
-            for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+            runs.for_each(|lo, hi| {
                 let (l, h) = (lo as usize, hi as usize);
                 for (off, &av) in a[l..h].iter().enumerate() {
                     let wav = w_a * av;
@@ -187,7 +354,7 @@ pub fn fused_select(
         }
         CoverageView::Patched { base, overlay } => {
             let mut pos = 0usize;
-            for_each_candidate_run(train, user, extra_seen, non_train, |lo, hi| {
+            runs.for_each(|lo, hi| {
                 let (l, h) = (lo as usize, hi as usize);
                 for (off, (&av, &bv)) in a[l..h].iter().zip(&base[l..h]).enumerate() {
                     let i = lo + off as u32;
@@ -309,6 +476,47 @@ impl<'a> UserQuery<'a> {
             extra_seen,
         )
     }
+
+    /// [`UserQuery::topn_excluding`] that also records the candidate runs
+    /// it streamed (see [`fused_select_recording`]) — the first-serve half
+    /// of run hoisting: select and capture in one pass.
+    pub fn topn_excluding_recording(
+        &mut self,
+        user: UserId,
+        theta_u: f64,
+        coverage: &dyn CoverageProvider,
+        extra_seen: &[u32],
+    ) -> (Vec<ItemId>, Vec<(u32, u32)>) {
+        self.arec.accuracy_scores(user, &mut self.a_buf);
+        let view = coverage.view(user, theta_u);
+        fused_select_recording(
+            self.n,
+            theta_u,
+            &self.a_buf,
+            &view,
+            self.train,
+            &self.non_train,
+            user,
+            extra_seen,
+        )
+    }
+
+    /// Like [`UserQuery::topn_excluding`] with the candidate-run merge
+    /// already paid: `runs` must be this user's current
+    /// [`candidate_runs`]. Batch phases serving many requests per user
+    /// hoist the runs once (they only change on ingest) and replay them
+    /// here.
+    pub fn topn_with_runs(
+        &mut self,
+        user: UserId,
+        theta_u: f64,
+        coverage: &dyn CoverageProvider,
+        runs: &[(u32, u32)],
+    ) -> Vec<ItemId> {
+        self.arec.accuracy_scores(user, &mut self.a_buf);
+        let view = coverage.view(user, theta_u);
+        fused_select_runs(self.n, theta_u, &self.a_buf, &view, runs)
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +629,33 @@ mod tests {
                     let fused = q.topn(UserId(u), t, provider);
                     let naive = naive_topn(&arec, &train, &in_train, UserId(u), t, provider, 5);
                     assert_eq!(fused, naive, "user {u} θ={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_runs_match_the_streaming_merge_for_all_providers() {
+        let (train, theta, pop) = setup();
+        let arec = NormalizedScores::new(&pop);
+        let in_train = train_item_mask(&train);
+        let non_train = ganc_recommender::topn::non_train_items(&in_train);
+        let stat = StatCoverage::fit(&train);
+        let rand = RandCoverage::new(7);
+        let mut snaps = CoverageSnapshots::for_items(train.n_items());
+        snaps.push_assigned(0.2, &[ItemId(0), ItemId(3)]);
+        snaps.push_assigned(0.6, &[ItemId(3), ItemId(5)]);
+        let providers: [&dyn CoverageProvider; 3] = [&stat, &rand, &snaps];
+        let mut q = UserQuery::new(&arec, &train, &in_train, 5);
+        for provider in providers {
+            for u in (0..train.n_users()).step_by(13) {
+                for extra in [vec![], vec![0u32, 2, 9]] {
+                    let runs = candidate_runs(&train, UserId(u), &extra, &non_train);
+                    // The runs really cover the candidate space: streaming
+                    // and hoisted selection agree bit-for-bit.
+                    let hoisted = q.topn_with_runs(UserId(u), theta[u as usize], provider, &runs);
+                    let streamed = q.topn_excluding(UserId(u), theta[u as usize], provider, &extra);
+                    assert_eq!(hoisted, streamed, "user {u} extra={extra:?}");
                 }
             }
         }

@@ -305,3 +305,32 @@ impl RemoteShard {
             .ok_or_else(|| BackendError::Transport("missing generation".to_string()))
     }
 }
+
+/// A `RemoteShard` *is* the production peer transport; the router only
+/// ever sees the trait, so injection doubles ([`crate::testing`]) and the
+/// coalescing wrapper ([`crate::CoalescedShard`]) slot in without the
+/// router changing.
+impl crate::transport::PeerTransport for RemoteShard {
+    fn label(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        RemoteShard::recommend_traced(self, user)
+    }
+
+    fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        RemoteShard::recommend_batch_traced(self, users)
+    }
+
+    fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        RemoteShard::ingest(self, user, item, rating)
+    }
+
+    fn generation(&self) -> Result<u64, BackendError> {
+        RemoteShard::generation(self)
+    }
+}

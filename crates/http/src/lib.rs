@@ -19,7 +19,13 @@
 //!    serves some bands from local bundle slices, and dispatches the rest
 //!    to peer nodes serving `bundle.shardK.ganc` artifacts over the same
 //!    protocol — PR 3's per-node slices become a working multi-node
-//!    deployment.
+//!    deployment. Batch sub-requests fan out to the touched bands in
+//!    parallel (byte-identical to the sequential reference).
+//! 4. **Transport seam** ([`transport`], [`testing`]) — the
+//!    [`PeerTransport`] trait every remote hop goes through:
+//!    [`RemoteShard`] in production, [`CoalescedShard`] to micro-batch
+//!    concurrent singles into one wire call, and deterministic
+//!    fault/latency-injection doubles for the test suites.
 //!
 //! ## Quickstart
 //!
@@ -56,23 +62,38 @@ pub mod client;
 pub mod http1;
 pub mod router;
 pub mod server;
+pub mod testing;
+pub mod transport;
 
 pub use client::{HttpClient, RemoteShard};
 pub use http1::{Limits, Request, Response, StatusCode};
 pub use router::{RouterNode, ShardRoute};
 pub use server::{Frontend, HttpServer, RefitHook, ServerConfig};
+pub use transport::{CoalescedShard, PeerTransport};
 
 use ganc_serve::ServeError;
 
-/// Why a backend could not answer: a typed serving rejection, or the
-/// transport to a remote shard failed.
-#[derive(Debug)]
+/// Why a backend could not answer: a typed serving rejection, a transport
+/// failure, or one θ-band of a router dispatch failing.
+///
+/// `Clone` because a coalesced remote batch answers many callers with the
+/// same failure.
+#[derive(Debug, Clone)]
 pub enum BackendError {
     /// The engine rejected the request (unknown user/item).
     Serve(ServeError),
     /// A peer node was unreachable, answered garbage, or the deployment's
     /// generations were skewed mid-batch.
     Transport(String),
+    /// One θ-band of a router batch dispatch failed. Carries the band
+    /// index so a caller (and the JSON error body) can tell *which* shard
+    /// of the deployment is unhealthy instead of guessing positionally.
+    Band {
+        /// The failed band's index in the router's shard layout.
+        band: usize,
+        /// The underlying failure, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -80,6 +101,7 @@ impl std::fmt::Display for BackendError {
         match self {
             BackendError::Serve(e) => write!(f, "{e}"),
             BackendError::Transport(msg) => write!(f, "transport: {msg}"),
+            BackendError::Band { band, message } => write!(f, "band {band}: {message}"),
         }
     }
 }

@@ -2,8 +2,10 @@
 //! serving "a routing problem" by slicing one bundle into per-band
 //! artifacts; this module is the router. Each band is served either by a
 //! local [`ServingEngine`] over its slice or by a peer node reached through
-//! [`RemoteShard`] — the same `/v1/*` protocol either way, so a band can be
-//! moved across nodes without the router's callers noticing.
+//! a [`PeerTransport`] (production: [`crate::RemoteShard`], optionally
+//! wrapped in a [`crate::CoalescedShard`]) — the same `/v1/*` protocol
+//! either way, so a band can be moved across nodes without the router's
+//! callers noticing.
 //!
 //! Output equivalence: a user's request is answered by the engine holding
 //! their band's slice, and serving from a slice is byte-identical to
@@ -11,8 +13,24 @@
 //! so a router over any local/remote mix produces exactly the lists an
 //! in-process [`ganc_serve::ShardedEngine`] produces — which
 //! `tests/http_equivalence.rs` asserts across a real two-node topology.
+//!
+//! Batch dispatch is **parallel**: every touched band's sub-batch goes out
+//! concurrently (scoped threads, one per touched band, skipped when all
+//! touched bands are local engines that already parallelize internally),
+//! so a batch's wall clock is the *slowest* band's round-trip instead of
+//! the sum — the win that matters once bands live on remote nodes.
+//! Responses are reassembled
+//! in request order and the per-band results are folded **in band order**,
+//! so ordering, error selection, and the generation-skew check are
+//! byte-for-byte identical to the sequential reference
+//! ([`RouterNode::recommend_batch_traced_sequential`]), which
+//! `tests/router_fanout.rs` proves under injected slow/flaky/reordered
+//! peers. The one observable difference is side effects on the wire: the
+//! sequential path stops dispatching at the first failed band, the
+//! parallel path has already started the rest (read-only calls, so
+//! nothing diverges).
 
-use crate::client::RemoteShard;
+use crate::transport::PeerTransport;
 use crate::BackendError;
 use ganc_core::query::shard_of;
 use ganc_dataset::{ItemId, UserId};
@@ -23,11 +41,17 @@ use std::sync::Arc;
 pub enum ShardRoute {
     /// In this process, over the band's bundle slice.
     Local(Arc<ServingEngine>),
-    /// On a peer node, over HTTP.
-    Remote(RemoteShard),
+    /// On a peer node, over a [`PeerTransport`] (HTTP in production).
+    Remote(Arc<dyn PeerTransport>),
 }
 
 impl ShardRoute {
+    /// A remote route over any peer transport (sugar for wrapping in an
+    /// `Arc`).
+    pub fn remote(peer: impl PeerTransport + 'static) -> ShardRoute {
+        ShardRoute::Remote(Arc::new(peer))
+    }
+
     /// Short label for stats.
     pub(crate) fn kind(&self) -> &'static str {
         match self {
@@ -36,11 +60,11 @@ impl ShardRoute {
         }
     }
 
-    /// Peer address for remote routes.
-    pub(crate) fn addr(&self) -> Option<&str> {
+    /// Peer address (or double label) for remote routes.
+    pub(crate) fn addr(&self) -> Option<String> {
         match self {
             ShardRoute::Local(_) => None,
-            ShardRoute::Remote(r) => Some(r.addr()),
+            ShardRoute::Remote(r) => Some(r.label()),
         }
     }
 
@@ -48,6 +72,28 @@ impl ShardRoute {
         match self {
             ShardRoute::Local(e) => Ok(e.generation()),
             ShardRoute::Remote(r) => r.generation(),
+        }
+    }
+
+    /// Dispatch one band's sub-batch. Remote failures are wrapped with the
+    /// band index so the caller knows *which* shard of the deployment is
+    /// unhealthy.
+    #[allow(clippy::type_complexity)]
+    fn dispatch(
+        &self,
+        band: usize,
+        sub: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        match self {
+            ShardRoute::Local(engine) => Ok(engine.recommend_batch_traced(sub)),
+            ShardRoute::Remote(remote) => {
+                remote
+                    .recommend_batch_traced(sub)
+                    .map_err(|e| BackendError::Band {
+                        band,
+                        message: e.to_string(),
+                    })
+            }
         }
     }
 }
@@ -112,16 +158,116 @@ impl RouterNode {
         }
     }
 
-    /// Split a batch across bands and dispatch each sub-batch through its
-    /// route, reassembling answers in request order. Every touched route
-    /// must report the same generation — nodes are refit together in a real
-    /// rollout, and a skewed response here means the caller would silently
-    /// mix two model versions, so skew is a hard error instead.
+    /// Split a batch across bands, dispatch every touched band's sub-batch
+    /// **concurrently** (when at least one touched band is remote — an
+    /// all-local dispatch runs inline, each local engine parallelizing
+    /// internally), and reassemble answers in request order. Every
+    /// touched route must report the same generation — nodes are refit
+    /// together in a real rollout, and a skewed response here means the
+    /// caller would silently mix two model versions, so skew is a hard
+    /// error instead. A failed band errors the whole batch, tagged with
+    /// the band index ([`BackendError::Band`]).
     #[allow(clippy::type_complexity)]
     pub fn recommend_batch_traced(
         &self,
         users: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let (mut results, per_route) = self.split_batch(users);
+        let touched: Vec<(usize, &Vec<usize>)> = per_route
+            .iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect();
+        // Dispatch inline when fan-out can't pay: a single touched band,
+        // or all touched bands local — a local engine already spreads its
+        // sub-batch across its own worker pool, so extra threads here
+        // would only add spawn/join churn (remote hops are where the
+        // overlap buys wall clock: the round-trips run concurrently).
+        let all_local = touched
+            .iter()
+            .all(|&(j, _)| matches!(self.routes[j], ShardRoute::Local(_)));
+        let band_answers = if touched.len() <= 1 || all_local {
+            touched
+                .iter()
+                .map(|&(j, idxs)| {
+                    let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+                    self.routes[j].dispatch(j, &sub)
+                })
+                .collect()
+        } else {
+            // One scoped thread per touched band: the fan-out's wall clock
+            // is the slowest band, not the sum. Answers are *collected*
+            // here and *folded* below in band order, so error selection
+            // and skew detection replay the sequential path exactly.
+            let mut band_answers = Vec::with_capacity(touched.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = touched
+                    .iter()
+                    .map(|&(j, idxs)| {
+                        let route = &self.routes[j];
+                        scope.spawn(move || {
+                            let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+                            route.dispatch(j, &sub)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    band_answers.push(h.join().expect("band dispatch worker panicked"));
+                }
+            });
+            band_answers
+        };
+        let mut check = generation_check();
+        let mut generation = None;
+        for (&(_, idxs), answer) in touched.iter().zip(band_answers) {
+            let (answers, g) = answer?;
+            check(&mut generation, g)?;
+            for (&k, answer) in idxs.iter().zip(answers) {
+                results[k] = Some(answer);
+            }
+        }
+        self.finish_batch(results, generation)
+    }
+
+    /// The sequential reference dispatch: identical splitting, folding,
+    /// error selection, and skew detection, with bands visited one after
+    /// another (and no band dispatched after a failure). The parallel
+    /// path's response must be byte-identical to this — the equivalence
+    /// `tests/router_fanout.rs` pins under injected adversarial timing —
+    /// and the throughput bench uses it as the baseline the fan-out must
+    /// beat.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_traced_sequential(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let (mut results, per_route) = self.split_batch(users);
+        let mut check = generation_check();
+        let mut generation = None;
+        for (j, idxs) in per_route.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+            let (answers, g) = self.routes[j].dispatch(j, &sub)?;
+            check(&mut generation, g)?;
+            for (&k, answer) in idxs.iter().zip(answers) {
+                results[k] = Some(answer);
+            }
+        }
+        self.finish_batch(results, generation)
+    }
+
+    /// Route every user of a batch: per-request errors land in their slot,
+    /// placeable users are grouped per route in request order.
+    #[allow(clippy::type_complexity)]
+    fn split_batch(
+        &self,
+        users: &[UserId],
+    ) -> (
+        Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>>,
+        Vec<Vec<usize>>,
+    ) {
         let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
             vec![None; users.len()];
         let mut per_route: Vec<Vec<usize>> = vec![Vec::new(); self.routes.len()];
@@ -131,31 +277,17 @@ impl RouterNode {
                 Err(e) => results[k] = Some(Err(e)),
             }
         }
-        let mut generation: Option<u64> = None;
-        let mut check = |g: u64| match generation {
-            None => {
-                generation = Some(g);
-                Ok(())
-            }
-            Some(have) if have == g => Ok(()),
-            Some(have) => Err(BackendError::Transport(format!(
-                "generation skew across shards: {have} vs {g}"
-            ))),
-        };
-        for (j, idxs) in per_route.iter().enumerate() {
-            if idxs.is_empty() {
-                continue;
-            }
-            let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
-            let (answers, g) = match &self.routes[j] {
-                ShardRoute::Local(engine) => engine.recommend_batch_traced(&sub),
-                ShardRoute::Remote(remote) => remote.recommend_batch_traced(&sub)?,
-            };
-            check(g)?;
-            for (&k, answer) in idxs.iter().zip(answers) {
-                results[k] = Some(answer);
-            }
-        }
+        (results, per_route)
+    }
+
+    /// Seal a fully folded batch, resolving the generation when nothing
+    /// was dispatched.
+    #[allow(clippy::type_complexity)]
+    fn finish_batch(
+        &self,
+        results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>>,
+        generation: Option<u64>,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
         let generation = match generation {
             Some(g) => g,
             // Nothing dispatched (empty batch / all unknown): any route's
@@ -201,5 +333,21 @@ impl RouterNode {
     /// The deployment's generation (route 0's view).
     pub fn generation(&self) -> Result<u64, BackendError> {
         self.routes[0].generation()
+    }
+}
+
+/// The fold-time generation-skew check both dispatch strategies share:
+/// the first dispatched band (in band order) pins the generation, every
+/// later one must match it.
+fn generation_check() -> impl FnMut(&mut Option<u64>, u64) -> Result<(), BackendError> {
+    |generation: &mut Option<u64>, g: u64| match *generation {
+        None => {
+            *generation = Some(g);
+            Ok(())
+        }
+        Some(have) if have == g => Ok(()),
+        Some(have) => Err(BackendError::Transport(format!(
+            "generation skew across shards: {have} vs {g}"
+        ))),
     }
 }

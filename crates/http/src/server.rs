@@ -130,6 +130,38 @@ impl Frontend {
     }
 }
 
+/// Any in-process frontend can stand in as a peer: the loopback building
+/// block the deterministic injection doubles in [`crate::testing`] wrap,
+/// so fan-out and coalescing are provable without sockets.
+impl crate::transport::PeerTransport for Frontend {
+    fn label(&self) -> String {
+        match self {
+            Frontend::Single(_) => "in-process:single".to_string(),
+            Frontend::Sharded(_) => "in-process:sharded".to_string(),
+            Frontend::Router(_) => "in-process:router".to_string(),
+        }
+    }
+
+    fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        Frontend::recommend_traced(self, user)
+    }
+
+    fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        Frontend::recommend_batch_traced(self, users)
+    }
+
+    fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        Frontend::ingest(self, user, item, rating)
+    }
+
+    fn generation(&self) -> Result<u64, BackendError> {
+        Frontend::generation(self)
+    }
+}
+
 /// Refit support for `POST /admin/refit`: the fitter and fit config one
 /// pass runs with (the same pair a [`ganc_serve::RefitController`] is
 /// spawned with).
@@ -548,5 +580,15 @@ fn backend_error(e: BackendError) -> (u16, Value) {
     match e {
         BackendError::Serve(e) => (StatusCode::NOT_FOUND, serve_error_value(&e)),
         BackendError::Transport(msg) => (StatusCode::BAD_GATEWAY, obj! { "error" => msg }),
+        // A failed θ-band names itself: "band" is machine-readable so an
+        // operator (or a retrying client) knows which shard of the
+        // deployment is unhealthy instead of reading it out of prose.
+        BackendError::Band { band, message } => (
+            StatusCode::BAD_GATEWAY,
+            obj! {
+                "error" => format!("band {band}: {message}"),
+                "band" => band,
+            },
+        ),
     }
 }

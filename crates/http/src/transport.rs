@@ -1,0 +1,122 @@
+//! The peer-transport abstraction a [`crate::RouterNode`] dispatches
+//! remote θ-bands through, plus the micro-batching wrapper that coalesces
+//! concurrent singles to one peer into one wire call.
+//!
+//! [`PeerTransport`] is the seam that makes the router's concurrency
+//! testable: production wires [`crate::RemoteShard`] (real HTTP) into it,
+//! while the deterministic fault/latency doubles in [`crate::testing`]
+//! implement the same trait to inject slow, flaky, or reordered peers
+//! without real sockets or sleeps — `tests/router_fanout.rs` and
+//! `tests/remote_coalescing.rs` prove the parallel fan-out and the
+//! coalescer byte-equivalent to their naive counterparts under that
+//! adversarial timing.
+
+use crate::BackendError;
+use ganc_dataset::{ItemId, UserId};
+use ganc_serve::{BatchConfig, BatchSource, Coalescer, ServeError};
+use std::sync::Arc;
+
+/// A peer node serving one θ-band slice, reachable by whatever transport:
+/// real HTTP ([`crate::RemoteShard`]), an in-process engine, or an
+/// injection double wrapping either.
+pub trait PeerTransport: Send + Sync {
+    /// Where this peer lives, for stats and error labels (an address for
+    /// real peers, a description for doubles).
+    fn label(&self) -> String;
+
+    /// Answer one user's request with the peer's generation.
+    fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError>;
+
+    /// Answer a batch in-slot; the whole batch shares one generation.
+    #[allow(clippy::type_complexity)]
+    fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError>;
+
+    /// Apply one observed interaction on the peer.
+    fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError>;
+
+    /// The peer's current bundle generation.
+    fn generation(&self) -> Result<u64, BackendError>;
+}
+
+/// Adapter: a shared peer is a [`BatchSource`], so the generic serve-side
+/// [`Coalescer`] can drive it.
+struct PeerSource(Arc<dyn PeerTransport>);
+
+impl BatchSource for PeerSource {
+    type Error = BackendError;
+
+    fn batch(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        self.0.recommend_batch_traced(users)
+    }
+}
+
+/// A coalescing wrapper around a peer: concurrent *single* requests merge
+/// into one `POST /v1/recommend:batch` wire call (bounded by the linger
+/// window and batch cap in [`BatchConfig`]), so a router under concurrent
+/// load pays one round-trip per batch instead of one per request.
+///
+/// Single-generation guarantee: every caller coalesced into one batch is
+/// answered from that batch's one generation — the peer's batch endpoint
+/// serves a whole batch from exactly one bundle generation, and the
+/// coalescer never splits one logical flush across wire calls. Batches and
+/// ingests pass straight through to the inner peer (they are already
+/// batched, or must not be reordered).
+pub struct CoalescedShard {
+    inner: Arc<dyn PeerTransport>,
+    coalescer: Coalescer<PeerSource>,
+}
+
+impl CoalescedShard {
+    /// Wrap `inner`, coalescing its single-request traffic under `cfg`.
+    pub fn new(inner: Arc<dyn PeerTransport>, cfg: BatchConfig) -> CoalescedShard {
+        CoalescedShard {
+            coalescer: Coalescer::spawn(PeerSource(Arc::clone(&inner)), cfg),
+            inner,
+        }
+    }
+
+    /// Requests accepted by the coalescer but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.coalescer.pending()
+    }
+
+    /// Close the queue, flush accepted requests, and join the worker (see
+    /// [`Coalescer::shutdown`]). Also runs on drop.
+    pub fn shutdown(&self) {
+        self.coalescer.shutdown();
+    }
+}
+
+impl PeerTransport for CoalescedShard {
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+
+    fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        match self.coalescer.request_traced(user)? {
+            (Ok(list), generation) => Ok((list, generation)),
+            (Err(e), _) => Err(BackendError::Serve(e)),
+        }
+    }
+
+    fn recommend_batch_traced(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        self.inner.recommend_batch_traced(users)
+    }
+
+    fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        self.inner.ingest(user, item, rating)
+    }
+
+    fn generation(&self) -> Result<u64, BackendError> {
+        self.inner.generation()
+    }
+}

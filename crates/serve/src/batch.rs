@@ -1,26 +1,44 @@
 //! Micro-batching front door: coalesce concurrent single-user requests
-//! into engine batches.
+//! into one batch call against a [`BatchSource`].
 //!
-//! Callers block on [`MicroBatcher::request`]; a background worker drains
-//! the queue, waits up to `max_wait` for up to `max_batch` requests to
-//! accumulate, and answers them with one
-//! [`ServingEngine::recommend_batch`] call — so each serving worker's
-//! scorer/buffer setup is amortized over the whole batch instead of paid
-//! per request.
+//! Callers block on [`Coalescer::request_traced`]; a background worker
+//! drains the queue, waits up to `max_wait` (the *linger*) for up to
+//! `max_batch` requests to accumulate, and answers them with one
+//! [`BatchSource::batch`] call. Two things get amortized:
+//!
+//! * against a local [`ServingEngine`] source, each serving worker's
+//!   scorer/buffer setup is paid once per batch instead of per request;
+//! * against a remote peer (the `ganc-http` router's `RemoteShard` hop),
+//!   one HTTP round-trip replaces one-per-request — the wire win the
+//!   coalescing layer exists for.
+//!
+//! Generation contract: every request coalesced into one batch is answered
+//! from that batch's single generation (a [`BatchSource::batch`] call
+//! reports exactly one), so coalescing can never hand two callers of the
+//! same batch different model versions — the staleness invariant
+//! `tests/remote_coalescing.rs` locks down under refit churn.
+//!
+//! Shutdown contract: [`Coalescer::shutdown`] (and `Drop`) closes the
+//! queue and *flushes* — every request already accepted is answered before
+//! the worker exits, and a pending linger is cut short the moment the
+//! queue closes, so shutdown latency is one in-flight batch, not
+//! `max_wait`.
 
 use crate::engine::{ServeError, ServingEngine};
 use ganc_dataset::{ItemId, UserId};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Batching knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
-    /// Largest batch handed to the engine at once.
+    /// Largest batch handed to the source at once.
     pub max_batch: usize,
-    /// Longest a request waits for companions before the batch flushes.
+    /// Longest a request waits for companions before the batch flushes
+    /// (the linger bound). Queue shutdown cuts a pending linger short.
     pub max_wait: Duration,
 }
 
@@ -33,75 +51,231 @@ impl Default for BatchConfig {
     }
 }
 
-struct Request {
-    user: UserId,
-    reply: mpsc::Sender<Result<Arc<Vec<ItemId>>, ServeError>>,
+/// Something that can answer a whole batch of single-user requests in one
+/// call, reporting per-slot results and the **single** generation the
+/// batch was served from.
+///
+/// `Error` is a whole-batch failure (e.g. the transport to a remote peer
+/// died); it is cloned to every caller the batch coalesced.
+pub trait BatchSource: Send + Sync + 'static {
+    /// Whole-batch failure type. [`Infallible`] for in-process sources.
+    type Error: Clone + Send + 'static;
+
+    /// Answer `users` in one call. A successful answer MUST contain
+    /// exactly `users.len()` slots, in order — the coalescer distributes
+    /// them positionally, and a short answer would strand callers, so the
+    /// contract is enforced (a violating implementation panics the batch
+    /// worker). Transports that cannot trust their peer must validate
+    /// before returning `Ok` (as the HTTP `RemoteShard` client does) and
+    /// report a whole-batch `Err` instead.
+    #[allow(clippy::type_complexity)]
+    fn batch(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), Self::Error>;
 }
 
-/// A handle submitting requests into the batching queue.
+/// A local serving engine never fails as a whole batch.
+impl BatchSource for Arc<ServingEngine> {
+    type Error = Infallible;
+
+    fn batch(
+        &self,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), Infallible> {
+        Ok(self.recommend_batch_traced(users))
+    }
+}
+
+/// One caller's answer: the per-slot result plus the generation of the
+/// batch it was coalesced into, or the whole batch's failure.
+pub type CoalescedAnswer<E> = Result<(Result<Arc<Vec<ItemId>>, ServeError>, u64), E>;
+
+struct Pending<E> {
+    user: UserId,
+    reply: mpsc::Sender<CoalescedAnswer<E>>,
+}
+
+/// A handle submitting single requests into the batching queue of some
+/// [`BatchSource`]. [`MicroBatcher`] is the engine-backed special case.
+pub struct Coalescer<S: BatchSource> {
+    tx: Mutex<Option<mpsc::Sender<Pending<S::Error>>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    /// Requests enqueued so far (bumped strictly *after* the send lands),
+    /// monotonic. Paired with `answered` so `pending()` never over-counts
+    /// a request that is still mid-submit — the injection tests wait on
+    /// exact queue depths without sleeps.
+    accepted: Arc<AtomicUsize>,
+    /// Requests answered (or failed) by the worker, monotonic.
+    answered: Arc<AtomicUsize>,
+}
+
+impl<S: BatchSource> Coalescer<S> {
+    /// Start a batching worker over `source`.
+    pub fn spawn(source: S, cfg: BatchConfig) -> Coalescer<S> {
+        let (tx, rx) = mpsc::channel::<Pending<S::Error>>();
+        let max_batch = cfg.max_batch.max(1);
+        let max_wait = cfg.max_wait;
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let answered = Arc::new(AtomicUsize::new(0));
+        let worker = {
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                // Block for the first request of each batch; then collect
+                // companions until the window closes, the batch fills, or
+                // the queue shuts down (which flushes immediately).
+                while let Ok(first) = rx.recv() {
+                    let mut batch = vec![first];
+                    let deadline = Instant::now() + max_wait;
+                    // Backlog coalescing is free: drain whatever already
+                    // queued (e.g. while the previous batch was in flight)
+                    // before spending any linger budget.
+                    while batch.len() < max_batch {
+                        match rx.try_recv() {
+                            Ok(req) => batch.push(req),
+                            Err(_) => break,
+                        }
+                    }
+                    // Then linger for stragglers.
+                    while batch.len() < max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(req) => batch.push(req),
+                            // Timeout ends the linger; Disconnected means
+                            // shutdown started — flush what we have now.
+                            Err(_) => break,
+                        }
+                    }
+                    let users: Vec<UserId> = batch.iter().map(|r| r.user).collect();
+                    let answer = source.batch(&users);
+                    match answer {
+                        Ok((slots, generation)) => {
+                            // Release-mode check: a short answer would
+                            // silently strand the unmatched callers on a
+                            // dead reply channel; fail loudly at the
+                            // source of the contract violation instead.
+                            assert_eq!(
+                                slots.len(),
+                                batch.len(),
+                                "BatchSource contract violation: {} slots for {} requests",
+                                slots.len(),
+                                batch.len()
+                            );
+                            for (req, slot) in batch.iter().zip(slots) {
+                                // A receiver that gave up is not an error
+                                // for the rest of the batch.
+                                let _ = req.reply.send(Ok((slot, generation)));
+                            }
+                        }
+                        Err(e) => {
+                            for req in &batch {
+                                let _ = req.reply.send(Err(e.clone()));
+                            }
+                        }
+                    }
+                    answered.fetch_add(batch.len(), Ordering::Release);
+                }
+            })
+        };
+        Coalescer {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            accepted,
+            answered,
+        }
+    }
+
+    /// Submit one request and block until its batch is answered: the
+    /// per-slot result plus the single generation the whole batch shares.
+    ///
+    /// Panics if called after [`Coalescer::shutdown`].
+    pub fn request_traced(&self, user: UserId) -> CoalescedAnswer<S::Error> {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap()
+            .as_ref()
+            .cloned()
+            .expect("coalescer running");
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(Pending {
+            user,
+            reply: reply_tx,
+        })
+        .expect("batch worker alive");
+        // Count strictly after the send: `pending() == n` must certify n
+        // requests are really in the queue (or in the in-flight batch) —
+        // never a caller still mid-submit.
+        self.accepted.fetch_add(1, Ordering::Release);
+        // The send is in: even if shutdown races us from here on, the
+        // worker drains the queue before exiting, so this recv always gets
+        // an answer (the flush-on-shutdown contract).
+        drop(tx);
+        reply_rx
+            .recv()
+            .expect("batch worker died before answering (BatchSource contract violation?)")
+    }
+
+    /// Requests enqueued but not yet answered. Transiently *under*-counts
+    /// (a request being answered right as its caller finishes the submit
+    /// accounting) but never over-counts, so waiting for `pending() == n`
+    /// guarantees n requests are queued or in flight.
+    pub fn pending(&self) -> usize {
+        // `answered` first: reading it stale can only shrink the result.
+        let answered = self.answered.load(Ordering::Acquire);
+        self.accepted
+            .load(Ordering::Acquire)
+            .saturating_sub(answered)
+    }
+
+    /// Close the queue and flush: requests already accepted are answered,
+    /// a pending linger ends immediately, then the worker is joined. New
+    /// [`Coalescer::request_traced`] calls panic after this.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take());
+        if let Some(worker) = self.worker.lock().unwrap().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<S: BatchSource> Drop for Coalescer<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The engine-backed micro-batcher: coalesces concurrent callers into
+/// [`ServingEngine::recommend_batch`] calls.
 ///
-/// Dropping the batcher closes the queue and joins the worker.
+/// Dropping the batcher closes the queue, flushes accepted requests, and
+/// joins the worker.
 pub struct MicroBatcher {
-    tx: Option<mpsc::Sender<Request>>,
-    worker: Option<JoinHandle<()>>,
+    inner: Coalescer<Arc<ServingEngine>>,
 }
 
 impl MicroBatcher {
     /// Start a batching worker over `engine`.
     pub fn spawn(engine: Arc<ServingEngine>, cfg: BatchConfig) -> MicroBatcher {
-        let (tx, rx) = mpsc::channel::<Request>();
-        let max_batch = cfg.max_batch.max(1);
-        let max_wait = cfg.max_wait;
-        let worker = std::thread::spawn(move || {
-            // Block for the first request of each batch; then collect
-            // companions until the window closes or the batch fills.
-            while let Ok(first) = rx.recv() {
-                let mut pending = vec![first];
-                let deadline = Instant::now() + max_wait;
-                while pending.len() < max_batch {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    match rx.recv_timeout(deadline - now) {
-                        Ok(req) => pending.push(req),
-                        Err(_) => break,
-                    }
-                }
-                let users: Vec<UserId> = pending.iter().map(|r| r.user).collect();
-                let answers = engine.recommend_batch(&users);
-                for (req, answer) in pending.into_iter().zip(answers) {
-                    // A receiver that gave up is not an error for the batch.
-                    let _ = req.reply.send(answer);
-                }
-            }
-        });
         MicroBatcher {
-            tx: Some(tx),
-            worker: Some(worker),
+            inner: Coalescer::spawn(engine, cfg),
         }
     }
 
     /// Submit one request and block for its answer.
     pub fn request(&self, user: UserId) -> Result<Arc<Vec<ItemId>>, ServeError> {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        self.tx
-            .as_ref()
-            .expect("batcher running")
-            .send(Request {
-                user,
-                reply: reply_tx,
-            })
-            .expect("batch worker alive");
-        reply_rx.recv().expect("batch worker answers")
+        self.request_traced(user).map(|(list, _)| list)
     }
-}
 
-impl Drop for MicroBatcher {
-    fn drop(&mut self) {
-        drop(self.tx.take());
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+    /// Like [`MicroBatcher::request`], also reporting the generation of
+    /// the engine batch this request was coalesced into.
+    pub fn request_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), ServeError> {
+        match self.inner.request_traced(user) {
+            Ok((slot, generation)) => slot.map(|list| (list, generation)),
+            Err(infallible) => match infallible {},
         }
     }
 }
@@ -155,6 +329,15 @@ mod tests {
         let batcher = MicroBatcher::spawn(Arc::clone(&e), BatchConfig::default());
         let bad = UserId(e.n_users() + 5);
         assert_eq!(batcher.request(bad), Err(ServeError::UnknownUser(bad)));
+    }
+
+    #[test]
+    fn traced_requests_report_the_engine_generation() {
+        let e = engine();
+        let batcher = MicroBatcher::spawn(Arc::clone(&e), BatchConfig::default());
+        let (list, generation) = batcher.request_traced(UserId(0)).unwrap();
+        assert_eq!(generation, 0);
+        assert_eq!(list, e.recommend(UserId(0)).unwrap());
     }
 
     #[test]

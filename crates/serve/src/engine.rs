@@ -34,17 +34,20 @@
 
 use crate::bundle::{make_scorer_with_mask, CoverageState, FittedModel, ModelBundle};
 use crate::lru::LruCache;
-use ganc_core::query::{fused_select, UserQuery};
+use ganc_core::query::{fused_select_recording, fused_select_runs, UserQuery};
 use ganc_dataset::{ItemId, UserId};
 use ganc_recommender::pop::MostPopular;
 use ganc_recommender::topn::train_item_mask;
 use ganc_recommender::Recommender;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// A cached response: the bundle generation that computed it plus the list.
 type CachedList = (u64, Arc<Vec<ItemId>>);
+
+/// One user's hoisted candidate `[lo, hi)` runs, shared with batch workers.
+type RunList = Arc<Vec<(u32, u32)>>;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -131,6 +134,13 @@ struct EngineState {
     /// vector. Rebuilt on first request after an ingest invalidates it, so
     /// ingestion itself stays `O(touched items)`.
     shared_accuracy: Mutex<Option<Arc<Vec<f64>>>>,
+    /// Lazily hoisted per-user candidate runs (the ROADMAP
+    /// candidate-run-reuse item): a user's exclusion merge
+    /// (`seen + extra_seen + non_train`) only changes when *they* ingest,
+    /// so repeat requests — the batch parallel phase above all — replay the
+    /// frozen `[lo, hi)` runs instead of re-merging. Invalidated per user
+    /// under the ingest write lock; a bundle swap rebuilds the whole state.
+    candidate_runs: Vec<OnceLock<RunList>>,
 }
 
 impl EngineState {
@@ -162,6 +172,9 @@ impl EngineState {
                 .all(|(i, &f)| pop.popularity_score(ItemId(i as u32)) == f as f64),
             _ => false,
         };
+        let candidate_runs = std::iter::repeat_with(OnceLock::new)
+            .take(bundle.train.n_users() as usize)
+            .collect();
         EngineState {
             bundle,
             generation,
@@ -173,7 +186,23 @@ impl EngineState {
             accuracy_is_shared,
             pop_bump_ok,
             shared_accuracy: Mutex::new(None),
+            candidate_runs,
         }
+    }
+
+    /// The user's hoisted candidate runs, if a previous serve recorded
+    /// them for the current exclusion state (see the field docs). A first
+    /// serve streams the merge and records the runs as a side effect —
+    /// never a separate merge walk — so hoisting costs a cold request
+    /// nothing and repeat requests skip the merge entirely.
+    fn cached_runs(&self, user: UserId) -> Option<&RunList> {
+        self.candidate_runs[user.idx()].get()
+    }
+
+    /// Cache `runs` recorded by a first serve (a racing serve of the same
+    /// user recorded identical runs; losing the race is fine).
+    fn record_runs(&self, user: UserId, runs: Vec<(u32, u32)>) {
+        let _ = self.candidate_runs[user.idx()].set(Arc::new(runs));
     }
 
     /// The per-user-constant normalized accuracy vector, when the model
@@ -200,7 +229,10 @@ impl EngineState {
         let b = &self.bundle;
         let theta_u = b.theta[user.idx()];
         let view = b.coverage.provider().view(user, theta_u);
-        fused_select(
+        if let Some(runs) = self.cached_runs(user) {
+            return fused_select_runs(b.n, theta_u, accuracy, &view, runs);
+        }
+        let (list, runs) = fused_select_recording(
             b.n,
             theta_u,
             accuracy,
@@ -209,7 +241,9 @@ impl EngineState {
             &self.non_train,
             user,
             &self.extra_seen[user.idx()],
-        )
+        );
+        self.record_runs(user, runs);
+        list
     }
 
     /// Compute one user's list the way the batch optimizer would.
@@ -226,12 +260,22 @@ impl EngineState {
         let bound = b.model.bind(&b.train);
         let scorer = make_scorer_with_mask(&bound, b.accuracy_mode, &b.train, &self.in_train, b.n);
         let mut query = UserQuery::new(scorer.as_ref(), &b.train, &self.in_train, b.n);
-        query.topn_excluding(
-            user,
-            b.theta[user.idx()],
-            b.coverage.provider(),
-            &self.extra_seen[user.idx()],
-        )
+        self.query_topn(&mut query, user)
+    }
+
+    /// One user's list through a prepared [`UserQuery`], serving cached
+    /// candidate runs when present and recording them when not.
+    fn query_topn(&self, query: &mut UserQuery<'_>, user: UserId) -> Vec<ItemId> {
+        let b = &self.bundle;
+        let theta_u = b.theta[user.idx()];
+        let provider = b.coverage.provider();
+        if let Some(runs) = self.cached_runs(user) {
+            return query.topn_with_runs(user, theta_u, provider, runs);
+        }
+        let (list, runs) =
+            query.topn_excluding_recording(user, theta_u, provider, &self.extra_seen[user.idx()]);
+        self.record_runs(user, runs);
+        list
     }
 }
 
@@ -406,12 +450,7 @@ impl ServingEngine {
                         let user = users[k];
                         let list = match state.seed_index.get(&user.0) {
                             Some(&s) if is_dyn => b.seed_lists[s].1.clone(),
-                            _ => query.topn_excluding(
-                                user,
-                                b.theta[user.idx()],
-                                b.coverage.provider(),
-                                &state.extra_seen[user.idx()],
-                            ),
+                            _ => state.query_topn(&mut query, user),
                         };
                         out.push((k, Arc::new(list)));
                     }
@@ -456,6 +495,10 @@ impl ServingEngine {
                 extra.insert(pos, item.0);
             }
         }
+        // The user's hoisted candidate runs baked in the old exclusion
+        // state; drop them (other users' pools are untouched — popularity
+        // drift never changes who a candidate is).
+        state.candidate_runs[user.idx()].take();
         state.pop_counts[item.idx()] += 1;
         let count = state.pop_counts[item.idx()];
         // Popularity-derived state refreshes in O(touched items): both the
@@ -645,6 +688,47 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.ingested, 1);
         assert_eq!(s.invalidated, 1);
+    }
+
+    #[test]
+    fn ingest_invalidates_hoisted_runs_for_the_batch_path() {
+        // Static coverage: batch misses take the fused query path over the
+        // hoisted candidate runs; a stale run list would re-recommend the
+        // consumed item.
+        let e = engine(CoverageKind::Static);
+        let u = UserId(1);
+        let neighbor = UserId(2);
+        let before = e.recommend_batch(&[u, neighbor]);
+        let consumed = before[0].as_ref().unwrap()[0];
+        let neighbor_before = before[1].as_ref().unwrap().clone();
+        e.ingest(u, consumed, 5.0).unwrap();
+        e.flush_cache();
+        let after = e.recommend_batch(&[u, neighbor]);
+        assert!(
+            !after[0].as_ref().unwrap().contains(&consumed),
+            "stale hoisted runs re-recommended {consumed:?}"
+        );
+        {
+            let state = e.state.read().unwrap();
+            let runs = state
+                .cached_runs(u)
+                .expect("the post-ingest serve re-recorded the runs");
+            assert!(
+                !runs.iter().any(|&(lo, hi)| (lo..hi).contains(&consumed.0)),
+                "rebuilt runs still contain the consumed item"
+            );
+            // The untouched neighbor's pool is unchanged (popularity drift
+            // is not a candidate change)...
+            assert!(state.cached_runs(neighbor).is_some());
+        }
+        // ...even though their *scores* may move with global popularity.
+        let fresh = engine(CoverageKind::Static);
+        assert_eq!(
+            neighbor_before,
+            fresh.recommend(neighbor).unwrap(),
+            "sanity: neighbor's pre-ingest list matches a fresh engine"
+        );
+        assert!(after[1].is_ok());
     }
 
     #[test]

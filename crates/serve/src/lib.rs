@@ -62,11 +62,14 @@ pub mod refit;
 pub mod saveload;
 pub mod shard;
 
-pub use batch::{BatchConfig, MicroBatcher};
+pub use batch::{BatchConfig, BatchSource, CoalescedAnswer, Coalescer, MicroBatcher};
 pub use bundle::{make_scorer, BoundModel, CoverageState, FitConfig, FittedModel, ModelBundle};
 pub use engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 pub use lru::LruCache;
-pub use refit::{merge_interactions, RefitController, RefitOutcome, Refitter};
+pub use refit::{
+    merge_interactions, AdaptiveCadence, CadenceConfig, Clock, ManualClock, RefitController,
+    RefitOutcome, Refitter, SystemClock,
+};
 pub use saveload::{PersistError, SaveLoad, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use shard::{
     save_shard_artifacts, shard_artifact_path, ShardConfig, ShardInfo, ShardPlan, ShardedEngine,

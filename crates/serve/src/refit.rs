@@ -30,9 +30,9 @@ use ganc_dataset::dataset::Rating;
 use ganc_dataset::{Interactions, ItemId, UserId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Refits the model-side state from an accumulated train set: returns the
 /// fitted base model and the per-user θ estimates the next generation
@@ -102,8 +102,149 @@ impl ShardedEngine {
     }
 }
 
-/// A background thread that periodically refits a [`ShardedEngine`] and
-/// hot-swaps the result. Dropping the controller stops and joins it.
+/// A monotonic time source the refit cadence reads. Injectable so cadence
+/// decisions are deterministic under test: a [`ManualClock`] only moves
+/// when the test advances it, which makes "the engine must NOT refit yet"
+/// provable instead of probabilistic.
+pub trait Clock: Send + Sync + 'static {
+    /// Monotonic elapsed time since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: wall progress since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A test clock that advances only when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Mutex<Duration>,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move the clock forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        *self.now.lock().unwrap() += by;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap()
+    }
+}
+
+impl<C: Clock> Clock for Arc<C> {
+    fn now(&self) -> Duration {
+        C::now(self)
+    }
+}
+
+/// Adaptive refit cadence: refit when enough has been ingested (volume
+/// trigger) or when anything at all has waited too long (staleness
+/// ceiling), but never more often than a floor interval (storm guard).
+///
+/// The trade-off this encodes is the one the serving layer must not get
+/// wrong silently: every refit moves all users onto a new generation of
+/// the accuracy/novelty/coverage curve, so refitting *too eagerly* churns
+/// the curve under users (and burns fit cycles during ingest floods),
+/// while refitting *too lazily* serves a coverage model that has drifted
+/// from live popularity. A fixed timer picks one point; this policy adapts
+/// between the bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CadenceConfig {
+    /// Pending ingests that make the bundle stale enough to refit now
+    /// (subject to `min_interval`). Clamped to ≥ 1.
+    pub volume_threshold: usize,
+    /// Floor between consecutive refits: an ingest flood can never cause a
+    /// refit storm tighter than this.
+    pub min_interval: Duration,
+    /// Staleness ceiling: once *any* ingest is pending, a refit happens at
+    /// most this long after the previous one even below the volume
+    /// threshold. A quiescent engine (nothing pending) never refits.
+    pub max_interval: Duration,
+}
+
+impl Default for CadenceConfig {
+    fn default() -> CadenceConfig {
+        CadenceConfig {
+            volume_threshold: 1_024,
+            min_interval: Duration::from_secs(1),
+            max_interval: Duration::from_secs(60),
+        }
+    }
+}
+
+/// The decision state of one adaptive cadence: pure bookkeeping over an
+/// injected "now", so every branch is unit-testable without threads.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCadence {
+    cfg: CadenceConfig,
+    last_refit: Duration,
+}
+
+impl AdaptiveCadence {
+    /// A cadence whose floor interval starts counting at `now` (the spawn
+    /// instant counts as the zeroth "refit" so a freshly started engine
+    /// doesn't immediately refit on leftover volume).
+    pub fn new(cfg: CadenceConfig, now: Duration) -> AdaptiveCadence {
+        assert!(
+            cfg.min_interval <= cfg.max_interval,
+            "cadence floor must not exceed the staleness ceiling"
+        );
+        AdaptiveCadence {
+            cfg,
+            last_refit: now,
+        }
+    }
+
+    /// Should a refit pass run at `now` given `pending` un-refitted
+    /// ingests?
+    pub fn should_refit(&self, now: Duration, pending: usize) -> bool {
+        if pending == 0 {
+            // Quiescent: a refit would reproduce the served bundle.
+            return false;
+        }
+        let since = now.saturating_sub(self.last_refit);
+        if since < self.cfg.min_interval {
+            return false;
+        }
+        pending >= self.cfg.volume_threshold.max(1) || since >= self.cfg.max_interval
+    }
+
+    /// Record that a refit pass completed at `now`.
+    pub fn note_refit(&mut self, now: Duration) {
+        self.last_refit = now;
+    }
+}
+
+/// A background thread that refits a [`ShardedEngine`] and hot-swaps the
+/// result — on a fixed timer ([`RefitController::spawn`]) or adaptively on
+/// ingest volume/staleness ([`RefitController::spawn_adaptive`]). Dropping
+/// the controller stops and joins it.
 pub struct RefitController {
     stop: Arc<AtomicBool>,
     refits: Arc<AtomicU64>,
@@ -113,36 +254,75 @@ pub struct RefitController {
 impl RefitController {
     /// Start refitting `engine` every `interval` with `fitter` under `cfg`.
     /// The interval is the *pause between* passes; each pass itself runs
-    /// snapshot → fit → swap to completion.
+    /// snapshot → fit → swap to completion. Unlike the adaptive cadence,
+    /// the timer fires whether or not anything was ingested.
     pub fn spawn(
         engine: Arc<ShardedEngine>,
         fitter: Arc<Refitter>,
         cfg: FitConfig,
         interval: Duration,
     ) -> RefitController {
+        Self::spawn_with(move |stop, refits| {
+            // Sleep in short slices so drop-stop stays responsive even
+            // under long intervals.
+            let slice = interval
+                .min(Duration::from_millis(20))
+                .max(Duration::from_micros(50));
+            let mut slept = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                if slept < interval {
+                    std::thread::sleep(slice);
+                    slept += slice;
+                    continue;
+                }
+                slept = Duration::ZERO;
+                engine.refit_once(fitter.as_ref(), &cfg);
+                refits.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    /// Start an adaptive controller: refit when `cadence` says so, judged
+    /// against `clock` and the engine's pending-ingest count. The worker
+    /// polls its stop flag and the clock in short real-time slices, but
+    /// every *decision* reads only the injected clock, so a [`ManualClock`]
+    /// makes the firing pattern deterministic.
+    pub fn spawn_adaptive<C: Clock>(
+        engine: Arc<ShardedEngine>,
+        fitter: Arc<Refitter>,
+        cfg: FitConfig,
+        cadence_cfg: CadenceConfig,
+        clock: C,
+    ) -> RefitController {
+        // Validate on the caller's thread: a bad config must panic here,
+        // not inside the worker (where the panic would be swallowed by the
+        // shutdown join and the controller would just silently never
+        // refit).
+        let mut cadence = AdaptiveCadence::new(cadence_cfg, clock.now());
+        Self::spawn_with(move |stop, refits| {
+            let slice = (cadence_cfg.min_interval / 4)
+                .clamp(Duration::from_micros(100), Duration::from_millis(20));
+            while !stop.load(Ordering::Relaxed) {
+                if cadence.should_refit(clock.now(), engine.pending_ingests()) {
+                    engine.refit_once(fitter.as_ref(), &cfg);
+                    cadence.note_refit(clock.now());
+                    refits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                std::thread::sleep(slice);
+            }
+        })
+    }
+
+    fn spawn_with(
+        body: impl FnOnce(Arc<AtomicBool>, Arc<AtomicU64>) + Send + 'static,
+    ) -> RefitController {
         let stop = Arc::new(AtomicBool::new(false));
         let refits = Arc::new(AtomicU64::new(0));
         let worker = {
             let stop = Arc::clone(&stop);
             let refits = Arc::clone(&refits);
-            std::thread::spawn(move || {
-                // Sleep in short slices so drop-stop stays responsive even
-                // under long intervals.
-                let slice = interval
-                    .min(Duration::from_millis(20))
-                    .max(Duration::from_micros(50));
-                let mut slept = Duration::ZERO;
-                while !stop.load(Ordering::Relaxed) {
-                    if slept < interval {
-                        std::thread::sleep(slice);
-                        slept += slice;
-                        continue;
-                    }
-                    slept = Duration::ZERO;
-                    engine.refit_once(fitter.as_ref(), &cfg);
-                    refits.fetch_add(1, Ordering::Relaxed);
-                }
-            })
+            std::thread::spawn(move || body(stop, refits))
         };
         RefitController {
             stop,
@@ -346,5 +526,166 @@ mod tests {
         assert!(controller.refits() >= 2, "controller never refitted");
         drop(controller); // must stop and join without hanging
         assert!(engine.generation() >= 2);
+    }
+
+    // ---- adaptive cadence (deterministic: injected clock, no threads) ----
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    fn cadence_cfg() -> CadenceConfig {
+        CadenceConfig {
+            volume_threshold: 10,
+            min_interval: secs(5),
+            max_interval: secs(60),
+        }
+    }
+
+    #[test]
+    fn cadence_fires_on_volume_threshold_after_the_floor() {
+        let c = AdaptiveCadence::new(cadence_cfg(), secs(0));
+        // Threshold met, but the floor interval hasn't passed yet.
+        assert!(!c.should_refit(secs(4), 10), "min_interval must gate");
+        // Floor passed, threshold met: fire.
+        assert!(c.should_refit(secs(5), 10));
+        assert!(c.should_refit(secs(5), 10_000));
+        // Floor passed, below threshold, below ceiling: hold.
+        assert!(!c.should_refit(secs(5), 9));
+    }
+
+    #[test]
+    fn cadence_staleness_ceiling_fires_below_the_volume_threshold() {
+        let mut c = AdaptiveCadence::new(cadence_cfg(), secs(0));
+        // One lonely pending ingest: held until the ceiling...
+        assert!(!c.should_refit(secs(59), 1));
+        // ...then forced, so no interaction waits unbounded.
+        assert!(c.should_refit(secs(60), 1));
+        assert!(c.should_refit(secs(1_000_000), 1));
+        // The ceiling is measured from the last refit, not from spawn.
+        c.note_refit(secs(60));
+        assert!(!c.should_refit(secs(119), 1));
+        assert!(c.should_refit(secs(120), 1));
+    }
+
+    #[test]
+    fn cadence_quiescent_engine_never_refits() {
+        let c = AdaptiveCadence::new(cadence_cfg(), secs(0));
+        for t in [0, 5, 60, 3_600, 1_000_000] {
+            assert!(
+                !c.should_refit(secs(t), 0),
+                "nothing pending at t={t}s: a refit would reproduce the served bundle"
+            );
+        }
+    }
+
+    #[test]
+    fn cadence_ingest_flood_cannot_cause_a_refit_storm() {
+        // Simulate a controller loop under a sustained flood (pending
+        // always huge) with a fine-grained poll: the floor interval caps
+        // the firing rate no matter how fast ingestion runs.
+        let cfg = cadence_cfg();
+        let mut c = AdaptiveCadence::new(cfg, secs(0));
+        let mut refits = 0u32;
+        let mut t = Duration::ZERO;
+        let poll = Duration::from_millis(100);
+        let horizon = secs(300);
+        while t < horizon {
+            if c.should_refit(t, usize::MAX) {
+                c.note_refit(t);
+                refits += 1;
+            }
+            t += poll;
+        }
+        let cap = (horizon.as_secs() / cfg.min_interval.as_secs()) as u32;
+        assert!(
+            refits <= cap,
+            "{refits} refits in {horizon:?} breaks the {:?} floor",
+            cfg.min_interval
+        );
+        assert!(refits >= cap - 1, "flood should keep the cadence saturated");
+    }
+
+    #[test]
+    fn cadence_floor_must_not_exceed_ceiling() {
+        let bad = CadenceConfig {
+            volume_threshold: 1,
+            min_interval: secs(10),
+            max_interval: secs(5),
+        };
+        assert!(std::panic::catch_unwind(|| AdaptiveCadence::new(bad, secs(0))).is_err());
+    }
+
+    #[test]
+    fn adaptive_controller_follows_the_injected_clock() {
+        let (train, cfg) = fixture();
+        let fitter = pop_fitter();
+        let (model, theta) = fitter(&train);
+        let bundle = ModelBundle::fit(model, theta, train, &cfg);
+        let engine = Arc::new(ShardedEngine::new(bundle, ShardConfig::quantile(2)));
+        let clock = Arc::new(ManualClock::new());
+        let cadence = CadenceConfig {
+            volume_threshold: 2,
+            min_interval: secs(10),
+            max_interval: secs(100),
+        };
+        let controller = RefitController::spawn_adaptive(
+            Arc::clone(&engine),
+            Arc::clone(&fitter),
+            cfg,
+            cadence,
+            Arc::clone(&clock),
+        );
+        let wait_for = |target: u64| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while controller.refits() < target && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            controller.refits()
+        };
+        let settle = || {
+            // Give the worker a real-time window to (wrongly) fire; the
+            // manual clock pins its decisions, so the count must hold.
+            let until = std::time::Instant::now() + Duration::from_millis(30);
+            while std::time::Instant::now() < until {
+                std::thread::yield_now();
+            }
+        };
+
+        // Volume reached but the floor hasn't: no refit even in real time.
+        let list = engine.recommend(UserId(0)).unwrap();
+        engine.ingest(UserId(0), list[0], 5.0).unwrap();
+        engine.ingest(UserId(0), list[1], 5.0).unwrap();
+        settle();
+        assert_eq!(controller.refits(), 0, "floor interval must gate");
+
+        // Floor passes on the injected clock: exactly one refit fires and
+        // consumes the log.
+        clock.advance(secs(10));
+        assert_eq!(wait_for(1), 1, "volume trigger never fired");
+        settle();
+        assert_eq!(controller.refits(), 1, "consumed log must quiesce");
+        assert_eq!(engine.pending_ingests(), 0);
+
+        // A single below-threshold ingest holds below the staleness
+        // ceiling (the floor has passed, the ceiling has not)...
+        let list = engine.recommend(UserId(1)).unwrap();
+        engine.ingest(UserId(1), list[0], 4.0).unwrap();
+        clock.advance(secs(50));
+        settle();
+        assert_eq!(controller.refits(), 1, "below threshold, below ceiling");
+        // ...and fires once the ceiling since the last refit passes.
+        clock.advance(secs(50));
+        assert_eq!(wait_for(2), 2, "staleness ceiling never fired");
+        settle();
+        assert_eq!(engine.pending_ingests(), 0);
+
+        // Quiescent far past the ceiling: still nothing to refit.
+        clock.advance(secs(1_000));
+        settle();
+        assert_eq!(controller.refits(), 2, "quiescent engine must not refit");
+
+        drop(controller); // must stop and join without hanging
+        assert_eq!(engine.generation(), 2);
     }
 }

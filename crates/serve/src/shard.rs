@@ -24,7 +24,7 @@
 use crate::bundle::ModelBundle;
 use crate::engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 use crate::saveload::{PersistError, SaveLoad};
-use ganc_core::query::{cut_theta_bands, shard_of};
+use ganc_core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc_dataset::{ItemId, UserId};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
@@ -90,21 +90,6 @@ pub struct ShardInfo {
     /// Serialized bytes of the shard's coverage state — the per-shard
     /// memory that is `O(band)` instead of `O(S·|I|)`.
     pub coverage_bytes: usize,
-}
-
-/// The half-open θ interval of band `j` under `cuts`.
-fn band_bounds(cuts: &[f64], j: usize) -> (f64, f64) {
-    let lo = if j == 0 {
-        f64::NEG_INFINITY
-    } else {
-        cuts[j - 1]
-    };
-    let hi = if j == cuts.len() {
-        f64::INFINITY
-    } else {
-        cuts[j]
-    };
-    (lo, hi)
 }
 
 /// One generation's complete shard topology. Swapped wholesale under the

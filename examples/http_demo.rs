@@ -122,7 +122,7 @@ fn run_router_demo() {
     let router = Arc::new(RouterNode::new(
         theta,
         cuts,
-        vec![ShardRoute::Local(local), ShardRoute::Remote(remote)],
+        vec![ShardRoute::Local(local), ShardRoute::remote(remote)],
     ));
     let node_a = HttpServer::bind(
         Frontend::Router(router),

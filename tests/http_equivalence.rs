@@ -361,7 +361,7 @@ fn two_node_remote_shard_deployment_matches_single_process() {
     let router = Arc::new(RouterNode::new(
         theta,
         cuts,
-        vec![ShardRoute::Local(local), ShardRoute::Remote(remote)],
+        vec![ShardRoute::Local(local), ShardRoute::remote(remote)],
     ));
     assert_eq!(router.shards(), 2);
     let (_node_a, mut client_a) = serve(Frontend::Router(Arc::clone(&router)));

@@ -260,3 +260,70 @@ fn pipelined_valid_requests_all_answer() {
     let statuses = check_responses(&wire, "pipelined valid");
     assert_eq!(statuses, vec![200, 200, 200]);
 }
+
+/// The router batch error contract: a failed θ-band answers 502 with a
+/// JSON body whose `band` field names the failed band — not a bare
+/// positional error — while per-user rejections stay in-slot 200s.
+#[test]
+fn failed_band_carries_its_index_in_the_error_body() {
+    use ganc::core::query::cut_theta_bands;
+    use ganc::http::testing::FlakyPeer;
+    use ganc::http::{PeerTransport, RouterNode, ShardRoute};
+
+    let b = bundle();
+    let cuts = cut_theta_bands(&b.theta, 2);
+    let slice0 = b.slice_theta_band(f64::NEG_INFINITY, cuts[0]);
+    let slice1 = b.slice_theta_band(cuts[0], f64::INFINITY);
+    let local = Arc::new(ServingEngine::new(slice0, EngineConfig::default()));
+    let remote_engine = Arc::new(ServingEngine::new(slice1, EngineConfig::default()));
+    let flaky = FlakyPeer::new(Arc::new(Frontend::Single(remote_engine)) as Arc<dyn PeerTransport>);
+    let router = RouterNode::new(
+        Arc::clone(&b.theta),
+        cuts,
+        vec![
+            ShardRoute::Local(local),
+            ShardRoute::Remote(Arc::clone(&flaky) as Arc<dyn PeerTransport>),
+        ],
+    );
+    let server = HttpServer::bind(
+        Frontend::Router(Arc::new(router)),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let ids: Vec<String> = (0..b.n_users()).map(|u| u.to_string()).collect();
+    let body = format!("{{\"users\":[{}]}}", ids.join(","));
+
+    // Healthy: a straddling batch answers 200 (unknown users would still
+    // be in-slot, not whole-batch).
+    let resp = client
+        .request_idempotent("POST", "/v1/recommend:batch", Some(&body))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Band 1 down: whole-batch 502 whose body is machine-attributable.
+    flaky.fail_next(1);
+    let resp = client
+        .request_idempotent("POST", "/v1/recommend:batch", Some(&body))
+        .unwrap();
+    assert_eq!(resp.status, 502);
+    let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(
+        v["band"].as_u64(),
+        Some(1),
+        "error body must name the failed band: {v:?}"
+    );
+    let msg = v["error"].as_str().unwrap();
+    assert!(
+        msg.starts_with("band 1:") && msg.contains("injected failure"),
+        "error prose names band and cause: {msg}"
+    );
+
+    // Healed: the same connection serves the batch again.
+    let resp = client
+        .request_idempotent("POST", "/v1/recommend:batch", Some(&body))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+}
