@@ -1,0 +1,192 @@
+//! Instrumentation-overhead benchmark for the PR 6 observability layer.
+//!
+//! Two identical `ServingEngine`s are fit from the same medium-sim bundle
+//! bytes: one bare, one with the full `ObsHub` attached (per-request
+//! histograms, counters, and the rolling beyond-accuracy window). Cold
+//! requests alternate engine-by-engine inside ONE loop so both see the
+//! same thermal / frequency / cache conditions, then the paired p50s give
+//! the overhead ratio CI guards at ≤ 1.15×. Also measures cached-path
+//! overhead and the cost of a full Prometheus `render()` scrape.
+//!
+//! Writes `BENCH_obs.json` (override with `GANC_BENCH_OUT`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganc_bench::{fast_mode, latency_stats, LatencyStats};
+use ganc_dataset::synth::DatasetProfile;
+use ganc_dataset::UserId;
+use ganc_obs::ObsHub;
+use ganc_preference::GeneralizedConfig;
+use ganc_recommender::pop::MostPopular;
+use ganc_serve::{EngineConfig, FitConfig, FittedModel, ModelBundle, SaveLoad, ServingEngine};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn stats_json(s: &LatencyStats) -> String {
+    format!(
+        "{{\"mean_us\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"requests\": {}}}",
+        s.mean_us, s.p50_us, s.p99_us, s.requests
+    )
+}
+
+fn bench_obs(c: &mut Criterion) {
+    // Same profile/seed/split as BENCH_query.json so the baseline column
+    // is directly comparable across the two artifacts.
+    let split = DatasetProfile::medium()
+        .generate(18)
+        .split_per_user(0.5, 4)
+        .unwrap();
+    let train = split.train;
+    let n_users = train.n_users();
+    let theta = GeneralizedConfig::default().estimate(&train);
+    let pop = MostPopular::fit(&train);
+    let cfg = FitConfig {
+        sample_size: 500,
+        ..FitConfig::new(10)
+    };
+    let bundle = ModelBundle::fit(FittedModel::Pop(pop), theta, train, &cfg);
+    let bytes = bundle.to_bytes().expect("bundle encode");
+
+    let bare = ServingEngine::new(
+        ModelBundle::from_bytes(&bytes).unwrap(),
+        EngineConfig::default(),
+    );
+    let instrumented = ServingEngine::new(
+        ModelBundle::from_bytes(&bytes).unwrap(),
+        EngineConfig::default(),
+    );
+    let hub = ObsHub::new();
+    instrumented.attach_obs(hub.clone(), None, Duration::from_secs(300));
+
+    // The overhead guard needs tight p50s even in smoke mode, so the cold
+    // sample count does not shrink as far as the other benches' fast paths.
+    let cold_requests = if fast_mode() { 1_500 } else { 5_000 };
+    let cached_requests = if fast_mode() { 2_000 } else { 20_000 };
+
+    // Untimed warmup so CPU frequency ramp and first-touch page faults do
+    // not land inside the measured window and skew the paired ratio.
+    for k in 0..200u32 {
+        let u = UserId((k * 193) % n_users);
+        bare.flush_cache();
+        black_box(bare.recommend(u).unwrap());
+        instrumented.flush_cache();
+        black_box(instrumented.recommend(u).unwrap());
+    }
+
+    // ---- cold path, interleaved ----
+    let mut bare_cold_ns = Vec::with_capacity(cold_requests);
+    let mut inst_cold_ns = Vec::with_capacity(cold_requests);
+    for k in 0..cold_requests {
+        let u = UserId((k as u32 * 193) % n_users);
+        // Alternate which engine goes first: the second run of a pair gets
+        // the user's rows and the shared code path warm, so a fixed order
+        // would systematically favor one side.
+        let (first, second): (&ServingEngine, &ServingEngine) = if k % 2 == 0 {
+            (&bare, &instrumented)
+        } else {
+            (&instrumented, &bare)
+        };
+        first.flush_cache();
+        let start = Instant::now();
+        black_box(first.recommend(u).unwrap());
+        let first_ns = start.elapsed().as_nanos() as f64;
+
+        second.flush_cache();
+        let start = Instant::now();
+        black_box(second.recommend(u).unwrap());
+        let second_ns = start.elapsed().as_nanos() as f64;
+
+        let (b, i) = if k % 2 == 0 {
+            (first_ns, second_ns)
+        } else {
+            (second_ns, first_ns)
+        };
+        bare_cold_ns.push(b);
+        inst_cold_ns.push(i);
+    }
+    let bare_cold = latency_stats(bare_cold_ns);
+    let inst_cold = latency_stats(inst_cold_ns);
+
+    // ---- cached path, interleaved ----
+    bare.recommend(UserId(0)).unwrap();
+    instrumented.recommend(UserId(0)).unwrap();
+    let mut bare_hot_ns = Vec::with_capacity(cached_requests);
+    let mut inst_hot_ns = Vec::with_capacity(cached_requests);
+    for _ in 0..cached_requests {
+        let start = Instant::now();
+        black_box(bare.recommend(UserId(0)).unwrap());
+        bare_hot_ns.push(start.elapsed().as_nanos() as f64);
+
+        let start = Instant::now();
+        black_box(instrumented.recommend(UserId(0)).unwrap());
+        inst_hot_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let bare_hot = latency_stats(bare_hot_ns);
+    let inst_hot = latency_stats(inst_hot_ns);
+
+    // ---- scrape cost: a full Prometheus render of the populated registry ----
+    let render_iters = if fast_mode() { 200 } else { 2_000 };
+    let mut render_ns = Vec::with_capacity(render_iters);
+    let mut render_bytes = 0usize;
+    for _ in 0..render_iters {
+        let start = Instant::now();
+        let text = black_box(hub.metrics.render());
+        render_ns.push(start.elapsed().as_nanos() as f64);
+        render_bytes = text.len();
+    }
+    let render = latency_stats(render_ns);
+
+    let overhead_cold_p50 = inst_cold.p50_us / bare_cold.p50_us.max(1e-9);
+    let overhead_cached_p50 = inst_hot.p50_us / bare_hot.p50_us.max(1e-9);
+
+    // ---- criterion-style measurement for the console ----
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(if fast_mode() { 10 } else { 60 })
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let mut k = 0u32;
+    g.bench_function("instrumented_cold_request_medium", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(193);
+            instrumented.flush_cache();
+            black_box(instrumented.recommend(UserId(k % n_users)).unwrap())
+        })
+    });
+    g.finish();
+
+    // ---- JSON artifact ----
+    let out_path = std::env::var("GANC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_obs.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"obs\",\n",
+            "  \"medium\": {{\n",
+            "    \"bare_cold\": {bc},\n",
+            "    \"instrumented_cold\": {ic},\n",
+            "    \"overhead_ratio_cold_p50\": {oc:.4},\n",
+            "    \"bare_cached\": {bh},\n",
+            "    \"instrumented_cached\": {ih},\n",
+            "    \"overhead_ratio_cached_p50\": {oh:.4},\n",
+            "    \"metrics_render\": {mr},\n",
+            "    \"metrics_render_bytes\": {mb}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        bc = stats_json(&bare_cold),
+        ic = stats_json(&inst_cold),
+        oc = overhead_cold_p50,
+        bh = stats_json(&bare_hot),
+        ih = stats_json(&inst_hot),
+        oh = overhead_cached_p50,
+        mr = stats_json(&render),
+        mb = render_bytes,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

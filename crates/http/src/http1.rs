@@ -264,16 +264,53 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with_type(w, status, "application/json", body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the metrics
+/// endpoint answers Prometheus text exposition, everything else JSON. Same
+/// deterministic header set (no `Date`).
+pub fn write_response_with_type(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         StatusCode::reason(status),
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
+}
+
+/// Outcome of [`wait_for_data`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// Bytes are buffered and ready to parse.
+    Data,
+    /// The peer closed or idled past the read timeout — nothing to parse.
+    Disconnected,
+}
+
+/// Block until the next request's first bytes arrive (or the peer goes
+/// away). Splitting the keep-alive *wait* from the request *parse* is what
+/// lets the server's per-stage parse timer measure parsing instead of
+/// client think-time; any real read error is deferred to the parser so the
+/// error path stays single.
+pub fn wait_for_data<R: BufRead>(reader: &mut R) -> WaitOutcome {
+    match reader.fill_buf() {
+        Ok([]) => WaitOutcome::Disconnected,
+        Ok(_) => WaitOutcome::Data,
+        Err(e) if idle_disconnect(&e) => WaitOutcome::Disconnected,
+        Err(_) => WaitOutcome::Data,
+    }
 }
 
 /// A parsed response (client side).

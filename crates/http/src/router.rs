@@ -34,8 +34,10 @@ use crate::transport::PeerTransport;
 use crate::BackendError;
 use ganc_core::query::shard_of;
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::{Counter, Histogram, ObsHub};
 use ganc_serve::{ServeError, ServingEngine};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Where one θ band is served.
 pub enum ShardRoute {
@@ -52,11 +54,12 @@ impl ShardRoute {
         ShardRoute::Remote(Arc::new(peer))
     }
 
-    /// Short label for stats.
+    /// Short label for stats: `"local"` for in-process slices, the
+    /// transport's own kind (`"remote"`, `"coalesced"`) for peers.
     pub(crate) fn kind(&self) -> &'static str {
         match self {
             ShardRoute::Local(_) => "local",
-            ShardRoute::Remote(_) => "remote",
+            ShardRoute::Remote(r) => r.kind(),
         }
     }
 
@@ -68,7 +71,15 @@ impl ShardRoute {
         }
     }
 
-    fn generation(&self) -> Result<u64, BackendError> {
+    /// Coalescer queue depth, when this route micro-batches.
+    pub(crate) fn pending(&self) -> Option<usize> {
+        match self {
+            ShardRoute::Local(_) => None,
+            ShardRoute::Remote(r) => r.pending_depth(),
+        }
+    }
+
+    pub(crate) fn generation(&self) -> Result<u64, BackendError> {
         match self {
             ShardRoute::Local(e) => Ok(e.generation()),
             ShardRoute::Remote(r) => r.generation(),
@@ -98,6 +109,47 @@ impl ShardRoute {
     }
 }
 
+/// Per-band router metric handles: dispatch latency and error attribution
+/// for every route, local or remote.
+struct RouterObs {
+    hub: Arc<ObsHub>,
+    /// Indexed by band: (dispatch latency, dispatch errors, hedges).
+    bands: Vec<(Arc<Histogram>, Arc<Counter>, Arc<Counter>)>,
+}
+
+impl RouterObs {
+    fn new(hub: Arc<ObsHub>, routes: &[ShardRoute]) -> RouterObs {
+        let bands = routes
+            .iter()
+            .enumerate()
+            .map(|(j, route)| {
+                let band = j.to_string();
+                let labels: Vec<(&str, &str)> = vec![("band", &band), ("kind", route.kind())];
+                let dispatch_us = hub.metrics.histogram(
+                    "ganc_router_band_dispatch_us",
+                    "Router per-band dispatch latency (microseconds)",
+                    &labels,
+                );
+                let errors = hub.metrics.counter(
+                    "ganc_router_band_errors_total",
+                    "Router dispatches that failed, by band",
+                    &labels,
+                );
+                // Registered at zero: request hedging is a ROADMAP
+                // follow-up; pinning the series now keeps dashboards
+                // stable when it lands.
+                let hedges = hub.metrics.counter(
+                    "ganc_router_band_hedges_total",
+                    "Hedged router dispatches, by band",
+                    &labels,
+                );
+                (dispatch_us, errors, hedges)
+            })
+            .collect();
+        RouterObs { hub, bands }
+    }
+}
+
 /// Routes each user's request to the engine serving their θ band.
 pub struct RouterNode {
     /// Per-user θ (the full population — routing needs every user).
@@ -105,6 +157,7 @@ pub struct RouterNode {
     /// Ascending cut points; `cuts.len() + 1` bands.
     cuts: Vec<f64>,
     routes: Vec<ShardRoute>,
+    obs: OnceLock<RouterObs>,
 }
 
 impl RouterNode {
@@ -125,7 +178,48 @@ impl RouterNode {
             theta,
             cuts,
             routes,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attach observability: per-band dispatch histograms/error counters on
+    /// this router, plus engine-level metrics (band-labelled) and rolling
+    /// windows on every **local** route. Remote bands report their own
+    /// metrics on their own node — a router never double-counts them.
+    /// One-shot; later calls are ignored.
+    pub fn attach_obs(&self, hub: Arc<ObsHub>, window: Duration) {
+        if self.obs.get().is_some() {
+            return;
+        }
+        for (j, route) in self.routes.iter().enumerate() {
+            if let ShardRoute::Local(engine) = route {
+                engine.attach_obs(Arc::clone(&hub), Some(j as u32), window);
+            }
+        }
+        let _ = self.obs.set(RouterObs::new(hub, &self.routes));
+    }
+
+    /// Dispatch one band's sub-batch with per-band timing and error
+    /// attribution. Both batch strategies (parallel fan-out and the
+    /// sequential reference) call exactly this, so instrumentation cannot
+    /// make them diverge.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_timed(
+        &self,
+        j: usize,
+        sub: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let Some(obs) = self.obs.get() else {
+            return self.routes[j].dispatch(j, sub);
+        };
+        let t0 = obs.hub.now_us();
+        let out = self.routes[j].dispatch(j, sub);
+        let (dispatch_us, errors, _) = &obs.bands[j];
+        dispatch_us.observe_us(obs.hub.now_us().saturating_sub(t0));
+        if out.is_err() {
+            errors.inc();
+        }
+        out
     }
 
     /// Number of bands.
@@ -152,10 +246,20 @@ impl RouterNode {
     /// Answer one request from the user's band, local or remote.
     pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
         let j = self.route_of(user).map_err(BackendError::Serve)?;
-        match &self.routes[j] {
+        let obs = self.obs.get();
+        let t0 = obs.map_or(0, |o| o.hub.now_us());
+        let out = match &self.routes[j] {
             ShardRoute::Local(engine) => engine.recommend_traced(user).map_err(BackendError::Serve),
             ShardRoute::Remote(remote) => remote.recommend_traced(user),
+        };
+        if let Some(o) = obs {
+            let (dispatch_us, errors, _) = &o.bands[j];
+            dispatch_us.observe_us(o.hub.now_us().saturating_sub(t0));
+            if out.is_err() {
+                errors.inc();
+            }
         }
+        out
     }
 
     /// Split a batch across bands, dispatch every touched band's sub-batch
@@ -191,7 +295,7 @@ impl RouterNode {
                 .iter()
                 .map(|&(j, idxs)| {
                     let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
-                    self.routes[j].dispatch(j, &sub)
+                    self.dispatch_timed(j, &sub)
                 })
                 .collect()
         } else {
@@ -204,10 +308,9 @@ impl RouterNode {
                 let handles: Vec<_> = touched
                     .iter()
                     .map(|&(j, idxs)| {
-                        let route = &self.routes[j];
                         scope.spawn(move || {
                             let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
-                            route.dispatch(j, &sub)
+                            self.dispatch_timed(j, &sub)
                         })
                     })
                     .collect();
@@ -249,7 +352,7 @@ impl RouterNode {
                 continue;
             }
             let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
-            let (answers, g) = self.routes[j].dispatch(j, &sub)?;
+            let (answers, g) = self.dispatch_timed(j, &sub)?;
             check(&mut generation, g)?;
             for (&k, answer) in idxs.iter().zip(answers) {
                 results[k] = Some(answer);

@@ -27,12 +27,13 @@
 //! answer 400/404 and keep the connection, so a client burst survives its
 //! own mistakes. `tests/http_protocol.rs` fuzzes exactly this contract.
 
-use crate::http1::{self, Limits, ReadOutcome, Request, StatusCode};
+use crate::http1::{self, Limits, ReadOutcome, Request, StatusCode, WaitOutcome};
 use crate::router::RouterNode;
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
-use ganc_serve::refit::{RefitOutcome, Refitter};
-use ganc_serve::{FitConfig, ServeError, ServingEngine, ShardedEngine};
+use ganc_obs::{Histogram, ObsHub, TraceData, TraceEvent, WindowStats};
+use ganc_serve::refit::{RefitController, RefitOutcome, Refitter};
+use ganc_serve::{CadenceConfig, FitConfig, ServeError, ServingEngine, ShardedEngine};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -61,6 +62,14 @@ pub struct ServerConfig {
     /// don't expose it to untrusted clients without a reverse proxy in
     /// front.
     pub read_timeout: Duration,
+    /// Observability hub every request records into (metrics, trace ring,
+    /// request-stage timing). `None` creates a fresh wall-clock hub at
+    /// bind time; tests inject a `ManualClock` hub here to make timing and
+    /// window expiry deterministic.
+    pub obs: Option<Arc<ObsHub>>,
+    /// Width of the rolling beyond-accuracy window `/v1/stats` and the
+    /// `ganc_window_*` gauges report over.
+    pub stats_window: Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +84,8 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             keep_alive_requests: 100_000,
             read_timeout: Duration::from_secs(5),
+            obs: None,
+            stats_window: Duration::from_secs(300),
         }
     }
 }
@@ -171,6 +182,12 @@ pub struct RefitHook {
     pub fitter: Arc<Refitter>,
     /// Bundle fit configuration for the refit.
     pub cfg: FitConfig,
+    /// When set, the server spawns a background
+    /// [`RefitController::spawn_adaptive`] with this cadence at bind time
+    /// (sharded fronts only) — refits then happen on their own when enough
+    /// interactions accumulate, instead of only on `POST /admin/refit`.
+    /// The controller's liveness and refit count surface in `/v1/healthz`.
+    pub cadence: Option<CadenceConfig>,
 }
 
 /// A running HTTP server; dropping it stops the acceptor and joins every
@@ -193,15 +210,43 @@ impl HttpServer {
         cfg: ServerConfig,
         addr: &str,
     ) -> io::Result<HttpServer> {
+        let hub = cfg.obs.clone().unwrap_or_else(ObsHub::new);
+        match &frontend {
+            Frontend::Single(e) => e.attach_obs(Arc::clone(&hub), None, cfg.stats_window),
+            Frontend::Sharded(e) => e.attach_obs(Arc::clone(&hub), cfg.stats_window),
+            Frontend::Router(r) => r.attach_obs(Arc::clone(&hub), cfg.stats_window),
+        }
+        let controller = match &refit {
+            Some(hook) if hook.cadence.is_some() => {
+                let Frontend::Sharded(engine) = &frontend else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "adaptive refit cadence requires a sharded engine front",
+                    ));
+                };
+                Some(RefitController::spawn_adaptive(
+                    Arc::clone(engine),
+                    Arc::clone(&hook.fitter),
+                    hook.cfg,
+                    hook.cadence.unwrap(),
+                    Arc::clone(hub.clock()),
+                ))
+            }
+            _ => None,
+        };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
+        let http = HttpObs::new(&hub);
         let app = Arc::new(App {
             frontend,
             refit,
             cfg: cfg.clone(),
+            hub,
+            http,
+            controller,
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -284,10 +329,47 @@ impl Drop for HttpServer {
     }
 }
 
+/// Request-stage timing handles, resolved once at bind.
+struct HttpObs {
+    parse_us: Arc<Histogram>,
+    dispatch_us: Arc<Histogram>,
+    write_us: Arc<Histogram>,
+}
+
+impl HttpObs {
+    fn new(hub: &ObsHub) -> HttpObs {
+        let stage = |name| {
+            hub.metrics.histogram(
+                "ganc_http_stage_us",
+                "HTTP request stage latency (microseconds)",
+                &[("stage", name)],
+            )
+        };
+        HttpObs {
+            parse_us: stage("parse"),
+            dispatch_us: stage("dispatch"),
+            write_us: stage("write"),
+        }
+    }
+}
+
+/// How a routed request answers: JSON for the API, plain text for the
+/// Prometheus exposition endpoint.
+enum Reply {
+    Json(u16, Value),
+    Text(u16, String),
+}
+
 struct App {
     frontend: Frontend,
     refit: Option<RefitHook>,
     cfg: ServerConfig,
+    hub: Arc<ObsHub>,
+    http: HttpObs,
+    /// Background adaptive-refit controller, when `RefitHook::cadence` was
+    /// set. Held for the server's lifetime; dropping the last `App` clone
+    /// joins its worker.
+    controller: Option<RefitController>,
 }
 
 impl App {
@@ -297,9 +379,17 @@ impl App {
         let mut reader = BufReader::new(stream);
         let mut served = 0u32;
         loop {
+            // Block for the next request's first bytes *before* starting
+            // the parse timer: keep-alive idle is client think-time, and
+            // folding it into the parse stage would swamp the histogram.
+            if let WaitOutcome::Disconnected = http1::wait_for_data(&mut reader) {
+                return;
+            }
+            let t_parse = self.hub.now_us();
             match http1::read_request(&mut reader, self.cfg.limits) {
                 ReadOutcome::Disconnected => return,
                 ReadOutcome::Fatal { status, message } => {
+                    self.count_request("malformed", status);
                     let body = tinyjson::to_string(&obj! { "error" => message });
                     let _ = http1::write_response(reader.get_mut(), status, body.as_bytes(), false);
                     // Drain (bounded) what the peer already sent before
@@ -316,16 +406,49 @@ impl App {
                     return;
                 }
                 ReadOutcome::Request(req) => {
+                    let t_dispatch = self.hub.now_us();
                     served += 1;
-                    let (status, value) = self.route(&req);
-                    let body = tinyjson::to_string(&value);
+                    let (reply, endpoint) = self.route(&req);
+                    let (status, content_type, body) = match reply {
+                        Reply::Json(status, value) => {
+                            (status, "application/json", tinyjson::to_string(&value))
+                        }
+                        Reply::Text(status, text) => (status, "text/plain; version=0.0.4", text),
+                    };
+                    let t_write = self.hub.now_us();
                     let keep_alive = req.keep_alive
                         && served < self.cfg.keep_alive_requests
                         && !stop.load(Ordering::Relaxed);
-                    if http1::write_response(reader.get_mut(), status, body.as_bytes(), keep_alive)
-                        .is_err()
-                        || !keep_alive
-                    {
+                    let wrote = http1::write_response_with_type(
+                        reader.get_mut(),
+                        status,
+                        content_type,
+                        body.as_bytes(),
+                        keep_alive,
+                    )
+                    .is_ok();
+                    let t_done = self.hub.now_us();
+                    let (parse_us, dispatch_us, write_us) = (
+                        t_dispatch.saturating_sub(t_parse),
+                        t_write.saturating_sub(t_dispatch),
+                        t_done.saturating_sub(t_write),
+                    );
+                    self.http.parse_us.observe_us(parse_us);
+                    self.http.dispatch_us.observe_us(dispatch_us);
+                    self.http.write_us.observe_us(write_us);
+                    self.count_request(endpoint, status);
+                    self.hub.trace.record(
+                        t_done,
+                        TraceData::Http {
+                            request_id: self.hub.next_request_id(),
+                            endpoint,
+                            status,
+                            parse_us,
+                            dispatch_us,
+                            write_us,
+                        },
+                    );
+                    if !wrote || !keep_alive {
                         return;
                     }
                 }
@@ -333,28 +456,87 @@ impl App {
         }
     }
 
-    /// Dispatch one well-framed request. Always returns JSON; the status
-    /// contract is 200 / 400 / 404 / 413 (+ 502 for router upstream
-    /// failures).
-    fn route(&self, req: &Request) -> (u16, Value) {
-        match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/v1/healthz") => self.healthz(),
-            ("GET", "/v1/stats") => self.stats(),
-            ("POST", "/v1/recommend:batch") => self.recommend_batch(&req.body),
-            ("POST", "/v1/ingest") => self.ingest(&req.body),
-            ("POST", "/admin/refit") => self.admin_refit(),
-            ("GET", path) if path.starts_with("/v1/recommend/") => {
-                self.recommend(&path["/v1/recommend/".len()..], req.query.as_deref())
+    /// Bump `ganc_http_requests_total{endpoint,status}`. Get-or-create on
+    /// every call: the label space is tiny (endpoints × a handful of
+    /// statuses), and the registry lookup is one shared-lock map probe.
+    fn count_request(&self, endpoint: &'static str, status: u16) {
+        let status = status.to_string();
+        self.hub
+            .metrics
+            .counter(
+                "ganc_http_requests_total",
+                "HTTP requests answered, by endpoint and status",
+                &[("endpoint", endpoint), ("status", &status)],
+            )
+            .inc();
+    }
+
+    /// Dispatch one well-framed request, returning the reply plus the
+    /// endpoint label stage metrics and the request counter attribute to.
+    /// Everything answers JSON (status contract 200 / 400 / 404 / 413, +
+    /// 502 for router upstream failures) except `/v1/metrics`, which
+    /// answers Prometheus text exposition.
+    fn route(&self, req: &Request) -> (Reply, &'static str) {
+        let (reply, endpoint) = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/v1/healthz") => (self.healthz(), "healthz"),
+            ("GET", "/v1/stats") => (self.stats(), "stats"),
+            ("GET", "/v1/metrics") => {
+                return (
+                    Reply::Text(StatusCode::OK, self.hub.metrics.render()),
+                    "metrics",
+                )
             }
-            _ => error(StatusCode::NOT_FOUND, "not found"),
-        }
+            ("GET", "/v1/trace") => (self.trace(), "trace"),
+            ("POST", "/v1/recommend:batch") => (self.recommend_batch(&req.body), "recommend_batch"),
+            ("POST", "/v1/ingest") => (self.ingest(&req.body), "ingest"),
+            ("POST", "/admin/refit") => (self.admin_refit(), "admin_refit"),
+            ("GET", path) if path.starts_with("/v1/recommend/") => (
+                self.recommend(&path["/v1/recommend/".len()..], req.query.as_deref()),
+                "recommend",
+            ),
+            _ => (error(StatusCode::NOT_FOUND, "not found"), "other"),
+        };
+        let (status, value) = reply;
+        (Reply::Json(status, value), endpoint)
     }
 
     fn healthz(&self) -> (u16, Value) {
         match self.frontend.generation() {
-            Ok(g) => (StatusCode::OK, obj! { "ok" => true, "generation" => g }),
+            Ok(g) => {
+                let mut body = obj! { "ok" => true, "generation" => g };
+                if let Frontend::Sharded(e) = &self.frontend {
+                    body.insert("pending_ingests", Value::from(e.pending_ingests()));
+                }
+                if let Some(controller) = &self.controller {
+                    body.insert(
+                        "refit",
+                        obj! {
+                            "alive" => controller.alive(),
+                            "refits" => controller.refits(),
+                        },
+                    );
+                }
+                (StatusCode::OK, body)
+            }
             Err(e) => backend_error(e),
         }
+    }
+
+    /// Drain the trace ring into JSON. Draining is deliberate — each event
+    /// is delivered exactly once, so a poller sees a stream, not a window.
+    fn trace(&self) -> (u16, Value) {
+        let dropped = self.hub.trace.dropped();
+        let events: Vec<Value> = self
+            .hub
+            .trace
+            .drain()
+            .into_iter()
+            .map(trace_event_value)
+            .collect();
+        (
+            StatusCode::OK,
+            obj! { "events" => Value::Array(events), "dropped" => dropped },
+        )
     }
 
     fn recommend(&self, user_part: &str, query: Option<&str>) -> (u16, Value) {
@@ -484,9 +666,20 @@ impl App {
                 "cached" => stats.cached,
             }
         };
+        let window_obj = |aggregate: WindowStats, bands: Vec<Value>| {
+            obj! {
+                "seconds" => self.cfg.stats_window.as_secs_f64(),
+                "aggregate" => window_value(aggregate),
+                "bands" => Value::Array(bands),
+            }
+        };
         match &self.frontend {
             Frontend::Single(e) => {
                 let s = e.stats();
+                let window = e
+                    .window_stats()
+                    .map(|w| window_obj(w, Vec::new()))
+                    .unwrap_or(Value::Null);
                 (
                     StatusCode::OK,
                     obj! {
@@ -496,6 +689,7 @@ impl App {
                         "cache" => engine_stats(s),
                         "ingested" => s.ingested,
                         "shards" => Value::Array(Vec::new()),
+                        "window" => window,
                     },
                 )
             }
@@ -515,6 +709,12 @@ impl App {
                         }
                     })
                     .collect();
+                let window = e
+                    .window_stats()
+                    .map(|(bands, aggregate)| {
+                        window_obj(aggregate, bands.into_iter().map(window_value).collect())
+                    })
+                    .unwrap_or(Value::Null);
                 (
                     StatusCode::OK,
                     obj! {
@@ -524,16 +724,31 @@ impl App {
                         "cache" => engine_stats(s),
                         "ingested" => s.ingested,
                         "shards" => Value::Array(shards),
+                        "window" => window,
                     },
                 )
             }
             Frontend::Router(r) => {
+                // Per-band deployment view: band index, route kind
+                // (local / remote / coalesced), peer address, the band's
+                // *own* generation (null when the peer is unreachable —
+                // exactly the band an operator should look at), and the
+                // coalescer queue depth where one exists.
                 let shards: Vec<Value> = r
                     .routes()
                     .iter()
-                    .map(|route| {
+                    .enumerate()
+                    .map(|(band, route)| {
                         let addr = route.addr().map(Value::from).unwrap_or(Value::Null);
-                        obj! { "kind" => route.kind(), "addr" => addr }
+                        let generation = route.generation().map(Value::from).unwrap_or(Value::Null);
+                        let pending = route.pending().map(Value::from).unwrap_or(Value::Null);
+                        obj! {
+                            "band" => band,
+                            "kind" => route.kind(),
+                            "addr" => addr,
+                            "generation" => generation,
+                            "pending" => pending,
+                        }
                     })
                     .collect();
                 match r.generation() {
@@ -549,6 +764,90 @@ impl App {
                 }
             }
         }
+    }
+}
+
+/// Rolling-window stats as a JSON object (shared by every backend arm).
+fn window_value(w: WindowStats) -> Value {
+    obj! {
+        "lists" => w.lists,
+        "items" => w.items,
+        "coverage" => w.coverage,
+        "mean_novelty_bits" => w.mean_novelty_bits,
+        "long_tail_share" => w.long_tail_share,
+    }
+}
+
+/// One trace event as JSON: `{seq, at_us, kind, data: {...}}`.
+fn trace_event_value(e: TraceEvent) -> Value {
+    let opt_u32 = |v: Option<u32>| v.map(Value::from).unwrap_or(Value::Null);
+    let kind = e.data.kind();
+    let data = match e.data {
+        TraceData::Request {
+            request_id,
+            user,
+            generation,
+            band,
+            cache_hit,
+            elapsed_us,
+        } => obj! {
+            "request_id" => request_id,
+            "user" => user,
+            "generation" => generation,
+            "band" => opt_u32(band),
+            "cache_hit" => cache_hit,
+            "elapsed_us" => elapsed_us,
+        },
+        TraceData::Batch {
+            users,
+            generation,
+            band,
+            elapsed_us,
+        } => obj! {
+            "users" => users,
+            "generation" => generation,
+            "band" => opt_u32(band),
+            "elapsed_us" => elapsed_us,
+        },
+        TraceData::Ingest { user, item, band } => obj! {
+            "user" => user,
+            "item" => item,
+            "band" => opt_u32(band),
+        },
+        TraceData::BundleSwap { band, generation } => obj! {
+            "band" => opt_u32(band),
+            "generation" => generation,
+        },
+        TraceData::RefitStarted {
+            generation,
+            pending,
+        } => obj! {
+            "generation" => generation,
+            "pending" => pending,
+        },
+        TraceData::RefitSwapped { generation } => obj! { "generation" => generation },
+        TraceData::RefitRaced { generation } => obj! { "generation" => generation },
+        TraceData::Http {
+            request_id,
+            endpoint,
+            status,
+            parse_us,
+            dispatch_us,
+            write_us,
+        } => obj! {
+            "request_id" => request_id,
+            "endpoint" => endpoint,
+            "status" => u32::from(status),
+            "parse_us" => parse_us,
+            "dispatch_us" => dispatch_us,
+            "write_us" => write_us,
+        },
+    };
+    obj! {
+        "seq" => e.seq,
+        "at_us" => e.at_us,
+        "kind" => kind,
+        "data" => data,
     }
 }
 

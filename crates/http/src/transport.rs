@@ -39,6 +39,17 @@ pub trait PeerTransport: Send + Sync {
 
     /// The peer's current bundle generation.
     fn generation(&self) -> Result<u64, BackendError>;
+
+    /// Short kind label for stats (`"remote"` unless a wrapper overrides).
+    fn kind(&self) -> &'static str {
+        "remote"
+    }
+
+    /// Queue depth for coalescing wrappers; `None` when the transport
+    /// holds no queue.
+    fn pending_depth(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Adapter: a shared peer is a [`BatchSource`], so the generic serve-side
@@ -118,5 +129,13 @@ impl PeerTransport for CoalescedShard {
 
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
+    }
+
+    fn kind(&self) -> &'static str {
+        "coalesced"
+    }
+
+    fn pending_depth(&self) -> Option<usize> {
+        Some(self.pending())
     }
 }

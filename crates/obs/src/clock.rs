@@ -1,0 +1,113 @@
+//! The injectable time source every metric, trace event, and rolling
+//! window reads through.
+//!
+//! Moved here from `ganc_serve::refit` (which re-exports these types for
+//! compatibility) so the whole observability layer shares one seam: under
+//! a [`ManualClock`] every timestamp, window expiry, and cadence decision
+//! is deterministic, which turns "the window must NOT have expired yet"
+//! from a probabilistic assertion into a provable one.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source. Injectable so time-dependent behavior is
+/// deterministic under test: a [`ManualClock`] only moves when the test
+/// advances it.
+pub trait Clock: Send + Sync + 'static {
+    /// Monotonic elapsed time since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: wall progress since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A test clock that advances only when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Mutex<Duration>,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move the clock forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        *self.now.lock().unwrap() += by;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap()
+    }
+}
+
+impl<C: Clock> Clock for Arc<C> {
+    fn now(&self) -> Duration {
+        C::now(self)
+    }
+}
+
+// `dyn Clock` is unsized, so this does not overlap the blanket `Arc<C>`
+// impl above; it lets an `Arc<dyn Clock>` (how `ObsHub` stores its clock)
+// feed generic consumers like `RefitController::spawn_adaptive`.
+impl Clock for Arc<dyn Clock> {
+    fn now(&self) -> Duration {
+        self.as_ref().now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(250));
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn arc_dyn_clock_reads_through() {
+        let manual = Arc::new(ManualClock::new());
+        let as_dyn: Arc<dyn Clock> = Arc::clone(&manual) as Arc<dyn Clock>;
+        manual.advance(Duration::from_secs(3));
+        fn read(c: &impl Clock) -> Duration {
+            c.now()
+        }
+        assert_eq!(read(&as_dyn), Duration::from_secs(3));
+    }
+}

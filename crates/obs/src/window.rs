@@ -1,0 +1,381 @@
+//! Rolling beyond-accuracy windows over served top-N lists.
+//!
+//! The paper's offline trade-off metrics — catalog coverage@N, mean
+//! novelty (−log₂ observation probability), long-tail share — become
+//! live sliding-window signals here. Each served list contributes its
+//! item set at a clock-seam timestamp; entries expire exactly when
+//! `now ≥ at + window`. All aggregates (item frequencies, distinct
+//! count, novelty sum, tail hits) are maintained incrementally, so
+//! `observe` and `stats` are O(list length + expired work) — amortized
+//! O(1) per served item — never a rescan of the window.
+//!
+//! Novelty is pre-quantized per item to integer **micro-bits**
+//! (`round(−log₂ p × 1e6)`), so the running sum subtracts exactly on
+//! expiry and a from-scratch recompute matches bit-for-bit — no float
+//! drift over long uptimes.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Per-item catalog facts frozen at fit time: novelty in micro-bits and
+/// long-tail membership. Built once per bundle generation from the
+/// already-loaded popularity counts; serving only indexes into it.
+#[derive(Debug, Clone)]
+pub struct CatalogProfile {
+    novelty_microbits: Vec<u64>,
+    tail: Vec<bool>,
+}
+
+/// Quantize a self-information value to integer micro-bits.
+fn microbits(p: f64) -> u64 {
+    (-(p.log2()) * 1e6).round() as u64
+}
+
+impl CatalogProfile {
+    /// Build from pre-computed per-item novelty and tail membership.
+    pub fn new(novelty_microbits: Vec<u64>, tail: Vec<bool>) -> CatalogProfile {
+        assert_eq!(novelty_microbits.len(), tail.len());
+        CatalogProfile {
+            novelty_microbits,
+            tail,
+        }
+    }
+
+    /// Build from raw popularity counts using the same observation
+    /// probability convention as `ganc_metrics::novelty`: `p = f / |U|`,
+    /// floored at `1 / (|U| + 1)` for never-observed items.
+    pub fn from_popularity(popularity: &[u32], n_users: u32, tail: Vec<bool>) -> CatalogProfile {
+        assert_eq!(popularity.len(), tail.len());
+        let users = n_users.max(1) as f64;
+        let floor = 1.0 / (n_users as f64 + 1.0);
+        let novelty_microbits = popularity
+            .iter()
+            .map(|&f| {
+                let p = if f == 0 { floor } else { f as f64 / users };
+                microbits(p.min(1.0))
+            })
+            .collect();
+        CatalogProfile {
+            novelty_microbits,
+            tail,
+        }
+    }
+
+    /// Catalog size.
+    pub fn n_items(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Novelty of `item` in micro-bits (−log₂ p × 1e6, rounded).
+    pub fn novelty_microbits(&self, item: u32) -> u64 {
+        self.novelty_microbits[item as usize]
+    }
+
+    /// Is `item` in the long tail?
+    pub fn is_tail(&self, item: u32) -> bool {
+        self.tail[item as usize]
+    }
+}
+
+/// Snapshot of one window's (or fold's) rolling metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Served lists currently inside the window.
+    pub lists: u64,
+    /// Served items (with multiplicity) inside the window.
+    pub items: u64,
+    /// Distinct served items ÷ catalog size.
+    pub coverage: f64,
+    /// Mean −log₂ observation probability over served items, in bits.
+    pub mean_novelty_bits: f64,
+    /// Fraction of served items that are long-tail.
+    pub long_tail_share: f64,
+}
+
+impl WindowStats {
+    /// The all-zero snapshot of an empty window.
+    pub fn empty() -> WindowStats {
+        WindowStats {
+            lists: 0,
+            items: 0,
+            coverage: 0.0,
+            mean_novelty_bits: 0.0,
+            long_tail_share: 0.0,
+        }
+    }
+}
+
+fn finalize(
+    lists: u64,
+    items: u64,
+    distinct: usize,
+    n_items: usize,
+    novelty_microbits: u64,
+    tail_hits: u64,
+) -> WindowStats {
+    WindowStats {
+        lists,
+        items,
+        coverage: if n_items == 0 {
+            0.0
+        } else {
+            distinct as f64 / n_items as f64
+        },
+        mean_novelty_bits: if items == 0 {
+            0.0
+        } else {
+            novelty_microbits as f64 / 1e6 / items as f64
+        },
+        long_tail_share: if items == 0 {
+            0.0
+        } else {
+            tail_hits as f64 / items as f64
+        },
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    at_us: u64,
+    items: Vec<u32>,
+    novelty_microbits: u64,
+    tail_hits: u64,
+}
+
+/// Sliding-window accumulator over served top-N lists.
+///
+/// Not internally synchronized: callers wrap it in a `Mutex` (the
+/// serving engines do) or own it exclusively.
+#[derive(Debug)]
+pub struct RollingWindow {
+    window_us: u64,
+    n_items: usize,
+    entries: VecDeque<Entry>,
+    /// Per-item live frequency inside the window.
+    freq: Vec<u32>,
+    distinct: usize,
+    novelty_microbits: u64,
+    tail_hits: u64,
+    items: u64,
+}
+
+impl RollingWindow {
+    /// A window of duration `window` over a catalog of `n_items` items.
+    pub fn new(window: Duration, n_items: usize) -> RollingWindow {
+        RollingWindow {
+            window_us: (window.as_micros() as u64).max(1),
+            n_items,
+            entries: VecDeque::new(),
+            freq: vec![0; n_items],
+            distinct: 0,
+            novelty_microbits: 0,
+            tail_hits: 0,
+            items: 0,
+        }
+    }
+
+    /// The window span in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Drop every entry with `at + window <= now` — an entry recorded at
+    /// `t` is live for `now ∈ [t, t + window)` and expires exactly at
+    /// the boundary.
+    fn expire(&mut self, now_us: u64) {
+        while let Some(front) = self.entries.front() {
+            if front.at_us.saturating_add(self.window_us) > now_us {
+                break;
+            }
+            let entry = self.entries.pop_front().unwrap();
+            for &item in &entry.items {
+                let f = &mut self.freq[item as usize];
+                *f -= 1;
+                if *f == 0 {
+                    self.distinct -= 1;
+                }
+            }
+            self.novelty_microbits -= entry.novelty_microbits;
+            self.tail_hits -= entry.tail_hits;
+            self.items -= entry.items.len() as u64;
+        }
+    }
+
+    /// Record one served top-N list at time `at_us`.
+    ///
+    /// Timestamps must be non-decreasing (they come from one monotonic
+    /// clock seam per engine).
+    pub fn observe(&mut self, at_us: u64, list: &[u32], catalog: &CatalogProfile) {
+        debug_assert_eq!(catalog.n_items(), self.n_items);
+        self.expire(at_us);
+        let mut novelty = 0u64;
+        let mut tail = 0u64;
+        for &item in list {
+            let f = &mut self.freq[item as usize];
+            if *f == 0 {
+                self.distinct += 1;
+            }
+            *f += 1;
+            novelty += catalog.novelty_microbits(item);
+            tail += catalog.is_tail(item) as u64;
+        }
+        self.novelty_microbits += novelty;
+        self.tail_hits += tail;
+        self.items += list.len() as u64;
+        self.entries.push_back(Entry {
+            at_us,
+            items: list.to_vec(),
+            novelty_microbits: novelty,
+            tail_hits: tail,
+        });
+    }
+
+    /// Current window metrics as of `now_us` (expires stale entries
+    /// first, then reads the running aggregates — no rescan).
+    pub fn stats(&mut self, now_us: u64) -> WindowStats {
+        self.expire(now_us);
+        finalize(
+            self.entries.len() as u64,
+            self.items,
+            self.distinct,
+            self.n_items,
+            self.novelty_microbits,
+            self.tail_hits,
+        )
+    }
+
+    /// Expire, merge this window's live state into `fold`, and return
+    /// this window's own stats.
+    pub fn fold_into(&mut self, now_us: u64, fold: &mut WindowFold) -> WindowStats {
+        let stats = self.stats(now_us);
+        fold.absorb(
+            &self.freq,
+            self.entries.len() as u64,
+            self.items,
+            self.novelty_microbits,
+            self.tail_hits,
+        );
+        stats
+    }
+}
+
+/// Cross-window union: aggregates several [`RollingWindow`]s (one per
+/// shard/band) into one catalog-level view. Coverage is computed over
+/// the **union** of served items, so it is not simply the mean of the
+/// per-band coverages.
+#[derive(Debug)]
+pub struct WindowFold {
+    n_items: usize,
+    freq: Vec<u64>,
+    lists: u64,
+    items: u64,
+    novelty_microbits: u64,
+    tail_hits: u64,
+}
+
+impl WindowFold {
+    /// An empty fold over a catalog of `n_items` items.
+    pub fn new(n_items: usize) -> WindowFold {
+        WindowFold {
+            n_items,
+            freq: vec![0; n_items],
+            lists: 0,
+            items: 0,
+            novelty_microbits: 0,
+            tail_hits: 0,
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        freq: &[u32],
+        lists: u64,
+        items: u64,
+        novelty_microbits: u64,
+        tail_hits: u64,
+    ) {
+        debug_assert_eq!(freq.len(), self.n_items);
+        for (acc, &f) in self.freq.iter_mut().zip(freq) {
+            *acc += f as u64;
+        }
+        self.lists += lists;
+        self.items += items;
+        self.novelty_microbits += novelty_microbits;
+        self.tail_hits += tail_hits;
+    }
+
+    /// Aggregate metrics over everything absorbed so far.
+    pub fn stats(&self) -> WindowStats {
+        let distinct = self.freq.iter().filter(|&&f| f > 0).count();
+        finalize(
+            self.lists,
+            self.items,
+            distinct,
+            self.n_items,
+            self.novelty_microbits,
+            self.tail_hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> CatalogProfile {
+        // 4 items, popularity [4, 2, 1, 0] over 4 users.
+        CatalogProfile::from_popularity(&[4, 2, 1, 0], 4, vec![false, false, true, true])
+    }
+
+    #[test]
+    fn observe_accumulates_and_expires_at_exact_boundary() {
+        let cat = catalog();
+        let mut w = RollingWindow::new(Duration::from_micros(100), 4);
+        w.observe(0, &[0, 2], &cat);
+        w.observe(50, &[1], &cat);
+        let s = w.stats(99);
+        assert_eq!(s.lists, 2);
+        assert_eq!(s.items, 3);
+        assert_eq!(s.coverage, 3.0 / 4.0);
+        // At exactly t=100 the first entry expires (live iff now < at+window).
+        let s = w.stats(100);
+        assert_eq!(s.lists, 1);
+        assert_eq!(s.items, 1);
+        assert_eq!(s.coverage, 1.0 / 4.0);
+        // p(item 1) = 2/4 -> 1 bit of self-information.
+        assert!((s.mean_novelty_bits - 1.0).abs() < 1e-9);
+        assert_eq!(s.long_tail_share, 0.0);
+        let s = w.stats(150);
+        assert_eq!(s.lists, 0);
+        assert_eq!(s, WindowStats::empty());
+    }
+
+    #[test]
+    fn novelty_uses_the_metrics_crate_convention() {
+        let cat = catalog();
+        // p(0)=1 -> 0 bits; p(3) floored at 1/5 -> log2(5) bits.
+        assert_eq!(cat.novelty_microbits(0), 0);
+        let expect = (5.0f64.log2() * 1e6).round() as u64;
+        assert_eq!(cat.novelty_microbits(3), expect);
+    }
+
+    #[test]
+    fn fold_unions_coverage_across_windows() {
+        let cat = catalog();
+        let mut a = RollingWindow::new(Duration::from_micros(100), 4);
+        let mut b = RollingWindow::new(Duration::from_micros(100), 4);
+        a.observe(0, &[0, 1], &cat);
+        b.observe(0, &[1, 2], &cat);
+        let mut fold = WindowFold::new(4);
+        let sa = a.fold_into(10, &mut fold);
+        let sb = b.fold_into(10, &mut fold);
+        assert_eq!(sa.coverage, 0.5);
+        assert_eq!(sb.coverage, 0.5);
+        let s = fold.stats();
+        // Union is {0,1,2}: 3/4, not the mean of the per-window halves.
+        assert_eq!(s.coverage, 3.0 / 4.0);
+        assert_eq!(s.items, 4);
+        assert_eq!(s.lists, 2);
+        assert_eq!(s.long_tail_share, 1.0 / 4.0);
+    }
+}

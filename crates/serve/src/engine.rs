@@ -34,14 +34,17 @@
 
 use crate::bundle::{make_scorer_with_mask, CoverageState, FittedModel, ModelBundle};
 use crate::lru::LruCache;
+use crate::obs::EngineObs;
 use ganc_core::query::{fused_select_recording, fused_select_runs, UserQuery};
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::{ObsHub, WindowStats};
 use ganc_recommender::pop::MostPopular;
 use ganc_recommender::topn::train_item_mask;
 use ganc_recommender::Recommender;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 
 /// A cached response: the bundle generation that computed it plus the list.
 type CachedList = (u64, Arc<Vec<ItemId>>);
@@ -288,6 +291,10 @@ pub struct ServingEngine {
     misses: AtomicU64,
     ingested: AtomicU64,
     invalidated: AtomicU64,
+    /// Optional observability handles ([`ServingEngine::attach_obs`]).
+    /// Un-attached engines pay one atomic load per request and nothing
+    /// else; attachment is one-shot.
+    obs: OnceLock<Arc<EngineObs>>,
 }
 
 // Lock discipline: `state` before `cache`, or `cache` alone. Writers
@@ -308,7 +315,29 @@ impl ServingEngine {
             misses: AtomicU64::new(0),
             ingested: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attach observability: register this engine's metric series on `hub`
+    /// (labelled with `band`, or `band="all"` for an unbanded engine) and
+    /// start a rolling beyond-accuracy window of span `window` over its
+    /// served lists. One-shot; a second attach is a no-op.
+    pub fn attach_obs(&self, hub: Arc<ObsHub>, band: Option<u32>, window: Duration) {
+        let state = self.state.read().unwrap();
+        let obs = EngineObs::new(hub, band, window, &state.bundle, state.generation);
+        drop(state);
+        let _ = self.obs.set(Arc::new(obs));
+    }
+
+    /// Current rolling-window metrics, when observability is attached.
+    pub fn window_stats(&self) -> Option<WindowStats> {
+        self.obs.get().map(|o| o.window_stats())
+    }
+
+    /// The attached observability handles, if any (sharding layer + tests).
+    pub(crate) fn engine_obs(&self) -> Option<&Arc<EngineObs>> {
+        self.obs.get()
     }
 
     /// Answer one user's top-N request.
@@ -321,13 +350,27 @@ impl ServingEngine {
     /// generation for an instant around a [`ServingEngine::swap_bundle`];
     /// the list always matches the reported generation's bundle.
     pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), ServeError> {
+        let obs = self.obs.get();
+        let t0 = obs.map_or(0, |o| o.now_us());
         // Hit fast path: never touches the model state.
-        if let Some(&(generation, ref hit)) = self.cache.lock().unwrap().get(&user.0) {
+        let cached = {
+            let mut cache = self.cache.lock().unwrap();
+            cache
+                .get(&user.0)
+                .map(|&(generation, ref hit)| (generation, Arc::clone(hit)))
+        };
+        if let Some((generation, hit)) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(hit), generation));
+            if let Some(o) = obs {
+                o.record_request(t0, user.0, generation, true, &hit);
+            }
+            return Ok((hit, generation));
         }
         let state = self.state.read().unwrap();
         if user.idx() >= state.bundle.n_users() as usize {
+            if let Some(o) = obs {
+                o.record_error();
+            }
             return Err(ServeError::UnknownUser(user));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -339,6 +382,9 @@ impl ServingEngine {
             .lock()
             .unwrap()
             .insert(user.0, (state.generation, Arc::clone(&list)));
+        if let Some(o) = obs {
+            o.record_request(t0, user.0, state.generation, false, &list);
+        }
         Ok((list, state.generation))
     }
 
@@ -363,6 +409,8 @@ impl ServingEngine {
         &self,
         users: &[UserId],
     ) -> (Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64) {
+        let obs = self.obs.get();
+        let t0 = obs.map_or(0, |o| o.now_us());
         let state = self.state.read().unwrap();
         let generation = state.generation;
         let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
@@ -384,6 +432,9 @@ impl ServingEngine {
         self.hits
             .fetch_add((users.len() - miss_idx.len()) as u64, Ordering::Relaxed);
         if miss_idx.is_empty() {
+            if let Some(o) = obs {
+                o.record_batch(t0, generation, &results);
+            }
             return (
                 results.into_iter().map(|r| r.unwrap()).collect(),
                 generation,
@@ -404,6 +455,9 @@ impl ServingEngine {
         self.misses
             .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
         if miss_idx.is_empty() {
+            if let Some(o) = obs {
+                o.record_batch(t0, generation, &results);
+            }
             return (
                 results.into_iter().map(|r| r.unwrap()).collect(),
                 generation,
@@ -471,6 +525,9 @@ impl ServingEngine {
         }
         drop(cache);
         drop(state);
+        if let Some(o) = obs {
+            o.record_batch(t0, generation, &results);
+        }
         (
             results.into_iter().map(|r| r.unwrap()).collect(),
             generation,
@@ -542,6 +599,9 @@ impl ServingEngine {
         }
         drop(state);
         self.ingested.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.record_ingest(user.0, item.0);
+        }
         Ok(())
     }
 
@@ -557,6 +617,11 @@ impl ServingEngine {
         let generation = state.generation + 1;
         *state = EngineState::with_generation(bundle, generation);
         self.cache.lock().unwrap().clear();
+        // Record under the write lock (obs locks are leaves) so the swap
+        // event and the catalog refreeze are atomic with the swap itself.
+        if let Some(o) = self.obs.get() {
+            o.record_swap(generation, &state.bundle);
+        }
         drop(state);
         generation
     }

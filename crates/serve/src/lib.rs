@@ -58,6 +58,7 @@ pub mod bundle;
 pub mod engine;
 pub mod legacy;
 pub mod lru;
+pub(crate) mod obs;
 pub mod refit;
 pub mod saveload;
 pub mod shard;

@@ -30,9 +30,15 @@ use ganc_dataset::dataset::Rating;
 use ganc_dataset::{Interactions, ItemId, UserId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+// The clock seam moved to `ganc-obs` in the observability PR so metrics,
+// trace timestamps, rolling windows, and the refit cadence all read the
+// same injectable time source; re-exported here so existing
+// `ganc_serve::refit::{Clock, ...}` paths keep working.
+pub use ganc_obs::clock::{Clock, ManualClock, SystemClock};
 
 /// Refits the model-side state from an accumulated train set: returns the
 /// fitted base model and the per-user θ estimates the next generation
@@ -92,74 +98,20 @@ impl ShardedEngine {
     pub fn refit_once(&self, fitter: &Refitter, cfg: &FitConfig) -> RefitOutcome {
         let (generation, baseline, log) = self.refit_snapshot();
         let consumed = log.len();
+        self.obs_refit_started(generation, consumed as u64);
         let train = merge_interactions(&baseline.train, &log);
         let (model, theta) = fitter(&train);
         let bundle = Arc::new(ModelBundle::fit(model, theta, train, cfg));
         match self.install_refit(generation, Arc::clone(&bundle), consumed) {
-            Some(generation) => RefitOutcome::Swapped { generation, bundle },
-            None => RefitOutcome::Raced,
+            Some(generation) => {
+                self.obs_refit_swapped(generation);
+                RefitOutcome::Swapped { generation, bundle }
+            }
+            None => {
+                self.obs_refit_raced(generation);
+                RefitOutcome::Raced
+            }
         }
-    }
-}
-
-/// A monotonic time source the refit cadence reads. Injectable so cadence
-/// decisions are deterministic under test: a [`ManualClock`] only moves
-/// when the test advances it, which makes "the engine must NOT refit yet"
-/// provable instead of probabilistic.
-pub trait Clock: Send + Sync + 'static {
-    /// Monotonic elapsed time since the clock's origin.
-    fn now(&self) -> Duration;
-}
-
-/// The production clock: wall progress since construction.
-#[derive(Debug)]
-pub struct SystemClock {
-    origin: Instant,
-}
-
-impl SystemClock {
-    /// A clock whose origin is "now".
-    #[allow(clippy::new_without_default)]
-    pub fn new() -> SystemClock {
-        SystemClock {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Clock for SystemClock {
-    fn now(&self) -> Duration {
-        self.origin.elapsed()
-    }
-}
-
-/// A test clock that advances only when told to.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    now: Mutex<Duration>,
-}
-
-impl ManualClock {
-    /// A clock frozen at zero.
-    pub fn new() -> ManualClock {
-        ManualClock::default()
-    }
-
-    /// Move the clock forward by `by`.
-    pub fn advance(&self, by: Duration) {
-        *self.now.lock().unwrap() += by;
-    }
-}
-
-impl Clock for ManualClock {
-    fn now(&self) -> Duration {
-        *self.now.lock().unwrap()
-    }
-}
-
-impl<C: Clock> Clock for Arc<C> {
-    fn now(&self) -> Duration {
-        C::now(self)
     }
 }
 
@@ -334,6 +286,14 @@ impl RefitController {
     /// Completed refit passes so far.
     pub fn refits(&self) -> u64 {
         self.refits.load(Ordering::Relaxed)
+    }
+
+    /// Is the background worker still running? `false` after
+    /// [`RefitController::shutdown`] or if the worker died (e.g. a fit
+    /// panic) — surfaced by `/v1/healthz` so a silently dead controller
+    /// is visible to operators.
+    pub fn alive(&self) -> bool {
+        self.worker.as_ref().is_some_and(|w| !w.is_finished())
     }
 
     /// Signal the worker to stop and wait for it to finish.

@@ -26,8 +26,10 @@ use crate::engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 use crate::saveload::{PersistError, SaveLoad};
 use ganc_core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::{Counter, Gauge, ObsHub, TraceData, WindowFold, WindowStats};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 
 /// How the θ axis is cut into bands.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +175,65 @@ pub struct ShardedEngine {
     ingest_log: Mutex<Vec<(UserId, ItemId, f32)>>,
     engine_cfg: EngineConfig,
     plan: ShardPlan,
+    /// Optional observability ([`ShardedEngine::attach_obs`]): the hub and
+    /// window span to thread onto every generation's band engines, plus
+    /// refit lifecycle counters.
+    obs: OnceLock<ShardObs>,
+}
+
+/// Shard-level observability state: what every new generation's engines
+/// are attached with, plus the refit lifecycle instruments.
+struct ShardObs {
+    hub: Arc<ObsHub>,
+    window: Duration,
+    refit_started: Arc<Counter>,
+    refit_swapped: Arc<Counter>,
+    refit_raced: Arc<Counter>,
+    pending_gauge: Arc<Gauge>,
+    generation_gauge: Arc<Gauge>,
+}
+
+impl ShardObs {
+    fn new(hub: Arc<ObsHub>, window: Duration) -> ShardObs {
+        let m = &hub.metrics;
+        let refit_started = m.counter("ganc_refit_started_total", "Refit passes started", &[]);
+        let refit_swapped = m.counter(
+            "ganc_refit_swapped_total",
+            "Refit passes that installed a new generation",
+            &[],
+        );
+        let refit_raced = m.counter(
+            "ganc_refit_raced_total",
+            "Refit passes discarded after losing the install race",
+            &[],
+        );
+        let pending_gauge = m.gauge(
+            "ganc_refit_pending_ingests",
+            "Ingest-log entries awaiting the next refit",
+            &[],
+        );
+        let generation_gauge = m.gauge(
+            "ganc_shard_generation",
+            "Shard-set generation currently served",
+            &[],
+        );
+        ShardObs {
+            hub,
+            window,
+            refit_started,
+            refit_swapped,
+            refit_raced,
+            pending_gauge,
+            generation_gauge,
+        }
+    }
+
+    /// Attach per-band engine observability to a shard set's engines.
+    fn attach_engines(&self, set: &ShardSet) {
+        for (j, engine) in set.engines.iter().enumerate() {
+            engine.attach_obs(Arc::clone(&self.hub), Some(j as u32), self.window);
+        }
+    }
 }
 
 // Lock discipline: outer `set` lock before `ingest_log`, and outer before
@@ -189,6 +250,72 @@ impl ShardedEngine {
             ingest_log: Mutex::new(Vec::new()),
             engine_cfg: cfg.engine,
             plan: cfg.plan,
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attach observability: per-band metric series and rolling windows on
+    /// the current generation's engines (re-attached automatically to every
+    /// generation a refit installs), plus refit lifecycle counters and
+    /// trace events on `hub`. One-shot; a second attach is a no-op.
+    pub fn attach_obs(&self, hub: Arc<ObsHub>, window: Duration) {
+        let obs = ShardObs::new(hub, window);
+        let set = self.set.read().unwrap();
+        obs.attach_engines(&set);
+        obs.generation_gauge.set(set.generation as f64);
+        drop(set);
+        let _ = self.obs.set(obs);
+    }
+
+    /// Per-band rolling-window metrics plus their cross-band aggregate
+    /// (coverage over the **union** of served items), when observability is
+    /// attached.
+    pub fn window_stats(&self) -> Option<(Vec<WindowStats>, WindowStats)> {
+        self.obs.get()?;
+        let set = self.set.read().unwrap();
+        let mut fold = WindowFold::new(set.bundle.n_items() as usize);
+        let mut bands = Vec::with_capacity(set.engines.len());
+        for engine in &set.engines {
+            let obs = engine
+                .engine_obs()
+                .expect("attach_obs threads onto every generation");
+            bands.push(obs.fold_window(&mut fold));
+        }
+        Some((bands, fold.stats()))
+    }
+
+    /// Refit lifecycle hooks, called by [`crate::refit`].
+    pub(crate) fn obs_refit_started(&self, generation: u64, pending: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.refit_started.inc();
+            obs.pending_gauge.set(pending as f64);
+            obs.hub.trace.record(
+                obs.hub.now_us(),
+                TraceData::RefitStarted {
+                    generation,
+                    pending,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn obs_refit_swapped(&self, generation: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.refit_swapped.inc();
+            obs.generation_gauge.set(generation as f64);
+            obs.pending_gauge.set(self.pending_ingests() as f64);
+            obs.hub
+                .trace
+                .record(obs.hub.now_us(), TraceData::RefitSwapped { generation });
+        }
+    }
+
+    pub(crate) fn obs_refit_raced(&self, generation: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.refit_raced.inc();
+            obs.hub
+                .trace
+                .record(obs.hub.now_us(), TraceData::RefitRaced { generation });
         }
     }
 
@@ -390,6 +517,12 @@ impl ShardedEngine {
         // engine construction are the expensive part, and the old
         // generation keeps serving throughout.
         let new_set = ShardSet::build(bundle, &self.plan, self.engine_cfg, expected_generation + 1);
+        // Thread observability onto the new generation's engines before
+        // they go live (same metric series as the outgoing generation —
+        // the registry hands back the existing per-band atomics).
+        if let Some(obs) = self.obs.get() {
+            obs.attach_engines(&new_set);
+        }
         let mut set = self.set.write().unwrap();
         if set.generation != expected_generation {
             return None;

@@ -22,6 +22,9 @@
 //!   ([`ganc_serve`])
 //! * [`http`] — the std-only HTTP/1.1 front-end: server, remote θ-band
 //!   shard client, and multi-node router ([`ganc_http`])
+//! * [`obs`] — the observability layer: lock-free metrics registry with
+//!   Prometheus text exposition, trace-event ring buffer, and rolling
+//!   beyond-accuracy windows ([`ganc_obs`])
 //!
 //! ## Quickstart
 //!
@@ -79,6 +82,7 @@ pub use ganc_eval as eval;
 pub use ganc_http as http;
 pub use ganc_linalg as linalg;
 pub use ganc_metrics as metrics;
+pub use ganc_obs as obs;
 pub use ganc_preference as preference;
 pub use ganc_recommender as recommender;
 pub use ganc_rerank as rerank;

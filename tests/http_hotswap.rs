@@ -86,6 +86,7 @@ fn http_swap_stress_has_no_torn_reads() {
     let hook = RefitHook {
         fitter: item_avg_fitter(),
         cfg: fit_cfg(),
+        cadence: None,
     };
     let server = HttpServer::bind(
         Frontend::Sharded(Arc::clone(&engine)),
@@ -262,6 +263,7 @@ fn http_ingests_survive_swaps_and_match_from_scratch_fit() {
     let hook = RefitHook {
         fitter: Arc::clone(&fitter),
         cfg: fit_cfg(),
+        cadence: None,
     };
     let server = HttpServer::bind(
         Frontend::Sharded(Arc::clone(&engine)),
@@ -362,6 +364,7 @@ fn refit_endpoint_requires_hook_and_sharded_front() {
         Some(RefitHook {
             fitter: item_avg_fitter(),
             cfg: fit_cfg(),
+            cadence: None,
         }),
         ServerConfig::default(),
         "127.0.0.1:0",

@@ -1,0 +1,681 @@
+//! The PR 6 observability layer, locked down end to end: histogram
+//! accounting and Prometheus exposition round-trips (property-tested),
+//! rolling beyond-accuracy windows proven against a from-scratch oracle
+//! under a `ManualClock` (exact boundary expiry included), and the HTTP
+//! surface — `/v1/metrics`, `/v1/trace`, the expanded `/v1/stats`, and
+//! `/v1/healthz` with a live background adaptive-refit controller.
+
+use ganc::core::coverage::CoverageKind;
+use ganc::core::query::{band_bounds, cut_theta_bands};
+use ganc::dataset::synth::DatasetProfile;
+use ganc::dataset::{Interactions, UserId};
+use ganc::http::{
+    CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, RouterNode,
+    ServerConfig, ShardRoute,
+};
+use ganc::obs::{
+    bucket_bounds_us, CatalogProfile, Clock, ManualClock, MetricsRegistry, ObsHub, RollingWindow,
+};
+use ganc::preference::generalized::GeneralizedConfig;
+use ganc::recommender::item_avg::ItemAvg;
+use ganc::serve::refit::Refitter;
+use ganc::serve::{
+    BatchConfig, CadenceConfig, EngineConfig, FitConfig, FittedModel, ModelBundle, ServingEngine,
+    ShardConfig, ShardedEngine,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+use tinyjson::Value;
+
+const N: usize = 5;
+
+fn fit_cfg() -> FitConfig {
+    FitConfig {
+        coverage: CoverageKind::Dynamic,
+        sample_size: 12,
+        ..FitConfig::new(N)
+    }
+}
+
+fn fitter() -> Arc<Refitter> {
+    Arc::new(|train: &Interactions| {
+        (
+            FittedModel::ItemAvg(ItemAvg::fit(train, 5.0)),
+            GeneralizedConfig::default().estimate(train),
+        )
+    })
+}
+
+fn fixture_bundle(seed: u64) -> ModelBundle {
+    let data = DatasetProfile::tiny().generate(seed);
+    let split = data.split_per_user(0.5, 3).unwrap();
+    let (model, theta) = fitter()(&split.train);
+    ModelBundle::fit(model, theta, split.train, &fit_cfg())
+}
+
+fn manual_hub() -> (Arc<ManualClock>, Arc<ObsHub>) {
+    let clock = Arc::new(ManualClock::new());
+    let hub = ObsHub::with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+    (clock, hub)
+}
+
+fn get_json(client: &mut HttpClient, path: &str) -> Value {
+    let resp = client.request("GET", path, None).unwrap();
+    assert_eq!(resp.status, 200, "{path}");
+    tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+}
+
+// ---------------------------------------------------------------- metrics
+
+proptest! {
+    /// Every observation lands in exactly one bucket: per-bucket counts sum
+    /// to the observation count, and the +Inf bucket exists so the
+    /// cumulative rendering always converges to `_count`.
+    #[test]
+    fn histogram_buckets_sum_to_observation_count(
+        values in proptest::collection::vec(0u64..50_000_000, 1..200),
+    ) {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("t_sum_us", "bucket accounting", &[]);
+        let mut sum = 0u64;
+        for &v in &values {
+            h.observe_us(v);
+            sum += v;
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum_us(), sum);
+        // Each value must sit in the first bucket whose bound holds it.
+        let bounds = bucket_bounds_us();
+        for &v in &values {
+            let j = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            prop_assert!(counts[j] > 0, "value {} missing from bucket {}", v, j);
+        }
+    }
+}
+
+/// A minimal Prometheus text parser: `name{labels} value` / `name value`
+/// sample lines plus `# HELP` / `# TYPE` comments. Returns (name, labels,
+/// value) triples.
+fn parse_prometheus(text: &str) -> Vec<(String, String, f64)> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap();
+            assert!(
+                kind == "HELP" || kind == "TYPE",
+                "unknown comment kind in {line:?}"
+            );
+            assert!(parts.next().is_some(), "comment names a metric: {line:?}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                panic!("unparseable sample value {value:?} in {line:?}")
+            }
+        });
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                assert!(rest.ends_with('}'), "unterminated label set in {line:?}");
+                (name.to_string(), rest[..rest.len() - 1].to_string())
+            }
+            None => (series.to_string(), String::new()),
+        };
+        assert!(
+            name.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+            "invalid metric name {name:?}"
+        );
+        samples.push((name, labels, value));
+    }
+    samples
+}
+
+proptest! {
+    /// The registry's Prometheus rendering is parseable, deterministic, and
+    /// faithful: counter/gauge values survive the round-trip, histogram
+    /// `_bucket` series are cumulative and monotonically non-decreasing in
+    /// `le` order, and the +Inf bucket equals `_count`.
+    #[test]
+    fn prometheus_render_round_trips(
+        counts in proptest::collection::vec(0u64..10_000, 1..5),
+        gauge_value in -1.0e6..1.0e6f64,
+        observations in proptest::collection::vec(0u64..100_000_000, 0..100),
+    ) {
+        let registry = MetricsRegistry::new();
+        for (j, &c) in counts.iter().enumerate() {
+            let band = j.to_string();
+            registry
+                .counter("t_requests_total", "test counter", &[("band", &band)])
+                .add(c);
+        }
+        registry.gauge("t_gauge", "test gauge", &[]).set(gauge_value);
+        let h = registry.histogram("t_lat_us", "test histogram", &[("stage", "x")]);
+        for &v in &observations {
+            h.observe_us(v);
+        }
+
+        let text = registry.render();
+        prop_assert_eq!(&text, &registry.render(), "rendering must be deterministic");
+        let samples = parse_prometheus(&text);
+
+        for (j, &c) in counts.iter().enumerate() {
+            let labels = format!("band=\"{j}\"");
+            let got = samples
+                .iter()
+                .find(|(n, l, _)| n == "t_requests_total" && *l == labels)
+                .map(|&(_, _, v)| v);
+            prop_assert_eq!(got, Some(c as f64));
+        }
+        let gauge = samples.iter().find(|(n, _, _)| n == "t_gauge").unwrap().2;
+        prop_assert!((gauge - gauge_value).abs() <= 1e-6 * gauge_value.abs().max(1.0));
+
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|(n, _, _)| n == "t_lat_us_bucket")
+            .map(|&(_, _, v)| v)
+            .collect();
+        prop_assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative buckets must be non-decreasing: {:?}",
+            buckets
+        );
+        let count = samples.iter().find(|(n, _, _)| n == "t_lat_us_count").unwrap().2;
+        prop_assert_eq!(*buckets.last().unwrap(), count);
+        prop_assert_eq!(count, observations.len() as f64);
+        let sum = samples.iter().find(|(n, _, _)| n == "t_lat_us_sum").unwrap().2;
+        prop_assert_eq!(sum, observations.iter().sum::<u64>() as f64);
+    }
+}
+
+// ---------------------------------------------------------------- windows
+
+/// An entry observed at `t` with window `w` serves stats for every query
+/// in `[t, t+w)` and is gone at exactly `t + w` — not an instant later.
+#[test]
+fn rolling_window_expires_exactly_at_boundary() {
+    let catalog = CatalogProfile::new(vec![1_000_000; 4], vec![false; 4]);
+    let mut window = RollingWindow::new(Duration::from_micros(100), 4);
+    window.observe(0, &[0, 1], &catalog);
+    window.observe(40, &[2], &catalog);
+    assert_eq!(window.stats(0).lists, 2);
+    assert_eq!(window.stats(99).lists, 2, "one tick before expiry");
+    let at_100 = window.stats(100);
+    assert_eq!(at_100.lists, 1, "entry at t=0 expires exactly at t=100");
+    assert_eq!(at_100.coverage, 0.25, "only item 2 remains");
+    assert_eq!(window.stats(139).lists, 1);
+    assert_eq!(window.stats(140).lists, 0, "entry at t=40 expires at t=140");
+}
+
+/// From-scratch oracle for one window state: recompute coverage, mean
+/// novelty, and long-tail share over exactly the live lists.
+fn oracle_stats(live: &[&Vec<u32>], catalog: &CatalogProfile) -> (f64, f64, f64, u64) {
+    let mut distinct = BTreeSet::new();
+    let mut items = 0u64;
+    let mut novelty_sum = 0.0f64;
+    let mut tail_hits = 0u64;
+    for list in live {
+        for &i in *list {
+            distinct.insert(i);
+            items += 1;
+            novelty_sum += catalog.novelty_microbits(i) as f64 / 1e6;
+            if catalog.is_tail(i) {
+                tail_hits += 1;
+            }
+        }
+    }
+    let coverage = distinct.len() as f64 / catalog.n_items() as f64;
+    let novelty = if items == 0 {
+        0.0
+    } else {
+        novelty_sum / items as f64
+    };
+    let tail = if items == 0 {
+        0.0
+    } else {
+        tail_hits as f64 / items as f64
+    };
+    (coverage, novelty, tail, items)
+}
+
+proptest! {
+    /// The O(1)-amortized incremental window equals a from-scratch
+    /// recompute over the live entries, for arbitrary lists, arrival
+    /// times, and query times — and the novelty convention matches the
+    /// paper-metric formula (`-log2 p`, `p` floored at `1/(|U|+1)` for
+    /// unseen items) used by `ganc::metrics`.
+    #[test]
+    fn rolling_window_matches_from_scratch_oracle(
+        popularity in proptest::collection::vec(0u32..50, 8..20),
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..8, 1..6),
+            1..30,
+        ),
+        gaps in proptest::collection::vec(0u64..40, 1..30),
+        query_offset in 0u64..120,
+        window_us in 1u64..100,
+    ) {
+        let n_users = 100u32;
+        let n_items = popularity.len();
+        let tail: Vec<bool> = (0..n_items).map(|i| i % 3 == 0).collect();
+        let catalog = CatalogProfile::from_popularity(&popularity, n_users, tail);
+
+        // Cross-check the frozen novelty attribution against the metric
+        // formula the paper's tables use.
+        for (i, &f) in popularity.iter().enumerate() {
+            let p = if f == 0 {
+                1.0 / (n_users as f64 + 1.0)
+            } else {
+                f as f64 / n_users as f64
+            };
+            let expect = (-p.log2() * 1e6).round() as u64;
+            prop_assert_eq!(catalog.novelty_microbits(i as u32), expect);
+        }
+
+        let mut window = RollingWindow::new(Duration::from_micros(window_us), n_items);
+        let mut at = 0u64;
+        let mut arrivals: Vec<(u64, Vec<u32>)> = Vec::new();
+        for (list, &gap) in lists.iter().zip(gaps.iter().cycle()) {
+            at += gap;
+            // Clamp list entries so they only reference catalog items.
+            let list: Vec<u32> = list.iter().map(|&i| i % n_items as u32).collect();
+            window.observe(at, &list, &catalog);
+            arrivals.push((at, list));
+        }
+        let now = at + query_offset;
+        let live: Vec<&Vec<u32>> = arrivals
+            .iter()
+            .filter(|(t, _)| t + window_us > now)
+            .map(|(_, l)| l)
+            .collect();
+        let (coverage, novelty, tail_share, items) = oracle_stats(&live, &catalog);
+
+        let got = window.stats(now);
+        prop_assert_eq!(got.lists, live.len() as u64);
+        prop_assert_eq!(got.items, items);
+        prop_assert_eq!(got.coverage, coverage, "coverage is an exact rational");
+        prop_assert!((got.mean_novelty_bits - novelty).abs() < 1e-9);
+        prop_assert_eq!(got.long_tail_share, tail_share);
+    }
+}
+
+/// Engine-level windows under an injected `ManualClock`: lists served now
+/// are visible, and advancing the clock past the window expires them all —
+/// deterministic, no sleeps.
+#[test]
+fn engine_window_stats_deterministic_under_manual_clock() {
+    let bundle = fixture_bundle(21);
+    let n_users = bundle.n_users();
+    let engine = ServingEngine::new(bundle, EngineConfig::default());
+    let (clock, hub) = manual_hub();
+    engine.attach_obs(Arc::clone(&hub), None, Duration::from_micros(1_000));
+
+    let mut union: BTreeSet<u32> = BTreeSet::new();
+    for u in 0..n_users {
+        let list = engine.recommend(UserId(u)).unwrap();
+        union.extend(list.iter().map(|i| i.0));
+    }
+    let stats = engine.window_stats().expect("obs attached at bind");
+    assert_eq!(stats.lists, n_users as u64);
+    assert_eq!(stats.items, (n_users as usize * N) as u64);
+    assert!(stats.coverage > 0.0);
+
+    clock.advance(Duration::from_micros(999));
+    assert_eq!(
+        engine.window_stats().unwrap().lists,
+        n_users as u64,
+        "still inside the window"
+    );
+    clock.advance(Duration::from_micros(1));
+    let expired = engine.window_stats().unwrap();
+    assert_eq!(expired.lists, 0, "whole window expires at the boundary");
+    assert_eq!(expired.coverage, 0.0);
+}
+
+/// The sharded aggregate is a true cross-band union — distinct items are
+/// deduplicated across bands, not averaged — and per-band list counts sum.
+#[test]
+fn sharded_window_aggregate_matches_union_oracle() {
+    let bundle = fixture_bundle(33);
+    let n_users = bundle.n_users();
+    let n_items = bundle.n_items() as usize;
+    let engine = ShardedEngine::new(bundle, ShardConfig::quantile(3));
+    let (_clock, hub) = manual_hub();
+    engine.attach_obs(Arc::clone(&hub), Duration::from_secs(60));
+
+    let mut union: BTreeSet<u32> = BTreeSet::new();
+    for u in 0..n_users {
+        let list = engine.recommend(UserId(u)).unwrap();
+        union.extend(list.iter().map(|i| i.0));
+    }
+    let (bands, aggregate) = engine.window_stats().expect("obs attached");
+    assert_eq!(bands.len(), 3);
+    assert_eq!(
+        bands.iter().map(|b| b.lists).sum::<u64>(),
+        n_users as u64,
+        "every served list lands in exactly one band's window"
+    );
+    assert_eq!(aggregate.lists, n_users as u64);
+    assert_eq!(
+        aggregate.coverage,
+        union.len() as f64 / n_items as f64,
+        "aggregate coverage is the union, not a mean of band coverages"
+    );
+    for band in &bands {
+        assert!(band.coverage <= aggregate.coverage + 1e-12);
+    }
+}
+
+// ------------------------------------------------------------------ http
+
+/// `/v1/metrics` answers valid Prometheus text exposition carrying the
+/// engine, window, and HTTP stage families with per-band/per-stage labels.
+#[test]
+fn http_metrics_endpoint_serves_valid_prometheus() {
+    let bundle = fixture_bundle(55);
+    let n_users = bundle.n_users();
+    let engine = Arc::new(ServingEngine::new(bundle, EngineConfig::default()));
+    let server = HttpServer::bind(
+        Frontend::Single(engine),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    for u in 0..n_users.min(8) {
+        let resp = client
+            .request("GET", &format!("/v1/recommend/{u}"), None)
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let resp = client.request("GET", "/v1/metrics", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    let samples = parse_prometheus(&text);
+
+    let served = samples
+        .iter()
+        .find(|(n, l, _)| {
+            n == "ganc_engine_requests_total"
+                && l.contains("band=\"all\"")
+                && l.contains("result=\"miss\"")
+        })
+        .expect("engine request counter present")
+        .2;
+    assert_eq!(served, n_users.min(8) as f64);
+    for family in [
+        "ganc_engine_request_us_bucket",
+        "ganc_http_stage_us_bucket",
+        "ganc_http_requests_total",
+        "ganc_window_coverage",
+        "ganc_window_novelty_bits",
+        "ganc_window_long_tail_share",
+        "ganc_engine_generation",
+    ] {
+        assert!(
+            samples.iter().any(|(n, _, _)| n == family),
+            "family {family} missing from exposition"
+        );
+    }
+    for stage in ["parse", "dispatch", "write"] {
+        let label = format!("stage=\"{stage}\"");
+        assert!(
+            samples
+                .iter()
+                .any(|(n, l, _)| n == "ganc_http_stage_us_count" && l.contains(&label)),
+            "stage {stage} missing"
+        );
+    }
+}
+
+/// `/v1/trace` drains the ring exactly once and records the full request +
+/// refit lifecycle: http/request events for traffic, ingest events, and
+/// `refit_started` → `refit_swapped` with generations for `/admin/refit`.
+#[test]
+fn http_trace_records_request_and_refit_lifecycle() {
+    let bundle = fixture_bundle(77);
+    let engine = Arc::new(ShardedEngine::new(bundle, ShardConfig::quantile(2)));
+    let hook = RefitHook {
+        fitter: fitter(),
+        cfg: fit_cfg(),
+        cadence: None,
+    };
+    let server = HttpServer::bind(
+        Frontend::Sharded(Arc::clone(&engine)),
+        Some(hook),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    assert_eq!(
+        client
+            .request("GET", "/v1/recommend/0", None)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client
+            .request(
+                "POST",
+                "/v1/ingest",
+                Some("{\"user\":1,\"item\":2,\"rating\":4.0}")
+            )
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client.request("POST", "/admin/refit", None).unwrap().status,
+        200
+    );
+
+    let trace = get_json(&mut client, "/v1/trace");
+    assert_eq!(trace["dropped"].as_u64(), Some(0));
+    let events = trace["events"].as_array().unwrap();
+    let kinds: Vec<&str> = events.iter().map(|e| e["kind"].as_str().unwrap()).collect();
+    for expected in [
+        "http",
+        "request",
+        "ingest",
+        "refit_started",
+        "refit_swapped",
+    ] {
+        assert!(
+            kinds.contains(&expected),
+            "missing kind {expected}: {kinds:?}"
+        );
+    }
+    let swapped = events
+        .iter()
+        .find(|e| e["kind"].as_str() == Some("refit_swapped"))
+        .unwrap();
+    assert_eq!(swapped["data"]["generation"].as_u64(), Some(1));
+    let seqs: Vec<u64> = events.iter().map(|e| e["seq"].as_u64().unwrap()).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seq strictly increases"
+    );
+
+    // Drained means drained: a second poll only holds what happened since
+    // (the first poll's own http event), none of the refit lifecycle.
+    let again = get_json(&mut client, "/v1/trace");
+    let kinds: Vec<String> = again["events"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e["kind"].as_str().unwrap().to_string())
+        .collect();
+    assert!(
+        kinds.iter().all(|k| k == "http"),
+        "second drain must not replay engine events: {kinds:?}"
+    );
+}
+
+/// With `RefitHook::cadence` set, bind spawns the background adaptive
+/// controller and `/v1/healthz` surfaces its liveness, refit count, and
+/// the pending ingest volume feeding its trigger.
+#[test]
+fn healthz_reports_adaptive_controller_and_pending_ingests() {
+    let bundle = fixture_bundle(91);
+    let engine = Arc::new(ShardedEngine::new(bundle, ShardConfig::quantile(2)));
+    let hook = RefitHook {
+        fitter: fitter(),
+        cfg: fit_cfg(),
+        // A volume threshold no test traffic reaches: the controller must
+        // stay alive and *not* refit, so the counters are deterministic.
+        cadence: Some(CadenceConfig {
+            volume_threshold: usize::MAX,
+            min_interval: Duration::from_millis(1),
+            max_interval: Duration::from_secs(3600),
+        }),
+    };
+    let server = HttpServer::bind(
+        Frontend::Sharded(Arc::clone(&engine)),
+        Some(hook.clone()),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    for k in 0..3u32 {
+        let body = format!("{{\"user\":{k},\"item\":1,\"rating\":3.0}}");
+        assert_eq!(
+            client
+                .request("POST", "/v1/ingest", Some(&body))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    let health = get_json(&mut client, "/v1/healthz");
+    assert_eq!(health["ok"].as_bool(), Some(true));
+    assert_eq!(health["generation"].as_u64(), Some(0));
+    assert_eq!(health["pending_ingests"].as_u64(), Some(3));
+    assert_eq!(health["refit"]["alive"].as_bool(), Some(true));
+    assert_eq!(health["refit"]["refits"].as_u64(), Some(0));
+
+    // A cadence on a non-sharded front is a configuration error at bind.
+    let single = Arc::new(ServingEngine::new(
+        fixture_bundle(91),
+        EngineConfig::default(),
+    ));
+    let err = match HttpServer::bind(
+        Frontend::Single(single),
+        Some(hook),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("cadence on a single-engine front must be rejected"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+/// The `Frontend::Router` `/v1/stats` fix: every route reports its band
+/// index, kind (local / coalesced), peer address, own generation, and the
+/// coalescer's queue depth where one exists.
+#[test]
+fn router_stats_reports_per_band_kind_generation_and_pending() {
+    let bundle = fixture_bundle(13);
+    let cuts = cut_theta_bands(&bundle.theta, 2);
+    let (lo0, hi0) = band_bounds(&cuts, 0);
+    let (lo1, hi1) = band_bounds(&cuts, 1);
+    let local = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo0, hi0),
+        EngineConfig::default(),
+    ));
+    let remote_engine = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo1, hi1),
+        EngineConfig::default(),
+    ));
+    let peer: Arc<dyn PeerTransport> = Arc::new(Frontend::Single(remote_engine));
+    let coalesced = CoalescedShard::new(peer, BatchConfig::default());
+    let router = Arc::new(RouterNode::new(
+        Arc::clone(&bundle.theta),
+        cuts,
+        vec![
+            ShardRoute::Local(local),
+            ShardRoute::Remote(Arc::new(coalesced)),
+        ],
+    ));
+    let server = HttpServer::bind(
+        Frontend::Router(router),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    let stats = get_json(&mut client, "/v1/stats");
+    assert_eq!(stats["backend"].as_str(), Some("router"));
+    let shards = stats["shards"].as_array().unwrap();
+    assert_eq!(shards.len(), 2);
+
+    assert_eq!(shards[0]["band"].as_u64(), Some(0));
+    assert_eq!(shards[0]["kind"].as_str(), Some("local"));
+    assert!(shards[0]["addr"].is_null());
+    assert_eq!(shards[0]["generation"].as_u64(), Some(0));
+    assert!(shards[0]["pending"].is_null(), "local routes hold no queue");
+
+    assert_eq!(shards[1]["band"].as_u64(), Some(1));
+    assert_eq!(shards[1]["kind"].as_str(), Some("coalesced"));
+    assert_eq!(shards[1]["addr"].as_str(), Some("in-process:single"));
+    assert_eq!(shards[1]["generation"].as_u64(), Some(0));
+    assert_eq!(shards[1]["pending"].as_u64(), Some(0));
+}
+
+/// `/v1/stats` windows agree with the engine's own view, and a `GET
+/// /v1/metrics` scrape returns the same rolling gauges the stats endpoint
+/// just published — one source of truth, two expositions.
+#[test]
+fn stats_windows_and_metrics_gauges_agree() {
+    let bundle = fixture_bundle(101);
+    let n_users = bundle.n_users();
+    let engine = Arc::new(ServingEngine::new(bundle, EngineConfig::default()));
+    let server = HttpServer::bind(
+        Frontend::Single(Arc::clone(&engine)),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    for u in 0..n_users {
+        client
+            .request("GET", &format!("/v1/recommend/{u}"), None)
+            .unwrap();
+    }
+    let stats = get_json(&mut client, "/v1/stats");
+    let window = &stats["window"]["aggregate"];
+    assert_eq!(window["lists"].as_u64(), Some(n_users as u64));
+    let coverage = window["coverage"].as_f64().unwrap();
+    assert!(coverage > 0.0);
+
+    let resp = client.request("GET", "/v1/metrics", None).unwrap();
+    let samples = parse_prometheus(std::str::from_utf8(&resp.body).unwrap());
+    let gauge = samples
+        .iter()
+        .find(|(n, l, _)| n == "ganc_window_coverage" && l.contains("band=\"all\""))
+        .unwrap()
+        .2;
+    assert_eq!(gauge, coverage, "stats and metrics publish the same window");
+}

@@ -206,6 +206,7 @@ fn coalesced_batches_are_never_mixed_generation_under_refit_churn() {
         Some(ganc::http::RefitHook {
             fitter: Arc::clone(&fitter),
             cfg: fit_cfg(),
+            cadence: None,
         }),
         ServerConfig::default(),
         "127.0.0.1:0",
