@@ -14,8 +14,8 @@ use ganc_core::query::{band_bounds, cut_theta_bands};
 use ganc_dataset::synth::DatasetProfile;
 use ganc_dataset::UserId;
 use ganc_http::{
-    Frontend, HttpClient, HttpServer, PeerTransport, RemoteShard, RouterNode, ServerConfig,
-    ShardRoute,
+    Frontend, HttpClient, HttpServer, PeerTransport, RemoteShard, ReplicaConfig, RouterNode,
+    ServerConfig, ShardRoute,
 };
 use ganc_preference::GeneralizedConfig;
 use ganc_recommender::pop::MostPopular;
@@ -200,7 +200,7 @@ fn bench_http(c: &mut Criterion) {
     // one. This is the guarded number: the overlap is a property of the
     // dispatch strategy, not of how many cores the bench box has.
     const SIMULATED_HOP: std::time::Duration = std::time::Duration::from_micros(500);
-    struct DelayedPeer(RemoteShard);
+    struct DelayedPeer(RemoteShard, std::time::Duration);
     impl PeerTransport for DelayedPeer {
         fn label(&self) -> String {
             format!("delayed({})", self.0.addr())
@@ -209,7 +209,7 @@ fn bench_http(c: &mut Criterion) {
             &self,
             user: UserId,
         ) -> Result<(Arc<Vec<ganc_dataset::ItemId>>, u64), ganc_http::BackendError> {
-            std::thread::sleep(SIMULATED_HOP);
+            std::thread::sleep(self.1);
             self.0.recommend_traced(user)
         }
         #[allow(clippy::type_complexity)]
@@ -223,7 +223,7 @@ fn bench_http(c: &mut Criterion) {
             ),
             ganc_http::BackendError,
         > {
-            std::thread::sleep(SIMULATED_HOP);
+            std::thread::sleep(self.1);
             self.0.recommend_batch_traced(users)
         }
         fn ingest(
@@ -243,11 +243,80 @@ fn bench_http(c: &mut Criterion) {
         .map(|s| {
             let remote =
                 RemoteShard::connect(s.local_addr().to_string()).expect("band server reachable");
-            ShardRoute::Remote(Arc::new(DelayedPeer(remote)) as Arc<dyn PeerTransport>)
+            ShardRoute::Remote(
+                Arc::new(DelayedPeer(remote, SIMULATED_HOP)) as Arc<dyn PeerTransport>
+            )
         })
         .collect();
-    let delayed_router = RouterNode::new(Arc::clone(&bundle.theta), cuts, delayed_routes);
+    let delayed_router = RouterNode::new(Arc::clone(&bundle.theta), cuts.clone(), delayed_routes);
     let (hop_seq_rps, hop_par_rps) = measure(&delayed_router, router_rounds);
+
+    // ---- replicas: hedged vs unhedged dispatch around a stalled primary ----
+    // Each band becomes a two-replica group over the same peer server: the
+    // primary stalls far beyond the hedge budget before forwarding, the
+    // second replica is the plain fast loopback shard. The hedged router
+    // re-issues to the fast replica once the budget elapses; the unhedged
+    // router (same topology, no budget) waits out the stall every batch.
+    // The stall must dwarf the budget *and* the serve cost: hedging
+    // duplicates the straggler's request when it fires, and on this 1-CPU
+    // bench box a merely-slow primary (hop comparable to the serve) would
+    // correctly show that duplication cost instead of a win. With a
+    // stalled primary the straggler is parked off-CPU for the whole
+    // measured window, which is exactly the unresponsive-peer scenario
+    // hedging exists for. CI guards `byte_identical` and hedged >
+    // unhedged, not the magnitude.
+    const HEDGE_BUDGET: std::time::Duration = std::time::Duration::from_micros(100);
+    const REPLICA_STALL: std::time::Duration = std::time::Duration::from_millis(250);
+    let replicated_routes = |hedge_budget: Option<std::time::Duration>| -> Vec<ShardRoute> {
+        band_servers
+            .iter()
+            .map(|s| {
+                let slow = RemoteShard::connect(s.local_addr().to_string())
+                    .expect("band server reachable");
+                let fast = RemoteShard::connect(s.local_addr().to_string())
+                    .expect("band server reachable");
+                ShardRoute::replicated(
+                    vec![
+                        Arc::new(DelayedPeer(slow, REPLICA_STALL)) as Arc<dyn PeerTransport>,
+                        Arc::new(fast) as Arc<dyn PeerTransport>,
+                    ],
+                    ReplicaConfig {
+                        hedge_budget,
+                        ..ReplicaConfig::default()
+                    },
+                )
+            })
+            .collect()
+    };
+    let hedged_router = RouterNode::new(
+        Arc::clone(&bundle.theta),
+        cuts.clone(),
+        replicated_routes(Some(HEDGE_BUDGET)),
+    );
+    let unhedged_router = RouterNode::new(Arc::clone(&bundle.theta), cuts, replicated_routes(None));
+    let (hedged_slots, hedged_gen) = hedged_router.recommend_batch_traced(&router_users).unwrap();
+    let (unhedged_slots, unhedged_gen) = unhedged_router
+        .recommend_batch_traced(&router_users)
+        .unwrap();
+    let byte_identical =
+        hedged_gen == unhedged_gen && format!("{hedged_slots:?}") == format!("{unhedged_slots:?}");
+    let measure_parallel = |router: &RouterNode, rounds: usize| {
+        router.recommend_batch_traced(&router_users).unwrap();
+        let mut spent = 0.0f64;
+        for _ in 0..rounds {
+            let t = Instant::now();
+            black_box(router.recommend_batch_traced(&router_users).unwrap());
+            spent += t.elapsed().as_secs_f64();
+        }
+        (n_users as usize * rounds) as f64 / spent
+    };
+    // Few rounds: every unhedged batch pays the full stall by design.
+    let replica_rounds = router_rounds.min(4);
+    let unhedged_rps = measure_parallel(&unhedged_router, replica_rounds);
+    let hedged_rps = measure_parallel(&hedged_router, replica_rounds);
+    // Let parked hedge stragglers finish against live servers before
+    // tearing the topology down.
+    std::thread::sleep(REPLICA_STALL + std::time::Duration::from_millis(100));
     drop(band_servers);
 
     // ---- criterion console output ----
@@ -312,7 +381,11 @@ fn bench_http(c: &mut Criterion) {
             "\"speedup\": {lspeed:.2}}}, ",
             "\"simulated_hop_us\": {hopus}, ",
             "\"remote_hop\": {{\"parallel_rps\": {hpar:.0}, \"sequential_rps\": {hseq:.0}, ",
-            "\"speedup\": {hspeed:.2}}}}}\n",
+            "\"speedup\": {hspeed:.2}}}}},\n",
+            "  \"replicas\": {{\"bands\": {rbands}, \"replicas_per_band\": 2, ",
+            "\"hedge_budget_us\": {hbudget}, \"stalled_primary_us\": {stallus}, ",
+            "\"byte_identical\": {bytei}, \"hedged_rps\": {hrps:.0}, ",
+            "\"unhedged_rps\": {urps:.0}, \"speedup\": {rspeed:.2}}}\n",
             "}}\n"
         ),
         users = n_users,
@@ -342,6 +415,12 @@ fn bench_http(c: &mut Criterion) {
         hpar = hop_par_rps,
         hseq = hop_seq_rps,
         hspeed = hop_par_rps / hop_seq_rps,
+        hbudget = HEDGE_BUDGET.as_micros(),
+        stallus = REPLICA_STALL.as_micros(),
+        bytei = byte_identical,
+        hrps = hedged_rps,
+        urps = unhedged_rps,
+        rspeed = hedged_rps / unhedged_rps,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

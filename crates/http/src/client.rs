@@ -7,16 +7,37 @@ use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
 use ganc_serve::ServeError;
 use std::io::{self, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tinyjson::Value;
+
+/// Reconnect backoff penalty after the first failed dial.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+/// Reconnect backoff ceiling (penalty doubles per consecutive failure).
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Dial penalty after a failed connect: while `until` is in the future,
+/// connect attempts fail immediately instead of re-dialing the dead peer.
+struct Backoff {
+    delay: Duration,
+    until: Instant,
+}
 
 /// A keep-alive HTTP/1.1 connection to one server; reconnects lazily after
 /// an IO failure or a `Connection: close`.
+///
+/// Dead peers fail *fast*: dials are bounded by a connect timeout (so an
+/// unroutable peer cannot hang a router dispatch thread for the OS's
+/// minutes-long default), and consecutive dial failures arm a capped
+/// doubling backoff during which further attempts error immediately —
+/// which is what lets a replicated band fail over instead of queueing
+/// behind a black-holed connect.
 pub struct HttpClient {
     addr: String,
     timeout: Duration,
+    connect_timeout: Duration,
+    backoff: Option<Backoff>,
     conn: Option<BufReader<TcpStream>>,
 }
 
@@ -26,6 +47,8 @@ impl HttpClient {
         HttpClient {
             addr: addr.into(),
             timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(2),
+            backoff: None,
             conn: None,
         }
     }
@@ -36,11 +59,61 @@ impl HttpClient {
         self
     }
 
-    fn connect(&self) -> io::Result<BufReader<TcpStream>> {
-        let stream = TcpStream::connect(&self.addr)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_nodelay(true)?;
-        Ok(BufReader::new(stream))
+    /// Replace the dial timeout (default 2s).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> HttpClient {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    fn connect(&mut self) -> io::Result<BufReader<TcpStream>> {
+        if let Some(b) = &self.backoff {
+            if Instant::now() < b.until {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "{}: reconnect backoff armed for {:?} after a failed dial",
+                        self.addr, b.delay
+                    ),
+                ));
+            }
+        }
+        match self.try_connect() {
+            Ok(conn) => {
+                self.backoff = None;
+                Ok(conn)
+            }
+            Err(e) => {
+                let delay = self
+                    .backoff
+                    .as_ref()
+                    .map_or(BACKOFF_FLOOR, |b| (b.delay * 2).min(BACKOFF_CAP));
+                self.backoff = Some(Backoff {
+                    delay,
+                    until: Instant::now() + delay,
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn try_connect(&self) -> io::Result<BufReader<TcpStream>> {
+        let mut last: Option<io::Error> = None;
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(BufReader::new(stream));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{}: address resolved to nothing", self.addr),
+            )
+        }))
     }
 
     /// Issue one request on the persistent connection. If a *reused*
@@ -111,7 +184,7 @@ impl HttpClient {
         path_and_query: &str,
         body: Option<&str>,
     ) -> io::Result<Response> {
-        let client = HttpClient::new(addr);
+        let mut client = HttpClient::new(addr);
         let mut conn = client.connect()?;
         send_request(&mut conn, method, path_and_query, body)?;
         http1::read_response(&mut conn)
@@ -191,9 +264,19 @@ impl RemoteShard {
     /// `GET /v1/healthz` round-trip.
     pub fn connect(addr: impl Into<String>) -> Result<RemoteShard, BackendError> {
         let addr = addr.into();
+        RemoteShard::connect_with(HttpClient::new(addr.clone()), addr)
+    }
+
+    /// Like [`RemoteShard::connect`], but over a caller-configured client
+    /// — e.g. tightened read/connect timeouts for a replicated band where
+    /// a hung peer should fail over fast.
+    pub fn connect_with(
+        client: HttpClient,
+        addr: impl Into<String>,
+    ) -> Result<RemoteShard, BackendError> {
         let shard = RemoteShard {
-            client: Mutex::new(HttpClient::new(addr.clone())),
-            addr,
+            client: Mutex::new(client),
+            addr: addr.into(),
         };
         shard.generation()?;
         Ok(shard)
@@ -332,5 +415,59 @@ impl crate::transport::PeerTransport for RemoteShard {
 
     fn generation(&self) -> Result<u64, BackendError> {
         RemoteShard::generation(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bind an ephemeral port, then drop the listener: dialing it is
+    /// refused immediately, so these tests never wait on a real timeout.
+    fn dead_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        addr
+    }
+
+    #[test]
+    fn failed_dial_arms_capped_doubling_backoff_and_fails_fast() {
+        let mut client =
+            HttpClient::new(dead_addr()).with_connect_timeout(Duration::from_millis(200));
+        let first = client.connect().unwrap_err();
+        assert!(
+            !first.to_string().contains("backoff"),
+            "first dial must be a real attempt: {first}"
+        );
+        // Inside the penalty window the retry fails without touching the
+        // network at all.
+        let second = client.connect().unwrap_err();
+        assert_eq!(second.kind(), io::ErrorKind::TimedOut);
+        assert!(second.to_string().contains("backoff"), "{second}");
+        let mut delay = client.backoff.as_ref().unwrap().delay;
+        assert_eq!(delay, BACKOFF_FLOOR);
+        for _ in 0..10 {
+            // Expire the window so the next call really dials (and fails).
+            client.backoff.as_mut().unwrap().until = Instant::now() - Duration::from_millis(1);
+            client.connect().unwrap_err();
+            let next = client.backoff.as_ref().unwrap().delay;
+            assert_eq!(next, (delay * 2).min(BACKOFF_CAP));
+            delay = next;
+        }
+        assert_eq!(delay, BACKOFF_CAP);
+    }
+
+    #[test]
+    fn successful_dial_resets_the_backoff() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut client = HttpClient::new(addr);
+        client.backoff = Some(Backoff {
+            delay: BACKOFF_CAP,
+            until: Instant::now() - Duration::from_millis(1),
+        });
+        client.connect().unwrap();
+        assert!(client.backoff.is_none(), "a live peer clears the penalty");
     }
 }

@@ -26,6 +26,12 @@
 //!    [`RemoteShard`] in production, [`CoalescedShard`] to micro-batch
 //!    concurrent singles into one wire call, and deterministic
 //!    fault/latency-injection doubles for the test suites.
+//! 5. **Availability** ([`replica`]) — [`ReplicaSet`]: per-band replica
+//!    groups with hedged dispatch under a clock-driven latency budget,
+//!    automatic failover behind a consecutive-failure breaker, and a
+//!    background health probe that restores ejected replicas and rotates
+//!    primaries — responses stay byte-identical to a single-backend
+//!    route.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +66,7 @@
 
 pub mod client;
 pub mod http1;
+pub mod replica;
 pub mod router;
 pub mod server;
 pub mod testing;
@@ -67,6 +74,7 @@ pub mod transport;
 
 pub use client::{HttpClient, RemoteShard};
 pub use http1::{Limits, Request, Response, StatusCode};
+pub use replica::{ProbeHandle, ReplicaConfig, ReplicaSet, ReplicaStats};
 pub use router::{RouterNode, ShardRoute};
 pub use server::{Frontend, HttpServer, RefitHook, ServerConfig};
 pub use transport::{CoalescedShard, PeerTransport};

@@ -1,0 +1,636 @@
+//! Replica sets per θ-band: hedged dispatch, automatic failover, and
+//! health-driven primary rotation.
+//!
+//! PR 3 pinned each θ-band of the trade-off curve to exactly one backend,
+//! so one slow or dead peer stalled or failed every batch touching its
+//! band. A [`ReplicaSet`] widens a band to a small group of
+//! [`PeerTransport`] replicas serving the *same* slice:
+//!
+//! 1. **Hedged dispatch** — the primary gets the sub-request first; when
+//!    it has not answered within [`ReplicaConfig::hedge_budget`] the
+//!    request is re-issued to the next replica in rotation and the first
+//!    answer wins. The budget is read through the injected
+//!    [`Clock`] seam, so tests drive hedges with a [`ManualClock`]
+//!    (or a zero budget) instead of wall sleeps. A whole sub-batch is
+//!    always one replica's answer, so a hedge can never mix bundle
+//!    generations inside one batch — the router's cross-band skew check
+//!    then covers the rest.
+//! 2. **Automatic failover** — an error from the primary retries the next
+//!    healthy replica before surfacing. A per-replica breaker counts
+//!    *consecutive* failures; at [`ReplicaConfig::failure_threshold`] the
+//!    replica is ejected from rotation and the primary rotates to the
+//!    next healthy index.
+//! 3. **Health-driven restore** — [`ReplicaSet::probe_once`] asks each
+//!    ejected replica for its generation (the same call
+//!    `RemoteShard::connect` verifies peers with, i.e. `/v1/healthz` over
+//!    HTTP) and restores responders; the primary then rotates back to the
+//!    lowest healthy index so a recovered original primary takes over
+//!    again. [`ReplicaSet::spawn_probe`] runs that on a clock-driven
+//!    background loop.
+//!
+//! Replica answers are byte-identical to a single-backend route by the
+//! same argument the router makes for slices: every replica serves the
+//! same deterministic slice, so *which* replica answers is invisible —
+//! `tests/router_replicas.rs` proves it under injected slow/dead/flaky
+//! primaries, mid-hedge hot-swaps, and all-replicas-down.
+//!
+//! [`ManualClock`]: ganc_obs::ManualClock
+
+use crate::transport::PeerTransport;
+use crate::BackendError;
+use ganc_dataset::{ItemId, UserId};
+use ganc_obs::{Clock, Counter, ObsHub, SystemClock, TraceData};
+use ganc_serve::ServeError;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Wall-clock slice for waits that must observe an injected clock: the
+/// hedge coordinator and the probe loop sleep in slices this long and
+/// re-read the [`Clock`] each wakeup, so a [`ganc_obs::ManualClock`]
+/// advance is noticed within one slice without any test ever sleeping
+/// for a *budget's* worth of wall time.
+const CLOCK_POLL: Duration = Duration::from_millis(1);
+
+/// Tuning for one band's replica group.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaConfig {
+    /// Re-issue a dispatch to the next replica after this long without an
+    /// answer from the primary. `None` disables hedging (failover and the
+    /// breaker still apply); `Some(Duration::ZERO)` hedges immediately,
+    /// which is how tests get deterministic hedges without a clock thread.
+    pub hedge_budget: Option<Duration>,
+    /// Consecutive failures that eject a replica from rotation (min 1).
+    pub failure_threshold: u32,
+    /// How often the background probe re-checks ejected replicas.
+    pub probe_interval: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> ReplicaConfig {
+        ReplicaConfig {
+            hedge_budget: None,
+            failure_threshold: 3,
+            probe_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Point-in-time view of one band's replica group, for `/v1/stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Replicas configured.
+    pub replicas: usize,
+    /// Replicas currently in rotation.
+    pub healthy: usize,
+    /// Index dispatch tries first.
+    pub primary: usize,
+    /// Hedges fired so far.
+    pub hedges: u64,
+    /// Failed dispatches retried on another replica.
+    pub failovers: u64,
+    /// Replicas ejected by the breaker.
+    pub ejections: u64,
+    /// Ejected replicas restored by a probe.
+    pub restores: u64,
+}
+
+/// One replica's breaker state.
+struct Replica {
+    peer: Arc<dyn PeerTransport>,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+}
+
+/// Registry handles + trace sink, attached once by the router.
+struct ReplicaObs {
+    hub: Arc<ObsHub>,
+    band: u32,
+    hedges: Arc<Counter>,
+    failovers: Arc<Counter>,
+    ejections: Arc<Counter>,
+    restores: Arc<Counter>,
+}
+
+/// The winner-takes-first slot a hedged attempt's two dispatch threads
+/// write into.
+struct HedgeSlot<T> {
+    primary: Option<Result<T, BackendError>>,
+    hedge: Option<Result<T, BackendError>>,
+}
+
+/// A band's replica group. Construct with [`ReplicaSet::new`] (production
+/// clock) or [`ReplicaSet::with_clock`] (tests), then mount it on the
+/// router via `ShardRoute::Replicas`.
+pub struct ReplicaSet {
+    replicas: Vec<Replica>,
+    cfg: ReplicaConfig,
+    clock: Arc<dyn Clock>,
+    primary: AtomicUsize,
+    hedges: AtomicU64,
+    failovers: AtomicU64,
+    ejections: AtomicU64,
+    restores: AtomicU64,
+    obs: OnceLock<ReplicaObs>,
+}
+
+/// The dispatch closure a hedged/failover attempt replays verbatim on
+/// whichever replica it lands on.
+type Call<T> = Arc<dyn Fn(&dyn PeerTransport) -> Result<T, BackendError> + Send + Sync>;
+
+impl ReplicaSet {
+    /// A replica group on the production [`SystemClock`].
+    pub fn new(peers: Vec<Arc<dyn PeerTransport>>, cfg: ReplicaConfig) -> Arc<ReplicaSet> {
+        ReplicaSet::with_clock(peers, cfg, Arc::new(SystemClock::new()))
+    }
+
+    /// A replica group reading its hedge budget and probe cadence through
+    /// an injected clock.
+    pub fn with_clock(
+        peers: Vec<Arc<dyn PeerTransport>>,
+        cfg: ReplicaConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<ReplicaSet> {
+        assert!(!peers.is_empty(), "a replica set needs at least one peer");
+        let replicas = peers
+            .into_iter()
+            .map(|peer| Replica {
+                peer,
+                healthy: AtomicBool::new(true),
+                consecutive_failures: AtomicU32::new(0),
+            })
+            .collect();
+        Arc::new(ReplicaSet {
+            replicas,
+            cfg: ReplicaConfig {
+                failure_threshold: cfg.failure_threshold.max(1),
+                ..cfg
+            },
+            clock,
+            primary: AtomicUsize::new(0),
+            hedges: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        })
+    }
+
+    /// Replicas configured.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Never empty (asserted at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Replicas currently in rotation.
+    pub fn healthy_len(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.healthy.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Stats label: the member peers' labels, primary first marker aside.
+    pub fn label(&self) -> String {
+        let members: Vec<String> = self.replicas.iter().map(|r| r.peer.label()).collect();
+        format!("replicas[{}]", members.join(", "))
+    }
+
+    /// Point-in-time stats snapshot.
+    pub fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            replicas: self.replicas.len(),
+            healthy: self.healthy_len(),
+            primary: self.primary.load(Ordering::SeqCst),
+            hedges: self.hedges.load(Ordering::SeqCst),
+            failovers: self.failovers.load(Ordering::SeqCst),
+            ejections: self.ejections.load(Ordering::SeqCst),
+            restores: self.restores.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Attach counters (shared with the router's pre-registered series)
+    /// and the trace sink. One-shot; later calls are ignored.
+    pub(crate) fn attach_obs(&self, hub: Arc<ObsHub>, band: u32, kind: &'static str) {
+        if self.obs.get().is_some() {
+            return;
+        }
+        let band_label = band.to_string();
+        let labels: Vec<(&str, &str)> = vec![("band", &band_label), ("kind", kind)];
+        let hedges = hub.metrics.counter(
+            "ganc_router_band_hedges_total",
+            "Hedged router dispatches, by band",
+            &labels,
+        );
+        let failovers = hub.metrics.counter(
+            "ganc_router_band_failovers_total",
+            "Dispatches retried on another replica, by band",
+            &labels,
+        );
+        let ejections = hub.metrics.counter(
+            "ganc_router_band_ejections_total",
+            "Replicas ejected by the consecutive-failure breaker, by band",
+            &labels,
+        );
+        let restores = hub.metrics.counter(
+            "ganc_router_band_restores_total",
+            "Ejected replicas restored by a health probe, by band",
+            &labels,
+        );
+        let _ = self.obs.set(ReplicaObs {
+            hub,
+            band,
+            hedges,
+            failovers,
+            ejections,
+            restores,
+        });
+    }
+
+    /// Dispatch order: the rotation ring starting at the primary,
+    /// unhealthy replicas skipped. When *every* replica is ejected the
+    /// full ring is returned — a last-ditch attempt beats refusing
+    /// outright, and when it fails the caller still gets the band error
+    /// contract.
+    fn rotation(&self) -> Vec<usize> {
+        let n = self.replicas.len();
+        let start = self.primary.load(Ordering::SeqCst).min(n - 1);
+        let ring = (0..n).map(|k| (start + k) % n);
+        let healthy: Vec<usize> = ring
+            .clone()
+            .filter(|&i| self.replicas[i].healthy.load(Ordering::SeqCst))
+            .collect();
+        if healthy.is_empty() {
+            ring.collect()
+        } else {
+            healthy
+        }
+    }
+
+    /// First healthy index after `idx` in ring order, if any.
+    fn next_healthy_after(&self, idx: usize) -> Option<usize> {
+        let n = self.replicas.len();
+        (1..n)
+            .map(|k| (idx + k) % n)
+            .find(|&i| self.replicas[i].healthy.load(Ordering::SeqCst))
+    }
+
+    fn record_success(&self, idx: usize) {
+        let r = &self.replicas[idx];
+        r.consecutive_failures.store(0, Ordering::SeqCst);
+        // A last-ditch call through an ejected replica that answers is a
+        // restore, same as a probe finding it alive.
+        if !r.healthy.swap(true, Ordering::SeqCst) {
+            self.note_restore(idx);
+        }
+    }
+
+    fn record_failure(&self, idx: usize) {
+        let r = &self.replicas[idx];
+        let failures = r.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= self.cfg.failure_threshold && r.healthy.swap(false, Ordering::SeqCst) {
+            self.ejections.fetch_add(1, Ordering::SeqCst);
+            if let Some(obs) = self.obs.get() {
+                obs.ejections.inc();
+                obs.hub.trace.record(
+                    obs.hub.now_us(),
+                    TraceData::ReplicaEjected {
+                        band: obs.band,
+                        replica: idx as u32,
+                        failures,
+                    },
+                );
+            }
+            // Rotate the primary off the ejected replica so the next
+            // dispatch starts healthy.
+            if self.primary.load(Ordering::SeqCst) == idx {
+                if let Some(next) = self.next_healthy_after(idx) {
+                    self.primary.store(next, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    fn note_restore(&self, idx: usize) {
+        self.restores.fetch_add(1, Ordering::SeqCst);
+        if let Some(obs) = self.obs.get() {
+            obs.restores.inc();
+            obs.hub.trace.record(
+                obs.hub.now_us(),
+                TraceData::ReplicaRestored {
+                    band: obs.band,
+                    replica: idx as u32,
+                },
+            );
+        }
+    }
+
+    fn note_failover(&self, from: usize, to: usize) {
+        self.failovers.fetch_add(1, Ordering::SeqCst);
+        if let Some(obs) = self.obs.get() {
+            obs.failovers.inc();
+            obs.hub.trace.record(
+                obs.hub.now_us(),
+                TraceData::BandFailover {
+                    band: obs.band,
+                    from: from as u32,
+                    to: to as u32,
+                },
+            );
+        }
+    }
+
+    fn note_hedge(&self, primary: usize, hedge: usize) {
+        self.hedges.fetch_add(1, Ordering::SeqCst);
+        if let Some(obs) = self.obs.get() {
+            obs.hedges.inc();
+            obs.hub.trace.record(
+                obs.hub.now_us(),
+                TraceData::BandHedge {
+                    band: obs.band,
+                    primary: primary as u32,
+                    hedge: hedge as u32,
+                },
+            );
+        }
+    }
+
+    /// One synchronous attempt on `idx`, breaker-accounted.
+    fn attempt<T>(&self, idx: usize, call: &Call<T>) -> Result<T, BackendError> {
+        let out = call(self.replicas[idx].peer.as_ref());
+        match &out {
+            Ok(_) => self.record_success(idx),
+            Err(_) => self.record_failure(idx),
+        }
+        out
+    }
+
+    /// Fire `call` against `idx` on a detached thread, landing the result
+    /// in the hedge slot. Detached on purpose: the straggler must not
+    /// block the winner's return; it self-accounts into the breaker when
+    /// it eventually finishes.
+    fn launch<T: Send + 'static>(
+        self: &Arc<Self>,
+        idx: usize,
+        is_primary: bool,
+        call: &Call<T>,
+        slot: &Arc<(Mutex<HedgeSlot<T>>, Condvar)>,
+    ) {
+        let set = Arc::clone(self);
+        let call = Arc::clone(call);
+        let slot = Arc::clone(slot);
+        std::thread::spawn(move || {
+            let out = set.attempt(idx, &call);
+            let (lock, cv) = &*slot;
+            let mut st = lock.lock().unwrap();
+            if is_primary {
+                st.primary = Some(out);
+            } else {
+                st.hedge = Some(out);
+            }
+            cv.notify_all();
+        });
+    }
+
+    /// One hedged attempt: primary first; when the budget elapses without
+    /// an answer the call is re-issued to `hedge` and the first `Ok`
+    /// wins. Both attempts are accounted, so a hedged pass consumes two
+    /// rotation slots. Waits are condvar waits in [`CLOCK_POLL`] slices
+    /// re-reading the injected clock, never a budget-length wall sleep.
+    fn hedged_attempt<T: Send + 'static>(
+        self: &Arc<Self>,
+        primary: usize,
+        hedge: usize,
+        call: &Call<T>,
+    ) -> Result<T, BackendError> {
+        let budget = self
+            .cfg
+            .hedge_budget
+            .expect("hedged_attempt requires a budget");
+        let slot: Arc<(Mutex<HedgeSlot<T>>, Condvar)> = Arc::new((
+            Mutex::new(HedgeSlot {
+                primary: None,
+                hedge: None,
+            }),
+            Condvar::new(),
+        ));
+        // Deadline first, launch second: once the primary's thread is
+        // observable (e.g. parked at a test gate) the budget must already
+        // be armed, or an injected clock advanced "after dispatch" could
+        // land before the deadline was computed and push it out of reach.
+        let deadline = self.clock.now() + budget;
+        self.launch(primary, true, call, &slot);
+        let (lock, cv) = &*slot;
+        let mut st = lock.lock().unwrap();
+        loop {
+            if let Some(out) = st.primary.take() {
+                return match out {
+                    Ok(v) => Ok(v),
+                    Err(_) => {
+                        // The primary failed *within* its budget: that is
+                        // plain failover, no hedge — retry inline.
+                        drop(st);
+                        self.note_failover(primary, hedge);
+                        self.attempt(hedge, call)
+                    }
+                };
+            }
+            let now = self.clock.now();
+            if now >= deadline {
+                break;
+            }
+            let wall = (deadline - now).min(CLOCK_POLL);
+            st = cv.wait_timeout(st, wall).unwrap().0;
+        }
+        drop(st);
+        // Budget blown: re-issue to the next replica; first answer wins.
+        // An error waits for the other attempt; both failing surfaces the
+        // primary's error so the outcome is deterministic.
+        self.note_hedge(primary, hedge);
+        self.launch(hedge, false, call, &slot);
+        let mut primary_err: Option<BackendError> = None;
+        let mut hedge_err: Option<BackendError> = None;
+        let mut st = lock.lock().unwrap();
+        loop {
+            if let Some(out) = st.primary.take() {
+                match out {
+                    Ok(v) => return Ok(v),
+                    Err(e) => primary_err = Some(e),
+                }
+            }
+            if let Some(out) = st.hedge.take() {
+                match out {
+                    Ok(v) => return Ok(v),
+                    Err(e) => hedge_err = Some(e),
+                }
+            }
+            if let (Some(p), Some(_)) = (&primary_err, &hedge_err) {
+                return Err(p.clone());
+            }
+            st = cv.wait(st).unwrap();
+        }
+    }
+
+    /// The shared dispatch ladder: hedged first attempt (when configured
+    /// and more than one replica is in rotation), then failover down the
+    /// rotation until an answer or the ring is exhausted. The *primary's*
+    /// error is the one surfaced — deterministic regardless of how many
+    /// retries ran.
+    fn dispatch<T: Send + 'static>(self: &Arc<Self>, call: Call<T>) -> Result<T, BackendError> {
+        let order = self.rotation();
+        let hedging = self.cfg.hedge_budget.is_some() && order.len() > 1;
+        let mut first_err: Option<BackendError> = None;
+        let mut i = 0;
+        while i < order.len() {
+            let attempt = if hedging && i == 0 {
+                // Consumes order[0] and order[1]: both were tried no
+                // matter how the hedge resolved.
+                let out = self.hedged_attempt(order[0], order[1], &call);
+                i += 2;
+                out
+            } else {
+                let out = self.attempt(order[i], &call);
+                i += 1;
+                out
+            };
+            match attempt {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if i < order.len() {
+                        self.note_failover(order[i - 1], order[i]);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(first_err.expect("rotation is never empty"))
+    }
+
+    /// Answer one request from whichever replica wins.
+    pub fn recommend_traced(
+        self: &Arc<Self>,
+        user: UserId,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        self.dispatch(Arc::new(move |peer: &dyn PeerTransport| {
+            peer.recommend_traced(user)
+        }))
+    }
+
+    /// Answer one band sub-batch from whichever replica wins. The whole
+    /// sub-batch is one replica's answer, so it carries exactly one
+    /// generation — a hedge cannot mix generations into a batch.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_traced(
+        self: &Arc<Self>,
+        users: &[UserId],
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let users: Arc<Vec<UserId>> = Arc::new(users.to_vec());
+        self.dispatch(Arc::new(move |peer: &dyn PeerTransport| {
+            peer.recommend_batch_traced(&users)
+        }))
+    }
+
+    /// Fan an ingested interaction to **every** replica (healthy or not —
+    /// an ejected replica that misses ingests would serve stale popularity
+    /// after restore). Not atomic across replicas, exactly like the
+    /// router's cross-route fan-out: an `Err` means the replicas have
+    /// diverged and should be re-synced.
+    pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        for r in &self.replicas {
+            r.peer.ingest(user, item, rating)?;
+        }
+        Ok(())
+    }
+
+    /// The group's generation: first replica in rotation order that
+    /// answers. No breaker accounting — this is a read-side health view,
+    /// not a dispatch.
+    pub fn generation(&self) -> Result<u64, BackendError> {
+        let mut last = None;
+        for i in self.rotation() {
+            match self.replicas[i].peer.generation() {
+                Ok(g) => return Ok(g),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("rotation is never empty"))
+    }
+
+    /// One probe pass: ask every *ejected* replica for its generation
+    /// (`/v1/healthz` over HTTP) and restore responders, then rotate the
+    /// primary to the lowest healthy index — so a recovered original
+    /// primary deterministically takes back over. Returns how many
+    /// replicas were restored. Tests call this directly; production runs
+    /// it on the [`ReplicaSet::spawn_probe`] loop.
+    pub fn probe_once(&self) -> usize {
+        let mut restored = 0;
+        for (idx, r) in self.replicas.iter().enumerate() {
+            if !r.healthy.load(Ordering::SeqCst) && r.peer.generation().is_ok() {
+                r.consecutive_failures.store(0, Ordering::SeqCst);
+                if !r.healthy.swap(true, Ordering::SeqCst) {
+                    restored += 1;
+                    self.note_restore(idx);
+                }
+            }
+        }
+        if let Some(first) =
+            (0..self.replicas.len()).find(|&i| self.replicas[i].healthy.load(Ordering::SeqCst))
+        {
+            self.primary.store(first, Ordering::SeqCst);
+        }
+        restored
+    }
+
+    /// Run [`ReplicaSet::probe_once`] every
+    /// [`ReplicaConfig::probe_interval`] on a background thread. The
+    /// interval is read through the injected clock in [`CLOCK_POLL`]-ish
+    /// wall slices, so a frozen [`ganc_obs::ManualClock`] keeps the loop
+    /// provably idle in tests. The handle stops and joins the thread on
+    /// drop.
+    pub fn spawn_probe(self: &Arc<Self>) -> ProbeHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let set = Arc::clone(self);
+        let stop_flag = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            let interval = set.cfg.probe_interval;
+            let slice = (interval / 10).clamp(CLOCK_POLL, Duration::from_millis(20));
+            loop {
+                let deadline = set.clock.now() + interval;
+                while set.clock.now() < deadline {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                }
+                if stop_flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                set.probe_once();
+            }
+        });
+        ProbeHandle {
+            stop,
+            worker: Some(worker),
+        }
+    }
+}
+
+/// Owns one band's background probe loop; stops and joins it on drop.
+pub struct ProbeHandle {
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Drop for ProbeHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}

@@ -30,6 +30,7 @@
 //! parallel path has already started the rest (read-only calls, so
 //! nothing diverges).
 
+use crate::replica::{ProbeHandle, ReplicaConfig, ReplicaSet, ReplicaStats};
 use crate::transport::PeerTransport;
 use crate::BackendError;
 use ganc_core::query::shard_of;
@@ -45,6 +46,9 @@ pub enum ShardRoute {
     Local(Arc<ServingEngine>),
     /// On a peer node, over a [`PeerTransport`] (HTTP in production).
     Remote(Arc<dyn PeerTransport>),
+    /// On a replica group over the band's slice: hedged dispatch,
+    /// failover, and health-driven rotation ([`crate::replica`]).
+    Replicas(Arc<ReplicaSet>),
 }
 
 impl ShardRoute {
@@ -54,12 +58,20 @@ impl ShardRoute {
         ShardRoute::Remote(Arc::new(peer))
     }
 
+    /// A replicated route over several peers serving the same slice, on
+    /// the production clock.
+    pub fn replicated(peers: Vec<Arc<dyn PeerTransport>>, cfg: ReplicaConfig) -> ShardRoute {
+        ShardRoute::Replicas(ReplicaSet::new(peers, cfg))
+    }
+
     /// Short label for stats: `"local"` for in-process slices, the
-    /// transport's own kind (`"remote"`, `"coalesced"`) for peers.
+    /// transport's own kind (`"remote"`, `"coalesced"`) for peers,
+    /// `"replicas"` for replica groups.
     pub(crate) fn kind(&self) -> &'static str {
         match self {
             ShardRoute::Local(_) => "local",
             ShardRoute::Remote(r) => r.kind(),
+            ShardRoute::Replicas(_) => "replicas",
         }
     }
 
@@ -68,6 +80,7 @@ impl ShardRoute {
         match self {
             ShardRoute::Local(_) => None,
             ShardRoute::Remote(r) => Some(r.label()),
+            ShardRoute::Replicas(set) => Some(set.label()),
         }
     }
 
@@ -76,6 +89,33 @@ impl ShardRoute {
         match self {
             ShardRoute::Local(_) => None,
             ShardRoute::Remote(r) => r.pending_depth(),
+            ShardRoute::Replicas(_) => None,
+        }
+    }
+
+    /// The band's replica group, when this route is replicated.
+    pub(crate) fn replicas(&self) -> Option<&Arc<ReplicaSet>> {
+        match self {
+            ShardRoute::Replicas(set) => Some(set),
+            _ => None,
+        }
+    }
+
+    /// Replica-group view for `/v1/stats`: single-backend routes report
+    /// as a degenerate group of one healthy replica, so the stats shape
+    /// is uniform across route kinds.
+    pub(crate) fn replica_view(&self) -> ReplicaStats {
+        match self {
+            ShardRoute::Replicas(set) => set.stats(),
+            _ => ReplicaStats {
+                replicas: 1,
+                healthy: 1,
+                primary: 0,
+                hedges: 0,
+                failovers: 0,
+                ejections: 0,
+                restores: 0,
+            },
         }
     }
 
@@ -83,38 +123,42 @@ impl ShardRoute {
         match self {
             ShardRoute::Local(e) => Ok(e.generation()),
             ShardRoute::Remote(r) => r.generation(),
+            ShardRoute::Replicas(set) => set.generation(),
         }
     }
 
-    /// Dispatch one band's sub-batch. Remote failures are wrapped with the
-    /// band index so the caller knows *which* shard of the deployment is
-    /// unhealthy.
+    /// Dispatch one band's sub-batch. Remote/replica failures are wrapped
+    /// with the band index so the caller knows *which* shard of the
+    /// deployment is unhealthy.
     #[allow(clippy::type_complexity)]
     fn dispatch(
         &self,
         band: usize,
         sub: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let band_err = |e: BackendError| BackendError::Band {
+            band,
+            message: e.to_string(),
+        };
         match self {
             ShardRoute::Local(engine) => Ok(engine.recommend_batch_traced(sub)),
-            ShardRoute::Remote(remote) => {
-                remote
-                    .recommend_batch_traced(sub)
-                    .map_err(|e| BackendError::Band {
-                        band,
-                        message: e.to_string(),
-                    })
-            }
+            ShardRoute::Remote(remote) => remote.recommend_batch_traced(sub).map_err(band_err),
+            ShardRoute::Replicas(set) => set.recommend_batch_traced(sub).map_err(band_err),
         }
     }
 }
 
 /// Per-band router metric handles: dispatch latency and error attribution
-/// for every route, local or remote.
+/// for every route, plus the availability counters replica groups bump.
+struct BandObs {
+    dispatch_us: Arc<Histogram>,
+    errors: Arc<Counter>,
+}
+
 struct RouterObs {
     hub: Arc<ObsHub>,
-    /// Indexed by band: (dispatch latency, dispatch errors, hedges).
-    bands: Vec<(Arc<Histogram>, Arc<Counter>, Arc<Counter>)>,
+    /// Indexed by band.
+    bands: Vec<BandObs>,
 }
 
 impl RouterObs {
@@ -135,15 +179,34 @@ impl RouterObs {
                     "Router dispatches that failed, by band",
                     &labels,
                 );
-                // Registered at zero: request hedging is a ROADMAP
-                // follow-up; pinning the series now keeps dashboards
-                // stable when it lands.
-                let hedges = hub.metrics.counter(
-                    "ganc_router_band_hedges_total",
-                    "Hedged router dispatches, by band",
-                    &labels,
-                );
-                (dispatch_us, errors, hedges)
+                // Availability series, registered at zero for *every*
+                // band so dashboards stay stable: replica groups fetch
+                // the same handles (registry keying is name + labels)
+                // and bump them; single-backend bands stay pinned at 0.
+                for (name, help) in [
+                    (
+                        "ganc_router_band_hedges_total",
+                        "Hedged router dispatches, by band",
+                    ),
+                    (
+                        "ganc_router_band_failovers_total",
+                        "Dispatches retried on another replica, by band",
+                    ),
+                    (
+                        "ganc_router_band_ejections_total",
+                        "Replicas ejected by the consecutive-failure breaker, by band",
+                    ),
+                    (
+                        "ganc_router_band_restores_total",
+                        "Ejected replicas restored by a health probe, by band",
+                    ),
+                ] {
+                    hub.metrics.counter(name, help, &labels);
+                }
+                BandObs {
+                    dispatch_us,
+                    errors,
+                }
             })
             .collect();
         RouterObs { hub, bands }
@@ -192,8 +255,14 @@ impl RouterNode {
             return;
         }
         for (j, route) in self.routes.iter().enumerate() {
-            if let ShardRoute::Local(engine) = route {
-                engine.attach_obs(Arc::clone(&hub), Some(j as u32), window);
+            match route {
+                ShardRoute::Local(engine) => {
+                    engine.attach_obs(Arc::clone(&hub), Some(j as u32), window);
+                }
+                ShardRoute::Replicas(set) => {
+                    set.attach_obs(Arc::clone(&hub), j as u32, route.kind());
+                }
+                ShardRoute::Remote(_) => {}
             }
         }
         let _ = self.obs.set(RouterObs::new(hub, &self.routes));
@@ -214,10 +283,11 @@ impl RouterNode {
         };
         let t0 = obs.hub.now_us();
         let out = self.routes[j].dispatch(j, sub);
-        let (dispatch_us, errors, _) = &obs.bands[j];
-        dispatch_us.observe_us(obs.hub.now_us().saturating_sub(t0));
+        let band = &obs.bands[j];
+        band.dispatch_us
+            .observe_us(obs.hub.now_us().saturating_sub(t0));
         if out.is_err() {
-            errors.inc();
+            band.errors.inc();
         }
         out
     }
@@ -251,12 +321,14 @@ impl RouterNode {
         let out = match &self.routes[j] {
             ShardRoute::Local(engine) => engine.recommend_traced(user).map_err(BackendError::Serve),
             ShardRoute::Remote(remote) => remote.recommend_traced(user),
+            ShardRoute::Replicas(set) => set.recommend_traced(user),
         };
         if let Some(o) = obs {
-            let (dispatch_us, errors, _) = &o.bands[j];
-            dispatch_us.observe_us(o.hub.now_us().saturating_sub(t0));
+            let band = &o.bands[j];
+            band.dispatch_us
+                .observe_us(o.hub.now_us().saturating_sub(t0));
             if out.is_err() {
-                errors.inc();
+                band.errors.inc();
             }
         }
         out
@@ -419,8 +491,10 @@ impl RouterNode {
             return Err(BackendError::Serve(ServeError::UnknownUser(user)));
         }
         for route in &self.routes {
-            if let ShardRoute::Remote(remote) = route {
-                remote.ingest(user, item, rating)?;
+            match route {
+                ShardRoute::Remote(remote) => remote.ingest(user, item, rating)?,
+                ShardRoute::Replicas(set) => set.ingest(user, item, rating)?,
+                ShardRoute::Local(_) => {}
             }
         }
         for route in &self.routes {
@@ -436,6 +510,31 @@ impl RouterNode {
     /// The deployment's generation (route 0's view).
     pub fn generation(&self) -> Result<u64, BackendError> {
         self.routes[0].generation()
+    }
+
+    /// Bands running below full replication (some replica ejected), from
+    /// tracked breaker state — no wire calls, so `/v1/healthz` stays
+    /// cheap. Single-backend bands are never "degraded": they have no
+    /// spare to lose.
+    pub fn degraded_bands(&self) -> Vec<usize> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter_map(|(j, route)| match route.replicas() {
+                Some(set) if set.healthy_len() < set.len() => Some(j),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Start one background health-probe loop per replicated band; the
+    /// returned handles stop and join the loops on drop. Bands without
+    /// replicas need no probe.
+    pub fn spawn_probes(&self) -> Vec<ProbeHandle> {
+        self.routes
+            .iter()
+            .filter_map(|route| route.replicas().map(|set| set.spawn_probe()))
+            .collect()
     }
 }
 

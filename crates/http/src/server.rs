@@ -240,6 +240,13 @@ impl HttpServer {
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
         let http = HttpObs::new(&hub);
+        // Replicated router bands get their background health-probe loops
+        // here: probes restore ejected replicas and rotate primaries for
+        // the server's whole lifetime (handles stop + join on App drop).
+        let probes = match &frontend {
+            Frontend::Router(r) => r.spawn_probes(),
+            _ => Vec::new(),
+        };
         let app = Arc::new(App {
             frontend,
             refit,
@@ -247,6 +254,7 @@ impl HttpServer {
             hub,
             http,
             controller,
+            _probes: probes,
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -370,6 +378,10 @@ struct App {
     /// set. Held for the server's lifetime; dropping the last `App` clone
     /// joins its worker.
     controller: Option<RefitController>,
+    /// Background health-probe loops, one per replicated router band.
+    /// Held for the server's lifetime; dropping the last `App` clone stops
+    /// and joins them.
+    _probes: Vec<crate::replica::ProbeHandle>,
 }
 
 impl App {
@@ -506,6 +518,17 @@ impl App {
                 let mut body = obj! { "ok" => true, "generation" => g };
                 if let Frontend::Sharded(e) = &self.frontend {
                     body.insert("pending_ingests", Value::from(e.pending_ingests()));
+                }
+                if let Frontend::Router(r) = &self.frontend {
+                    // Degraded = still answering, but some band is below
+                    // full replication (a replica was ejected); read from
+                    // tracked breaker state, no wire calls.
+                    let degraded = r.degraded_bands();
+                    body.insert("degraded", Value::from(!degraded.is_empty()));
+                    body.insert(
+                        "degraded_bands",
+                        Value::Array(degraded.into_iter().map(Value::from).collect()),
+                    );
                 }
                 if let Some(controller) = &self.controller {
                     body.insert(
@@ -742,12 +765,26 @@ impl App {
                         let addr = route.addr().map(Value::from).unwrap_or(Value::Null);
                         let generation = route.generation().map(Value::from).unwrap_or(Value::Null);
                         let pending = route.pending().map(Value::from).unwrap_or(Value::Null);
+                        // Replica view is uniform across route kinds: a
+                        // single-backend band reports as a degenerate
+                        // group of one healthy replica with pinned-zero
+                        // availability counters.
+                        let rs = route.replica_view();
                         obj! {
                             "band" => band,
                             "kind" => route.kind(),
                             "addr" => addr,
                             "generation" => generation,
                             "pending" => pending,
+                            "replicas" => obj! {
+                                "count" => rs.replicas,
+                                "healthy" => rs.healthy,
+                                "primary" => rs.primary,
+                                "hedges" => rs.hedges,
+                                "failovers" => rs.failovers,
+                                "ejections" => rs.ejections,
+                                "restores" => rs.restores,
+                            },
                         }
                     })
                     .collect();
@@ -827,6 +864,33 @@ fn trace_event_value(e: TraceEvent) -> Value {
         },
         TraceData::RefitSwapped { generation } => obj! { "generation" => generation },
         TraceData::RefitRaced { generation } => obj! { "generation" => generation },
+        TraceData::BandHedge {
+            band,
+            primary,
+            hedge,
+        } => obj! {
+            "band" => band,
+            "primary" => primary,
+            "hedge" => hedge,
+        },
+        TraceData::BandFailover { band, from, to } => obj! {
+            "band" => band,
+            "from" => from,
+            "to" => to,
+        },
+        TraceData::ReplicaEjected {
+            band,
+            replica,
+            failures,
+        } => obj! {
+            "band" => band,
+            "replica" => replica,
+            "failures" => failures,
+        },
+        TraceData::ReplicaRestored { band, replica } => obj! {
+            "band" => band,
+            "replica" => replica,
+        },
         TraceData::Http {
             request_id,
             endpoint,

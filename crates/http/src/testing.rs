@@ -438,6 +438,13 @@ impl GatedPeer {
         self.cv.notify_all();
     }
 
+    /// Close the gate again: future reads park until the next
+    /// [`GatedPeer::open`]. Lets one harness replay park-then-release
+    /// scenarios (e.g. a replica-set primary that stalls per dispatch).
+    pub fn close(&self) {
+        self.state.lock().unwrap().open = false;
+    }
+
     /// Block until `n` reads have reached the gate (parked or passed).
     pub fn wait_arrivals(&self, n: usize) {
         let mut state = self.state.lock().unwrap();

@@ -76,6 +76,44 @@ pub enum TraceData {
         /// Generation the stale snapshot was taken at.
         generation: u64,
     },
+    /// A band's primary dispatch blew its latency budget and the
+    /// sub-request was re-issued to another replica (first answer wins).
+    BandHedge {
+        /// θ-band index.
+        band: u32,
+        /// Replica index the straggling dispatch went to.
+        primary: u32,
+        /// Replica index the hedge was re-issued to.
+        hedge: u32,
+    },
+    /// A band's dispatch failed on one replica and was retried on the
+    /// next healthy one before surfacing to the caller.
+    BandFailover {
+        /// θ-band index.
+        band: u32,
+        /// Replica index that failed.
+        from: u32,
+        /// Replica index retried next.
+        to: u32,
+    },
+    /// A replica crossed its consecutive-failure threshold and was
+    /// ejected from dispatch rotation.
+    ReplicaEjected {
+        /// θ-band index.
+        band: u32,
+        /// Replica index ejected.
+        replica: u32,
+        /// Consecutive failures at ejection time.
+        failures: u32,
+    },
+    /// A health probe found an ejected replica answering again and
+    /// restored it to rotation.
+    ReplicaRestored {
+        /// θ-band index.
+        band: u32,
+        /// Replica index restored.
+        replica: u32,
+    },
     /// One HTTP request, with per-stage timing.
     Http {
         /// Hub-assigned request id.
@@ -104,6 +142,10 @@ impl TraceData {
             TraceData::RefitStarted { .. } => "refit_started",
             TraceData::RefitSwapped { .. } => "refit_swapped",
             TraceData::RefitRaced { .. } => "refit_raced",
+            TraceData::BandHedge { .. } => "band_hedge",
+            TraceData::BandFailover { .. } => "band_failover",
+            TraceData::ReplicaEjected { .. } => "replica_ejected",
+            TraceData::ReplicaRestored { .. } => "replica_restored",
             TraceData::Http { .. } => "http",
         }
     }

@@ -327,3 +327,105 @@ fn failed_band_carries_its_index_in_the_error_body() {
         .unwrap();
     assert_eq!(resp.status, 200);
 }
+
+/// `/v1/healthz` degrades honestly: after the breaker ejects a replica the
+/// body flips to `degraded: true` with the band index listed (while `ok`
+/// stays true — the band still answers via failover), `/v1/stats` shows
+/// the reduced replica count, and a probe pass restores both the replica
+/// and the healthy healthz body.
+#[test]
+fn healthz_reports_degraded_bands_until_a_probe_restores() {
+    use ganc::core::query::cut_theta_bands;
+    use ganc::http::testing::FlakyPeer;
+    use ganc::http::{PeerTransport, ReplicaConfig, ReplicaSet, RouterNode, ShardRoute};
+    use ganc::obs::{Clock, ManualClock};
+
+    let b = bundle();
+    let cuts = cut_theta_bands(&b.theta, 2);
+    let slice0 = b.slice_theta_band(f64::NEG_INFINITY, cuts[0]);
+    let slice1 = b.slice_theta_band(cuts[0], f64::INFINITY);
+    let local = Arc::new(ServingEngine::new(slice0, EngineConfig::default()));
+    // Band 1: two replicas behind a threshold-1 breaker on a frozen clock,
+    // so the server-spawned probe loop stays idle and the test drives
+    // recovery by hand through its own handle to the set.
+    let mut peers: Vec<Arc<dyn PeerTransport>> = Vec::new();
+    let mut flaky = Vec::new();
+    for _ in 0..2 {
+        let engine = Arc::new(ServingEngine::new(slice1.clone(), EngineConfig::default()));
+        let f = FlakyPeer::new(Arc::new(Frontend::Single(engine)) as Arc<dyn PeerTransport>);
+        peers.push(Arc::clone(&f) as Arc<dyn PeerTransport>);
+        flaky.push(f);
+    }
+    let set = ReplicaSet::with_clock(
+        peers,
+        ReplicaConfig {
+            failure_threshold: 1,
+            ..ReplicaConfig::default()
+        },
+        Arc::new(ManualClock::new()) as Arc<dyn Clock>,
+    );
+    let router = RouterNode::new(
+        Arc::clone(&b.theta),
+        cuts,
+        vec![
+            ShardRoute::Local(local),
+            ShardRoute::Replicas(Arc::clone(&set)),
+        ],
+    );
+    let server = HttpServer::bind(
+        Frontend::Router(Arc::new(router)),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let get = |client: &mut HttpClient, path: &str| {
+        let resp = client.request("GET", path, None).unwrap();
+        assert_eq!(resp.status, 200, "{path}");
+        tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    };
+
+    // Fully replicated: healthy healthz, no degraded bands.
+    let health: tinyjson::Value = get(&mut client, "/v1/healthz");
+    assert_eq!(health["ok"].as_bool(), Some(true));
+    assert_eq!(health["degraded"].as_bool(), Some(false));
+    assert_eq!(health["degraded_bands"].as_array().map(Vec::len), Some(0));
+
+    // One injected failure ejects band 1's primary (threshold 1); the
+    // request itself still answers 200 through failover.
+    flaky[0].fail_next(1);
+    let ids: Vec<String> = (0..b.n_users()).map(|u| u.to_string()).collect();
+    let body = format!("{{\"users\":[{}]}}", ids.join(","));
+    let resp = client
+        .request_idempotent("POST", "/v1/recommend:batch", Some(&body))
+        .unwrap();
+    assert_eq!(resp.status, 200, "failover hides the ejection from callers");
+
+    let health: tinyjson::Value = get(&mut client, "/v1/healthz");
+    assert_eq!(health["ok"].as_bool(), Some(true), "still serving");
+    assert_eq!(health["degraded"].as_bool(), Some(true));
+    let bands = health["degraded_bands"].as_array().unwrap();
+    assert_eq!(
+        bands.iter().filter_map(|v| v.as_u64()).collect::<Vec<_>>(),
+        vec![1]
+    );
+
+    let stats: tinyjson::Value = get(&mut client, "/v1/stats");
+    let shard1 = &stats["shards"].as_array().unwrap()[1];
+    assert_eq!(shard1["replicas"]["count"].as_u64(), Some(2));
+    assert_eq!(shard1["replicas"]["healthy"].as_u64(), Some(1));
+    assert_eq!(shard1["replicas"]["primary"].as_u64(), Some(1));
+    assert_eq!(shard1["replicas"]["ejections"].as_u64(), Some(1));
+
+    // A probe pass restores the replica and rotates the primary back.
+    assert_eq!(set.probe_once(), 1);
+    let health: tinyjson::Value = get(&mut client, "/v1/healthz");
+    assert_eq!(health["degraded"].as_bool(), Some(false));
+    assert_eq!(health["degraded_bands"].as_array().map(Vec::len), Some(0));
+    let stats: tinyjson::Value = get(&mut client, "/v1/stats");
+    let shard1 = &stats["shards"].as_array().unwrap()[1];
+    assert_eq!(shard1["replicas"]["healthy"].as_u64(), Some(2));
+    assert_eq!(shard1["replicas"]["primary"].as_u64(), Some(0));
+    assert_eq!(shard1["replicas"]["restores"].as_u64(), Some(1));
+}

@@ -6,12 +6,13 @@
 //! `/v1/healthz` with a live background adaptive-refit controller.
 
 use ganc::core::coverage::CoverageKind;
-use ganc::core::query::{band_bounds, cut_theta_bands};
+use ganc::core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc::dataset::synth::DatasetProfile;
 use ganc::dataset::{Interactions, UserId};
+use ganc::http::testing::{FlakyPeer, GatedPeer};
 use ganc::http::{
-    CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, RouterNode,
-    ServerConfig, ShardRoute,
+    CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, ReplicaConfig,
+    ReplicaSet, RouterNode, ServerConfig, ShardRoute,
 };
 use ganc::obs::{
     bucket_bounds_us, CatalogProfile, Clock, ManualClock, MetricsRegistry, ObsHub, RollingWindow,
@@ -640,6 +641,130 @@ fn router_stats_reports_per_band_kind_generation_and_pending() {
     assert_eq!(shards[1]["addr"].as_str(), Some("in-process:single"));
     assert_eq!(shards[1]["generation"].as_u64(), Some(0));
     assert_eq!(shards[1]["pending"].as_u64(), Some(0));
+}
+
+/// The PR 7 availability counters are not decorative: a parked primary
+/// moves `ganc_router_band_hedges_total` off its pre-registered 0, a flaky
+/// primary moves the failover counter, both leave typed trace events
+/// (`band_hedge` / `band_failover`) with replica indices, and `/v1/stats`
+/// mirrors the same numbers per band.
+#[test]
+fn router_replica_counters_and_trace_events_move_under_faults() {
+    let bundle = fixture_bundle(13);
+    let cuts = cut_theta_bands(&bundle.theta, 2);
+    // Frozen clock: the server-spawned probe loops stay provably idle, so
+    // every counter below is exactly what the two requests caused.
+    let clock = Arc::new(ManualClock::new());
+    let mut routes = Vec::new();
+    let mut gates: Vec<Vec<Arc<GatedPeer>>> = Vec::new();
+    let mut flaky: Vec<Vec<Arc<FlakyPeer>>> = Vec::new();
+    for j in 0..2 {
+        let (lo, hi) = band_bounds(&cuts, j);
+        let slice = bundle.slice_theta_band(lo, hi);
+        let mut peers: Vec<Arc<dyn PeerTransport>> = Vec::new();
+        let mut band_gates = Vec::new();
+        let mut band_flaky = Vec::new();
+        for _ in 0..2 {
+            let engine = Arc::new(ServingEngine::new(slice.clone(), EngineConfig::default()));
+            let frontend: Arc<dyn PeerTransport> = Arc::new(Frontend::Single(engine));
+            let flaky_r = FlakyPeer::new(frontend);
+            let gate = GatedPeer::new(Arc::clone(&flaky_r) as Arc<dyn PeerTransport>);
+            gate.open();
+            peers.push(Arc::clone(&gate) as Arc<dyn PeerTransport>);
+            band_gates.push(gate);
+            band_flaky.push(flaky_r);
+        }
+        // Band 0 hedges immediately; band 1 is failover-only.
+        let cfg = ReplicaConfig {
+            hedge_budget: if j == 0 { Some(Duration::ZERO) } else { None },
+            ..ReplicaConfig::default()
+        };
+        routes.push(ShardRoute::Replicas(ReplicaSet::with_clock(
+            peers,
+            cfg,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )));
+        gates.push(band_gates);
+        flaky.push(band_flaky);
+    }
+    let router = Arc::new(RouterNode::new(
+        Arc::clone(&bundle.theta),
+        cuts.clone(),
+        routes,
+    ));
+    let server = HttpServer::bind(
+        Frontend::Router(router),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    let user_in = |band: usize| {
+        (0..bundle.n_users())
+            .map(UserId)
+            .find(|u| shard_of(&cuts, bundle.theta[u.idx()]) == band)
+            .expect("fixture straddles both bands")
+    };
+
+    // Slow primary on band 0: the zero budget re-issues to replica 1,
+    // whose answer unblocks the request while replica 0 stays parked.
+    gates[0][0].close();
+    let resp = client
+        .request("GET", &format!("/v1/recommend/{}", user_in(0).0), None)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    // Dead primary on band 1: one injected failure, failover answers.
+    flaky[1][0].fail_next(1);
+    let resp = client
+        .request("GET", &format!("/v1/recommend/{}", user_in(1).0), None)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+
+    let resp = client.request("GET", "/v1/metrics", None).unwrap();
+    let samples = parse_prometheus(std::str::from_utf8(&resp.body).unwrap());
+    let series = |name: &str, band: &str| {
+        let label = format!("band=\"{band}\"");
+        samples
+            .iter()
+            .find(|(n, l, _)| n == name && l.contains(&label) && l.contains("kind=\"replicas\""))
+            .unwrap_or_else(|| panic!("{name} band {band} missing"))
+            .2
+    };
+    assert_eq!(series("ganc_router_band_hedges_total", "0"), 1.0);
+    assert_eq!(series("ganc_router_band_hedges_total", "1"), 0.0);
+    assert_eq!(series("ganc_router_band_failovers_total", "0"), 0.0);
+    assert_eq!(series("ganc_router_band_failovers_total", "1"), 1.0);
+    assert_eq!(series("ganc_router_band_ejections_total", "0"), 0.0);
+    assert_eq!(series("ganc_router_band_restores_total", "1"), 0.0);
+
+    let trace = get_json(&mut client, "/v1/trace");
+    let events = trace["events"].as_array().unwrap();
+    let hedge = events
+        .iter()
+        .find(|e| e["kind"].as_str() == Some("band_hedge"))
+        .expect("band_hedge event recorded");
+    assert_eq!(hedge["data"]["band"].as_u64(), Some(0));
+    assert_eq!(hedge["data"]["primary"].as_u64(), Some(0));
+    assert_eq!(hedge["data"]["hedge"].as_u64(), Some(1));
+    let failover = events
+        .iter()
+        .find(|e| e["kind"].as_str() == Some("band_failover"))
+        .expect("band_failover event recorded");
+    assert_eq!(failover["data"]["band"].as_u64(), Some(1));
+    assert_eq!(failover["data"]["from"].as_u64(), Some(0));
+    assert_eq!(failover["data"]["to"].as_u64(), Some(1));
+
+    let stats = get_json(&mut client, "/v1/stats");
+    let shards = stats["shards"].as_array().unwrap();
+    assert_eq!(shards[0]["kind"].as_str(), Some("replicas"));
+    assert_eq!(shards[0]["replicas"]["count"].as_u64(), Some(2));
+    assert_eq!(shards[0]["replicas"]["healthy"].as_u64(), Some(2));
+    assert_eq!(shards[0]["replicas"]["hedges"].as_u64(), Some(1));
+    assert_eq!(shards[1]["replicas"]["failovers"].as_u64(), Some(1));
+
+    gates[0][0].open();
 }
 
 /// `/v1/stats` windows agree with the engine's own view, and a `GET
