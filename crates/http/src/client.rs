@@ -3,9 +3,10 @@
 //! a peer serving a `bundle.shardK.ganc` slice over the same protocol.
 
 use crate::http1::{self, Response};
+use crate::transport::IngestEntry;
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
-use ganc_serve::ServeError;
+use ganc_serve::{IngestAck, ServeError};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
@@ -141,7 +142,21 @@ impl HttpClient {
         path_and_query: &str,
         body: Option<&str>,
     ) -> io::Result<Response> {
-        self.request_with(method, path_and_query, body, true)
+        self.request_full(method, path_and_query, body, true, None)
+    }
+
+    /// A request carrying an `Idempotency-Key` header. The key is what
+    /// makes a resend safe (the server's dedup window absorbs a replay of
+    /// an already-acknowledged request), so keyed requests get the
+    /// dead-reused-connection retry that plain POSTs are denied.
+    pub fn request_keyed(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+        key: &str,
+    ) -> io::Result<Response> {
+        self.request_full(method, path_and_query, body, true, Some(key))
     }
 
     fn request_with(
@@ -151,13 +166,24 @@ impl HttpClient {
         body: Option<&str>,
         idempotent: bool,
     ) -> io::Result<Response> {
+        self.request_full(method, path_and_query, body, idempotent, None)
+    }
+
+    fn request_full(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: Option<&str>,
+        idempotent: bool,
+        key: Option<&str>,
+    ) -> io::Result<Response> {
         for attempt in 0..2 {
             let had_conn = self.conn.is_some();
             if self.conn.is_none() {
                 self.conn = Some(self.connect()?);
             }
             let conn = self.conn.as_mut().unwrap();
-            let result = send_request(conn, method, path_and_query, body)
+            let result = send_request(conn, method, path_and_query, body, key)
                 .and_then(|()| http1::read_response(conn));
             match result {
                 Ok(resp) => {
@@ -186,7 +212,7 @@ impl HttpClient {
     ) -> io::Result<Response> {
         let mut client = HttpClient::new(addr);
         let mut conn = client.connect()?;
-        send_request(&mut conn, method, path_and_query, body)?;
+        send_request(&mut conn, method, path_and_query, body, None)?;
         http1::read_response(&mut conn)
     }
 }
@@ -196,13 +222,17 @@ fn send_request(
     method: &str,
     path_and_query: &str,
     body: Option<&str>,
+    key: Option<&str>,
 ) -> io::Result<()> {
     let body = body.unwrap_or("");
+    let key_header = key
+        .map(|k| format!("Idempotency-Key: {k}\r\n"))
+        .unwrap_or_default();
     let head = if body.is_empty() && method == "GET" {
-        format!("{method} {path_and_query} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+        format!("{method} {path_and_query} HTTP/1.1\r\n{key_header}Connection: keep-alive\r\n\r\n")
     } else {
         format!(
-            "{method} {path_and_query} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            "{method} {path_and_query} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{key_header}Connection: keep-alive\r\n\r\n",
             body.len()
         )
     };
@@ -365,16 +395,101 @@ impl RemoteShard {
 
     /// `POST /v1/ingest` on the peer.
     pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        self.ingest_keyed(None, user, item, rating).map(|_| ())
+    }
+
+    /// `POST /v1/ingest` with an optional `Idempotency-Key` header. Keyed
+    /// ingests ride the retry-safe request path — the key is exactly what
+    /// makes a resend of a possibly-applied ingest a no-op; unkeyed ones
+    /// keep the never-auto-resent rule.
+    pub fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
         let body = tinyjson::to_string(&tinyjson::obj! {
             "user" => user.0,
             "item" => item.0,
             "rating" => rating as f64,
         });
-        let resp = self.call("POST", "/v1/ingest", Some(&body))?;
+        let resp = {
+            let mut client = self.client.lock().unwrap();
+            let result = match key {
+                Some(k) => client.request_keyed("POST", "/v1/ingest", Some(&body), k),
+                None => client.request("POST", "/v1/ingest", Some(&body)),
+            };
+            result.map_err(|e| BackendError::Transport(format!("{}: {e}", self.addr)))?
+        };
         if resp.status != 200 {
             return Err(error_from_body(&resp));
         }
-        Ok(())
+        let v = parse_json(&resp)?;
+        Ok(match v["deduplicated"].as_bool() {
+            Some(true) => IngestAck::Deduplicated,
+            _ => IngestAck::Applied,
+        })
+    }
+
+    /// `POST /v1/ingest:batch` on the peer: one wire call, per-slot
+    /// results (a rejected entry does not fail its companions).
+    #[allow(clippy::type_complexity)]
+    pub fn ingest_batch(
+        &self,
+        entries: &[IngestEntry],
+    ) -> Result<Vec<Result<IngestAck, ServeError>>, BackendError> {
+        let rows = Value::Array(
+            entries
+                .iter()
+                .map(|e| {
+                    let mut row = tinyjson::obj! {
+                        "user" => e.user.0,
+                        "item" => e.item.0,
+                        "rating" => e.rating as f64,
+                    };
+                    if let Some(k) = &e.key {
+                        row.insert("key", Value::from(k.clone()));
+                    }
+                    row
+                })
+                .collect(),
+        );
+        let body = tinyjson::to_string(&tinyjson::obj! { "entries" => rows });
+        // Retry-safe as a whole: every entry that already landed on the
+        // peer dedups by its key, so a resend after a torn connection
+        // cannot double-apply (unkeyed entries are the caller's risk and
+        // the router always generates keys for fan-out).
+        let resp = self.call_idempotent("POST", "/v1/ingest:batch", Some(&body))?;
+        if resp.status != 200 {
+            return Err(error_from_body(&resp));
+        }
+        let v = parse_json(&resp)?;
+        let results = v["results"]
+            .as_array()
+            .ok_or_else(|| BackendError::Transport("missing results".to_string()))?;
+        if results.len() != entries.len() {
+            return Err(BackendError::Transport(format!(
+                "peer answered {} slots for {} entries",
+                results.len(),
+                entries.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(results.len());
+        for slot in results {
+            if let Some(u) = slot["unknown_user"].as_u64() {
+                out.push(Err(ServeError::UnknownUser(UserId(u as u32))));
+            } else if let Some(i) = slot["unknown_item"].as_u64() {
+                out.push(Err(ServeError::UnknownItem(ItemId(i as u32))));
+            } else if slot["durability"].as_bool() == Some(true) {
+                out.push(Err(ServeError::Durability));
+            } else if slot["status"].as_str() == Some("deduplicated") {
+                out.push(Ok(IngestAck::Deduplicated));
+            } else {
+                out.push(Ok(IngestAck::Applied));
+            }
+        }
+        Ok(out)
     }
 
     /// The peer's current bundle generation (`GET /v1/healthz`).
@@ -411,6 +526,23 @@ impl crate::transport::PeerTransport for RemoteShard {
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
         RemoteShard::ingest(self, user, item, rating)
+    }
+
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        RemoteShard::ingest_keyed(self, key, user, item, rating)
+    }
+
+    fn ingest_batch(
+        &self,
+        entries: &[IngestEntry],
+    ) -> Result<Vec<Result<IngestAck, ServeError>>, BackendError> {
+        RemoteShard::ingest_batch(self, entries)
     }
 
     fn generation(&self) -> Result<u64, BackendError> {

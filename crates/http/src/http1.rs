@@ -77,6 +77,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// `Idempotency-Key` header value, if the client sent one (exactly-once
+    /// ingestion; ignored by every other endpoint).
+    pub idempotency_key: Option<String>,
 }
 
 /// What reading one request off a connection produced.
@@ -174,6 +177,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> ReadOutcome {
     // ---- headers ----
     let mut content_length: Option<usize> = None;
     let mut keep_alive = http11;
+    let mut idempotency_key: Option<String> = None;
     loop {
         let line = match read_line(reader, &mut budget) {
             Ok(Some(line)) => line,
@@ -216,6 +220,9 @@ pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> ReadOutcome {
                 Err(_) => return fatal("invalid content-length"),
             },
             "transfer-encoding" => return fatal("transfer-encoding not supported"),
+            "idempotency-key" if !value.is_empty() => {
+                idempotency_key = Some(value.to_string());
+            }
             "connection" => {
                 let v = value.to_ascii_lowercase();
                 if v.split(',').any(|t| t.trim() == "close") {
@@ -243,6 +250,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> ReadOutcome {
         query,
         body,
         keep_alive,
+        idempotency_key,
     })
 }
 
@@ -473,6 +481,28 @@ mod tests {
     #[test]
     fn empty_stream_is_a_clean_disconnect() {
         assert!(matches!(parse(b""), ReadOutcome::Disconnected));
+    }
+
+    #[test]
+    fn idempotency_key_header_is_captured() {
+        let out = parse(
+            b"POST /v1/ingest HTTP/1.1\r\nIdempotency-Key: order-42\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        let ReadOutcome::Request(r) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(r.idempotency_key.as_deref(), Some("order-42"));
+        // Absent header → no key; an empty value is treated as absent.
+        let ReadOutcome::Request(r) = parse(b"GET /v1/healthz HTTP/1.1\r\n\r\n") else {
+            panic!()
+        };
+        assert!(r.idempotency_key.is_none());
+        let ReadOutcome::Request(r) =
+            parse(b"POST /v1/ingest HTTP/1.1\r\nIdempotency-Key:\r\nContent-Length: 0\r\n\r\n")
+        else {
+            panic!()
+        };
+        assert!(r.idempotency_key.is_none());
     }
 
     #[test]

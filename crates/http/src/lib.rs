@@ -77,7 +77,7 @@ pub use http1::{Limits, Request, Response, StatusCode};
 pub use replica::{ProbeHandle, ReplicaConfig, ReplicaSet, ReplicaStats};
 pub use router::{RouterNode, ShardRoute};
 pub use server::{Frontend, HttpServer, RefitHook, ServerConfig};
-pub use transport::{CoalescedShard, PeerTransport};
+pub use transport::{CoalescedShard, IngestEntry, PeerTransport};
 
 use ganc_serve::ServeError;
 

@@ -65,6 +65,11 @@ pub struct ReplicaConfig {
     pub failure_threshold: u32,
     /// How often the background probe re-checks ejected replicas.
     pub probe_interval: Duration,
+    /// Attempts per replica for the keyed ingest fan-out (min 1). Retries
+    /// are safe precisely because every fan-out entry carries an
+    /// idempotency key: a replica that applied the ingest but lost the
+    /// acknowledgement dedups the retry.
+    pub ingest_retries: u32,
 }
 
 impl Default for ReplicaConfig {
@@ -73,6 +78,7 @@ impl Default for ReplicaConfig {
             hedge_budget: None,
             failure_threshold: 3,
             probe_interval: Duration::from_secs(1),
+            ingest_retries: 2,
         }
     }
 }
@@ -165,6 +171,7 @@ impl ReplicaSet {
             replicas,
             cfg: ReplicaConfig {
                 failure_threshold: cfg.failure_threshold.max(1),
+                ingest_retries: cfg.ingest_retries.max(1),
                 ..cfg
             },
             clock,
@@ -537,14 +544,57 @@ impl ReplicaSet {
 
     /// Fan an ingested interaction to **every** replica (healthy or not —
     /// an ejected replica that misses ingests would serve stale popularity
-    /// after restore). Not atomic across replicas, exactly like the
-    /// router's cross-route fan-out: an `Err` means the replicas have
-    /// diverged and should be re-synced.
+    /// after restore). Equivalent to [`ReplicaSet::ingest_keyed`] with no
+    /// key: each replica still gets [`ReplicaConfig::ingest_retries`]
+    /// attempts, but without a key a retry of an applied-but-unacked
+    /// ingest can double-apply — which is why the router generates keys
+    /// for its fan-out.
     pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        self.ingest_keyed(None, user, item, rating)
+    }
+
+    /// Keyed exactly-once fan-out: every replica gets up to
+    /// [`ReplicaConfig::ingest_retries`] attempts, one replica's failure
+    /// never aborts delivery to the others, and the idempotency key makes
+    /// each retry (and any caller-level resend after an `Err`) a no-op on
+    /// replicas that already applied it. An `Err` (the first failing
+    /// replica's, deterministically) therefore means "at least one replica
+    /// is missing this interaction — resend with the same key", not "the
+    /// replicas are irrecoverably diverged". No breaker accounting: ingest
+    /// delivery is a write-side obligation, not a dispatch health signal.
+    pub fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<(), BackendError> {
+        let mut first_err: Option<BackendError> = None;
         for r in &self.replicas {
-            r.peer.ingest(user, item, rating)?;
+            let mut last: Option<BackendError> = None;
+            for _ in 0..self.cfg.ingest_retries {
+                match r.peer.ingest_keyed(key, user, item, rating) {
+                    Ok(_) => {
+                        last = None;
+                        break;
+                    }
+                    // A serve-side rejection (unknown id) is deterministic:
+                    // retrying cannot change it.
+                    Err(e @ BackendError::Serve(_)) => {
+                        last = Some(e);
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if let Some(e) = last {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// The group's generation: first replica in rotation order that

@@ -36,9 +36,10 @@ use crate::BackendError;
 use ganc_core::query::shard_of;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Counter, Histogram, ObsHub};
-use ganc_serve::{ServeError, ServingEngine};
-use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use ganc_serve::{DedupWindow, IngestAck, ServeError, ServingEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Where one θ band is served.
 pub enum ShardRoute {
@@ -213,6 +214,11 @@ impl RouterObs {
     }
 }
 
+/// How many client-supplied idempotency keys a router remembers for
+/// fan-out dedup ([`RouterNode::ingest_keyed`]). Matches the per-node WAL
+/// default ([`ganc_serve::DurableConfig`]).
+const ROUTER_DEDUP_WINDOW: usize = 4096;
+
 /// Routes each user's request to the engine serving their θ band.
 pub struct RouterNode {
     /// Per-user θ (the full population — routing needs every user).
@@ -221,6 +227,16 @@ pub struct RouterNode {
     cuts: Vec<f64>,
     routes: Vec<ShardRoute>,
     obs: OnceLock<RouterObs>,
+    /// Client-supplied idempotency keys whose fan-out fully succeeded:
+    /// a resend of such a key is a no-op at the router, before any wire
+    /// call. In-memory only — the durable dedup lives in each WAL-backed
+    /// node; this window just short-circuits the common retry.
+    ingest_keys: Mutex<DedupWindow>,
+    /// Key-generation state for unkeyed ingests: `ganc-{epoch:x}-{seq:x}`
+    /// is unique per router instance per request, so every route of one
+    /// fan-out shares one key and a retried route dedups downstream.
+    key_epoch: u64,
+    key_seq: AtomicU64,
 }
 
 impl RouterNode {
@@ -237,11 +253,18 @@ impl RouterNode {
             cuts.windows(2).all(|w| w[0] <= w[1]),
             "cuts must be ascending"
         );
+        let key_epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         RouterNode {
             theta,
             cuts,
             routes,
             obs: OnceLock::new(),
+            ingest_keys: Mutex::new(DedupWindow::new(ROUTER_DEDUP_WINDOW)),
+            key_epoch,
+            key_seq: AtomicU64::new(0),
         }
     }
 
@@ -478,33 +501,95 @@ impl RouterNode {
     /// Fan an ingested interaction to every route: popularity is global
     /// state each band replica tracks, exactly like
     /// [`ganc_serve::ShardedEngine`]'s in-process fan-out.
-    ///
-    /// Cross-process fan-out cannot be atomic: if a route fails mid-way,
-    /// the routes already reached keep the interaction and the rest never
-    /// see it, so an `Err` here means the deployment's replicas have
-    /// diverged and should be re-synced (redeploy the slices, or refit and
-    /// roll new artifacts). Remote hops run *first* — the failure mode
-    /// that matters in practice is an unreachable peer, and failing before
-    /// any local mutation keeps this node clean in that case.
+    /// Sugar for [`RouterNode::ingest_keyed`] with no client key.
     pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
+        self.ingest_keyed(None, user, item, rating).map(|_| ())
+    }
+
+    /// The next router-generated fan-out key. Unique per router instance:
+    /// the epoch is this router's construction time in microseconds, the
+    /// sequence a per-request counter — two routers constructed in the
+    /// same microsecond would collide, but a key collision only causes a
+    /// spurious dedup inside one node's bounded window, never corruption.
+    fn next_key(&self) -> String {
+        let seq = self.key_seq.fetch_add(1, Ordering::Relaxed);
+        format!("ganc-{:x}-{:x}", self.key_epoch, seq)
+    }
+
+    /// Fan an ingested interaction to every route under one idempotency
+    /// key, so the fan-out is safe to retry.
+    ///
+    /// Cross-process fan-out cannot be atomic, so this path is built to
+    /// be *resent*: every route of one call shares one key (the client's,
+    /// or a router-generated one for unkeyed requests), WAL-backed nodes
+    /// dedup that key durably, and a failed route no longer aborts the
+    /// fan-out — every other route still gets the interaction, and the
+    /// first failure is returned. An `Err` therefore means "at least one
+    /// route is missing this interaction — resend with the same key":
+    /// routes that already applied it answer [`IngestAck::Deduplicated`]
+    /// and only the missing ones mutate. Client keys are recorded in a
+    /// bounded in-memory window only after a *fully* successful fan-out,
+    /// so a resend after partial failure repairs instead of no-opping.
+    ///
+    /// Exactly-once is scoped to WAL-backed nodes: a local
+    /// [`ServingEngine`] slice has no durable log, so a resend after
+    /// partial failure may double-bump its live popularity counters
+    /// (refit state is immune — [`ganc_serve::merge_interactions`] is
+    /// last-rating-wins).
+    pub fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
         if user.idx() >= self.theta.len() {
             return Err(BackendError::Serve(ServeError::UnknownUser(user)));
         }
+        if let Some(k) = key {
+            if self.ingest_keys.lock().unwrap().contains(k) {
+                return Ok(IngestAck::Deduplicated);
+            }
+        }
+        let generated;
+        let fan_key = match key {
+            Some(k) => k,
+            None => {
+                generated = self.next_key();
+                generated.as_str()
+            }
+        };
+        let mut first_err: Option<BackendError> = None;
+        // Remote hops first — an unreachable peer is the common failure,
+        // and failing before any local mutation keeps this node clean.
         for route in &self.routes {
-            match route {
-                ShardRoute::Remote(remote) => remote.ingest(user, item, rating)?,
-                ShardRoute::Replicas(set) => set.ingest(user, item, rating)?,
-                ShardRoute::Local(_) => {}
+            let out = match route {
+                ShardRoute::Remote(remote) => remote
+                    .ingest_keyed(Some(fan_key), user, item, rating)
+                    .map(|_| ()),
+                ShardRoute::Replicas(set) => set.ingest_keyed(Some(fan_key), user, item, rating),
+                ShardRoute::Local(_) => Ok(()),
+            };
+            if let Err(e) = out {
+                first_err.get_or_insert(e);
             }
         }
         for route in &self.routes {
             if let ShardRoute::Local(engine) = route {
-                engine
-                    .ingest(user, item, rating)
-                    .map_err(BackendError::Serve)?;
+                if let Err(e) = engine.ingest(user, item, rating) {
+                    first_err.get_or_insert(BackendError::Serve(e));
+                }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                if let Some(k) = key {
+                    self.ingest_keys.lock().unwrap().observe(k);
+                }
+                Ok(IngestAck::Applied)
+            }
+        }
     }
 
     /// The deployment's generation (route 0's view).

@@ -7,7 +7,8 @@
 //! |--------|------|------|---------|
 //! | GET  | `/v1/recommend/{user}?n=K` | — | `{"user":u,"generation":g,"items":[...]}` (top-K prefix of the bundle's top-N) |
 //! | POST | `/v1/recommend:batch` | `{"users":[...]}` | `{"generation":g,"results":[...]}` — one generation for the whole batch |
-//! | POST | `/v1/ingest` | `{"user":u,"item":i,"rating":r}` | `{"ok":true}` |
+//! | POST | `/v1/ingest` | `{"user":u,"item":i,"rating":r,"key"?}` | `{"ok":true}` (keyed: + `"deduplicated"`) |
+//! | POST | `/v1/ingest:batch` | `{"entries":[{"user","item","rating","key"?},...]}` | `{"results":[...]}` per entry |
 //! | GET  | `/v1/healthz` | — | `{"ok":true,"generation":g}` |
 //! | GET  | `/v1/stats` | — | generation, cache hit rate, shard map |
 //! | POST | `/admin/refit` | — | runs one refit pass and hot-swaps |
@@ -132,6 +133,30 @@ impl Frontend {
         }
     }
 
+    /// Keyed ingest: the sharded engine dedups through its WAL window
+    /// (when a durable log is attached), the router fans the key out to
+    /// every route. A single engine has no durable log — the key is
+    /// accepted but not remembered, so exactly-once there relies on the
+    /// upstream (router or replica set) dedup.
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<ganc_serve::IngestAck, BackendError> {
+        match self {
+            Frontend::Single(e) => e
+                .ingest(user, item, rating)
+                .map(|()| ganc_serve::IngestAck::Applied)
+                .map_err(BackendError::Serve),
+            Frontend::Sharded(e) => e
+                .ingest_keyed(key, user, item, rating)
+                .map_err(BackendError::Serve),
+            Frontend::Router(r) => r.ingest_keyed(key, user, item, rating),
+        }
+    }
+
     fn generation(&self) -> Result<u64, BackendError> {
         match self {
             Frontend::Single(e) => Ok(e.generation()),
@@ -166,6 +191,16 @@ impl crate::transport::PeerTransport for Frontend {
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
         Frontend::ingest(self, user, item, rating)
+    }
+
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<ganc_serve::IngestAck, BackendError> {
+        Frontend::ingest_keyed(self, key, user, item, rating)
     }
 
     fn generation(&self) -> Result<u64, BackendError> {
@@ -500,7 +535,8 @@ impl App {
             }
             ("GET", "/v1/trace") => (self.trace(), "trace"),
             ("POST", "/v1/recommend:batch") => (self.recommend_batch(&req.body), "recommend_batch"),
-            ("POST", "/v1/ingest") => (self.ingest(&req.body), "ingest"),
+            ("POST", "/v1/ingest") => (self.ingest(req), "ingest"),
+            ("POST", "/v1/ingest:batch") => (self.ingest_batch(&req.body), "ingest_batch"),
             ("POST", "/admin/refit") => (self.admin_refit(), "admin_refit"),
             ("GET", path) if path.starts_with("/v1/recommend/") => (
                 self.recommend(&path["/v1/recommend/".len()..], req.query.as_deref()),
@@ -518,6 +554,12 @@ impl App {
                 let mut body = obj! { "ok" => true, "generation" => g };
                 if let Frontend::Sharded(e) = &self.frontend {
                     body.insert("pending_ingests", Value::from(e.pending_ingests()));
+                    // WAL footprint, when a durable log is attached: how
+                    // many acknowledged-but-uncompacted records a crash
+                    // would replay, and their on-disk size.
+                    if let Some(w) = e.wal_stats() {
+                        body.insert("wal", obj! { "records" => w.records, "bytes" => w.bytes });
+                    }
                 }
                 if let Frontend::Router(r) = &self.frontend {
                     // Degraded = still answering, but some band is below
@@ -629,27 +671,85 @@ impl App {
         }
     }
 
-    fn ingest(&self, body: &[u8]) -> (u16, Value) {
-        let parsed = parse_body(body).and_then(|v| {
-            let user = v["user"]
-                .as_u64()
-                .filter(|&u| u <= u32::MAX as u64)
-                .ok_or("user must be a u32 integer")?;
-            let item = v["item"]
-                .as_u64()
-                .filter(|&i| i <= u32::MAX as u64)
-                .ok_or("item must be a u32 integer")?;
-            let rating = v["rating"].as_f64().ok_or("rating must be a number")?;
-            Ok((UserId(user as u32), ItemId(item as u32), rating as f32))
+    fn ingest(&self, req: &Request) -> (u16, Value) {
+        let parsed = parse_body(&req.body).and_then(|v| {
+            let (user, item, rating) = parse_ingest_fields(&v)?;
+            // The idempotency key rides in the `Idempotency-Key` header
+            // or a body `"key"` field; the header wins when both are set.
+            let key = match &req.idempotency_key {
+                Some(k) => Some(k.clone()),
+                None => match &v["key"] {
+                    Value::Null => None,
+                    Value::String(s) if !s.is_empty() => Some(s.clone()),
+                    _ => return Err("key must be a non-empty string"),
+                },
+            };
+            Ok((user, item, rating, key))
         });
-        let (user, item, rating) = match parsed {
+        let (user, item, rating, key) = match parsed {
             Ok(t) => t,
             Err(msg) => return error(StatusCode::BAD_REQUEST, msg),
         };
-        match self.frontend.ingest(user, item, rating) {
-            Ok(()) => (StatusCode::OK, obj! { "ok" => true }),
-            Err(e) => backend_error(e),
+        match key {
+            // Unkeyed requests keep the historical byte-exact `{"ok":true}`
+            // body — the byte-determinism suites pin it.
+            None => match self.frontend.ingest(user, item, rating) {
+                Ok(()) => (StatusCode::OK, obj! { "ok" => true }),
+                Err(e) => backend_error(e),
+            },
+            Some(key) => match self.frontend.ingest_keyed(Some(&key), user, item, rating) {
+                Ok(ack) => (
+                    StatusCode::OK,
+                    obj! {
+                        "ok" => true,
+                        "deduplicated" => matches!(ack, ganc_serve::IngestAck::Deduplicated),
+                    },
+                ),
+                Err(e) => backend_error(e),
+            },
         }
+    }
+
+    /// `POST /v1/ingest:batch` — the coalesced ingest wire call: many
+    /// entries, one round-trip, per-entry results so one unknown id never
+    /// fails its companions. Serve-level rejections land in their slot;
+    /// a transport/band failure (router fronts) fails the whole batch,
+    /// mirroring [`crate::PeerTransport::ingest_batch`].
+    fn ingest_batch(&self, body: &[u8]) -> (u16, Value) {
+        let entries = match parse_body(body).and_then(|v| {
+            v["entries"]
+                .as_array()
+                .ok_or("body must be {\"entries\":[...]}")?
+                .iter()
+                .map(|entry| {
+                    let (user, item, rating) = parse_ingest_fields(entry)?;
+                    let key = match &entry["key"] {
+                        Value::Null => None,
+                        Value::String(s) if !s.is_empty() => Some(s.clone()),
+                        _ => return Err("key must be a non-empty string"),
+                    };
+                    Ok((user, item, rating, key))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        }) {
+            Ok(entries) => entries,
+            Err(msg) => return error(StatusCode::BAD_REQUEST, msg),
+        };
+        let mut results = Vec::with_capacity(entries.len());
+        for (user, item, rating, key) in &entries {
+            match self
+                .frontend
+                .ingest_keyed(key.as_deref(), *user, *item, *rating)
+            {
+                Ok(ganc_serve::IngestAck::Applied) => results.push(obj! { "ok" => true }),
+                Ok(ganc_serve::IngestAck::Deduplicated) => {
+                    results.push(obj! { "ok" => true, "status" => "deduplicated" })
+                }
+                Err(BackendError::Serve(e)) => results.push(serve_error_value(&e)),
+                Err(e) => return backend_error(e),
+            }
+        }
+        (StatusCode::OK, obj! { "results" => Value::Array(results) })
     }
 
     fn admin_refit(&self) -> (u16, Value) {
@@ -891,6 +991,22 @@ fn trace_event_value(e: TraceEvent) -> Value {
             "band" => band,
             "replica" => replica,
         },
+        TraceData::WalReplay {
+            records,
+            bytes,
+            corrupted,
+        } => obj! {
+            "records" => records,
+            "bytes" => bytes,
+            "corrupted" => corrupted,
+        },
+        TraceData::WalTruncate {
+            retained,
+            generation,
+        } => obj! {
+            "retained" => retained,
+            "generation" => generation,
+        },
         TraceData::Http {
             request_id,
             endpoint,
@@ -915,6 +1031,21 @@ fn trace_event_value(e: TraceEvent) -> Value {
     }
 }
 
+/// The `{user,item,rating}` triple shared by `/v1/ingest` and each
+/// `/v1/ingest:batch` entry.
+fn parse_ingest_fields(v: &Value) -> Result<(UserId, ItemId, f32), &'static str> {
+    let user = v["user"]
+        .as_u64()
+        .filter(|&u| u <= u32::MAX as u64)
+        .ok_or("user must be a u32 integer")?;
+    let item = v["item"]
+        .as_u64()
+        .filter(|&i| i <= u32::MAX as u64)
+        .ok_or("item must be a u32 integer")?;
+    let rating = v["rating"].as_f64().ok_or("rating must be a number")?;
+    Ok((UserId(user as u32), ItemId(item as u32), rating as f32))
+}
+
 fn parse_body(body: &[u8]) -> Result<Value, &'static str> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8")?;
     tinyjson::from_str(text).map_err(|_| "body is not valid JSON")
@@ -936,11 +1067,20 @@ fn serve_error_value(e: &ServeError) -> Value {
             "error" => format!("unknown item {}", i.0),
             "unknown_item" => i.0,
         },
+        ServeError::Durability => obj! {
+            "error" => "write-ahead log append failed",
+            "durability" => true,
+        },
     }
 }
 
 fn backend_error(e: BackendError) -> (u16, Value) {
     match e {
+        // A durability failure is a node fault (retry-safe), not a bad id.
+        BackendError::Serve(ServeError::Durability) => (
+            StatusCode::BAD_GATEWAY,
+            serve_error_value(&ServeError::Durability),
+        ),
         BackendError::Serve(e) => (StatusCode::NOT_FOUND, serve_error_value(&e)),
         BackendError::Transport(msg) => (StatusCode::BAD_GATEWAY, obj! { "error" => msg }),
         // A failed θ-band names itself: "band" is machine-readable so an

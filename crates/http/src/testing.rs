@@ -16,14 +16,15 @@
 //! between (`SlowPeer(LedgerPeer(Frontend))` is the canonical fan-out
 //! harness).
 
-use crate::transport::PeerTransport;
+use crate::transport::{IngestEntry, PeerTransport};
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
-use ganc_serve::ServeError;
+use ganc_serve::{IngestAck, ServeError};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 type BatchAnswer = Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError>;
+type IngestBatchAnswer = Result<Vec<Result<IngestAck, ServeError>>, BackendError>;
 
 /// A shared completion counter the ordering doubles coordinate through:
 /// peers [`bump`](Ledger::bump) it when they answer, a [`SlowPeer`] holds
@@ -96,6 +97,20 @@ impl PeerTransport for LedgerPeer {
         self.inner.ingest(user, item, rating)
     }
 
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        self.inner.ingest_keyed(key, user, item, rating)
+    }
+
+    fn ingest_batch(&self, entries: &[IngestEntry]) -> IngestBatchAnswer {
+        self.inner.ingest_batch(entries)
+    }
+
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
     }
@@ -160,24 +175,47 @@ impl PeerTransport for SlowPeer {
         self.inner.ingest(user, item, rating)
     }
 
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        self.inner.ingest_keyed(key, user, item, rating)
+    }
+
+    fn ingest_batch(&self, entries: &[IngestEntry]) -> IngestBatchAnswer {
+        self.inner.ingest_batch(entries)
+    }
+
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
     }
 }
 
 /// A peer whose next `k` reads fail with an injected transport error (then
-/// it heals) — the unreachable-shard scenario, minus the socket.
+/// it heals) — the unreachable-shard scenario, minus the socket. Writes
+/// have their own two knobs, covering both halves of the exactly-once
+/// contract: [`FlakyPeer::fail_ingests`] drops the write *before* the
+/// inner peer sees it (lost request), [`FlakyPeer::fail_ingest_acks`]
+/// applies the write and *then* reports failure (lost ack — the retry that
+/// would double-apply without idempotency keys).
 pub struct FlakyPeer {
     inner: Arc<dyn PeerTransport>,
     fail_next: AtomicU32,
+    fail_ingests: AtomicU32,
+    fail_ingest_acks: AtomicU32,
 }
 
 impl FlakyPeer {
-    /// Wrap `inner`; healthy until [`FlakyPeer::fail_next`].
+    /// Wrap `inner`; healthy until a `fail_*` knob arms.
     pub fn new(inner: Arc<dyn PeerTransport>) -> Arc<FlakyPeer> {
         Arc::new(FlakyPeer {
             inner,
             fail_next: AtomicU32::new(0),
+            fail_ingests: AtomicU32::new(0),
+            fail_ingest_acks: AtomicU32::new(0),
         })
     }
 
@@ -186,16 +224,32 @@ impl FlakyPeer {
         self.fail_next.store(k, Ordering::SeqCst);
     }
 
-    fn trip(&self) -> Result<(), BackendError> {
-        let remaining = self
-            .fail_next
+    /// Make the next `k` ingest calls fail *before* reaching the inner
+    /// peer — the interaction is lost, a retry must deliver it.
+    pub fn fail_ingests(&self, k: u32) {
+        self.fail_ingests.store(k, Ordering::SeqCst);
+    }
+
+    /// Make the next `k` ingest calls apply on the inner peer and *then*
+    /// fail — the applied-but-unacked case a retry would double-apply
+    /// without key dedup downstream.
+    pub fn fail_ingest_acks(&self, k: u32) {
+        self.fail_ingest_acks.store(k, Ordering::SeqCst);
+    }
+
+    fn tripped(counter: &AtomicU32) -> bool {
+        counter
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-            .is_ok();
-        if remaining {
-            Err(BackendError::Transport(format!(
-                "injected failure on {}",
-                self.inner.label()
-            )))
+            .is_ok()
+    }
+
+    fn injected(&self) -> BackendError {
+        BackendError::Transport(format!("injected failure on {}", self.inner.label()))
+    }
+
+    fn trip(&self) -> Result<(), BackendError> {
+        if FlakyPeer::tripped(&self.fail_next) {
+            Err(self.injected())
         } else {
             Ok(())
         }
@@ -218,7 +272,35 @@ impl PeerTransport for FlakyPeer {
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
-        self.inner.ingest(user, item, rating)
+        self.ingest_keyed(None, user, item, rating).map(|_| ())
+    }
+
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        if FlakyPeer::tripped(&self.fail_ingests) {
+            return Err(self.injected());
+        }
+        let ack = self.inner.ingest_keyed(key, user, item, rating)?;
+        if FlakyPeer::tripped(&self.fail_ingest_acks) {
+            return Err(self.injected());
+        }
+        Ok(ack)
+    }
+
+    fn ingest_batch(&self, entries: &[IngestEntry]) -> IngestBatchAnswer {
+        if FlakyPeer::tripped(&self.fail_ingests) {
+            return Err(self.injected());
+        }
+        let acks = self.inner.ingest_batch(entries)?;
+        if FlakyPeer::tripped(&self.fail_ingest_acks) {
+            return Err(self.injected());
+        }
+        Ok(acks)
     }
 
     fn generation(&self) -> Result<u64, BackendError> {
@@ -332,6 +414,20 @@ impl PeerTransport for ReorderingPeer {
         self.inner.ingest(user, item, rating)
     }
 
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        self.inner.ingest_keyed(key, user, item, rating)
+    }
+
+    fn ingest_batch(&self, entries: &[IngestEntry]) -> IngestBatchAnswer {
+        self.inner.ingest_batch(entries)
+    }
+
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
     }
@@ -354,6 +450,8 @@ pub struct RecordingPeer {
     inner: Arc<dyn PeerTransport>,
     batches: Mutex<Vec<RecordedBatch>>,
     singles: AtomicU64,
+    ingest_batches: Mutex<Vec<Vec<IngestEntry>>>,
+    ingest_singles: AtomicU64,
 }
 
 impl RecordingPeer {
@@ -363,6 +461,8 @@ impl RecordingPeer {
             inner,
             batches: Mutex::new(Vec::new()),
             singles: AtomicU64::new(0),
+            ingest_batches: Mutex::new(Vec::new()),
+            ingest_singles: AtomicU64::new(0),
         })
     }
 
@@ -374,6 +474,17 @@ impl RecordingPeer {
     /// Single (non-batch) read calls so far.
     pub fn singles(&self) -> u64 {
         self.singles.load(Ordering::SeqCst)
+    }
+
+    /// Every ingest batch call so far — the witness that ingest
+    /// coalescing really merged singles into wire batches.
+    pub fn ingest_batches(&self) -> Vec<Vec<IngestEntry>> {
+        self.ingest_batches.lock().unwrap().clone()
+    }
+
+    /// Single (non-batch) ingest calls so far, keyed or not.
+    pub fn ingest_singles(&self) -> u64 {
+        self.ingest_singles.load(Ordering::SeqCst)
     }
 }
 
@@ -397,7 +508,23 @@ impl PeerTransport for RecordingPeer {
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
-        self.inner.ingest(user, item, rating)
+        self.ingest_keyed(None, user, item, rating).map(|_| ())
+    }
+
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        self.ingest_singles.fetch_add(1, Ordering::SeqCst);
+        self.inner.ingest_keyed(key, user, item, rating)
+    }
+
+    fn ingest_batch(&self, entries: &[IngestEntry]) -> IngestBatchAnswer {
+        self.ingest_batches.lock().unwrap().push(entries.to_vec());
+        self.inner.ingest_batch(entries)
     }
 
     fn generation(&self) -> Result<u64, BackendError> {
@@ -480,6 +607,20 @@ impl PeerTransport for GatedPeer {
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
         self.inner.ingest(user, item, rating)
+    }
+
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        self.inner.ingest_keyed(key, user, item, rating)
+    }
+
+    fn ingest_batch(&self, entries: &[IngestEntry]) -> IngestBatchAnswer {
+        self.inner.ingest_batch(entries)
     }
 
     fn generation(&self) -> Result<u64, BackendError> {

@@ -13,8 +13,26 @@
 
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
-use ganc_serve::{BatchConfig, BatchSource, Coalescer, ServeError};
-use std::sync::Arc;
+use ganc_serve::{BatchConfig, BatchSource, Coalescer, IngestAck, ServeError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One ingest in a coalesced fan-out batch: the interaction plus the
+/// idempotency key that makes retrying it safe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestEntry {
+    /// Idempotency key, when the originating request carried (or the
+    /// router generated) one.
+    pub key: Option<String>,
+    /// User the rating came from.
+    pub user: UserId,
+    /// Item rated.
+    pub item: ItemId,
+    /// Rating value.
+    pub rating: f32,
+}
 
 /// A peer node serving one θ-band slice, reachable by whatever transport:
 /// real HTTP ([`crate::RemoteShard`]), an in-process engine, or an
@@ -36,6 +54,43 @@ pub trait PeerTransport: Send + Sync {
 
     /// Apply one observed interaction on the peer.
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError>;
+
+    /// Apply one interaction with an optional idempotency key. The default
+    /// drops the key (a transport without a durable backend has no dedup
+    /// window to honor it) and reports [`IngestAck::Applied`]; key-aware
+    /// transports ([`crate::RemoteShard`]) forward it on the wire.
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        let _ = key;
+        self.ingest(user, item, rating).map(|()| IngestAck::Applied)
+    }
+
+    /// Apply a batch of keyed interactions in one call, answering
+    /// per-slot: one rejected entry (unknown id) must not fail its
+    /// coalesced companions. The default loops [`PeerTransport::ingest_keyed`];
+    /// wire transports override with one `POST /v1/ingest:batch` round-trip.
+    #[allow(clippy::type_complexity)]
+    fn ingest_batch(
+        &self,
+        entries: &[IngestEntry],
+    ) -> Result<Vec<Result<IngestAck, ServeError>>, BackendError> {
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            match self.ingest_keyed(e.key.as_deref(), e.user, e.item, e.rating) {
+                Ok(ack) => out.push(Ok(ack)),
+                Err(BackendError::Serve(se)) => out.push(Err(se)),
+                // A transport failure poisons the whole batch — nothing
+                // after it is known to have reached the peer.
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
 
     /// The peer's current bundle generation.
     fn generation(&self) -> Result<u64, BackendError>;
@@ -67,40 +122,176 @@ impl BatchSource for PeerSource {
     }
 }
 
+/// Micro-batching for the ingest direction: concurrent single ingests to
+/// one peer merge into one [`PeerTransport::ingest_batch`] wire call.
+///
+/// Same worker shape, linger policy, and flush-on-shutdown contract as the
+/// serve-side [`Coalescer`], but for writes the safety argument is
+/// different: batching writes is only sound because every entry carries
+/// (or can carry) an idempotency key — a caller that retries after a
+/// whole-batch transport failure re-sends entries that may already have
+/// landed, and the peer's dedup window is what makes that a no-op.
+struct IngestCoalescer {
+    tx: Mutex<Option<mpsc::Sender<PendingIngest>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    accepted: Arc<AtomicUsize>,
+    answered: Arc<AtomicUsize>,
+}
+
+struct PendingIngest {
+    entry: IngestEntry,
+    reply: mpsc::Sender<Result<IngestAck, BackendError>>,
+}
+
+impl IngestCoalescer {
+    fn spawn(peer: Arc<dyn PeerTransport>, cfg: BatchConfig) -> IngestCoalescer {
+        let (tx, rx) = mpsc::channel::<PendingIngest>();
+        let max_batch = cfg.max_batch.max(1);
+        let max_wait = cfg.max_wait;
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let answered = Arc::new(AtomicUsize::new(0));
+        let worker = {
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    let mut batch = vec![first];
+                    let deadline = Instant::now() + max_wait;
+                    // Backlog first (free), then linger for stragglers.
+                    while batch.len() < max_batch {
+                        match rx.try_recv() {
+                            Ok(req) => batch.push(req),
+                            Err(_) => break,
+                        }
+                    }
+                    while batch.len() < max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(req) => batch.push(req),
+                            Err(_) => break,
+                        }
+                    }
+                    let entries: Vec<IngestEntry> = batch.iter().map(|r| r.entry.clone()).collect();
+                    match peer.ingest_batch(&entries) {
+                        Ok(slots) => {
+                            assert_eq!(
+                                slots.len(),
+                                batch.len(),
+                                "ingest_batch contract violation: {} slots for {} entries",
+                                slots.len(),
+                                batch.len()
+                            );
+                            for (req, slot) in batch.iter().zip(slots) {
+                                let _ = req.reply.send(slot.map_err(BackendError::Serve));
+                            }
+                        }
+                        Err(e) => {
+                            for req in &batch {
+                                let _ = req.reply.send(Err(e.clone()));
+                            }
+                        }
+                    }
+                    answered.fetch_add(batch.len(), Ordering::Release);
+                }
+            })
+        };
+        IngestCoalescer {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            accepted,
+            answered,
+        }
+    }
+
+    fn submit(&self, entry: IngestEntry) -> Result<IngestAck, BackendError> {
+        let tx = self
+            .tx
+            .lock()
+            .unwrap()
+            .as_ref()
+            .cloned()
+            .expect("ingest coalescer running");
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(PendingIngest {
+            entry,
+            reply: reply_tx,
+        })
+        .expect("ingest batch worker alive");
+        self.accepted.fetch_add(1, Ordering::Release);
+        drop(tx);
+        reply_rx
+            .recv()
+            .expect("ingest batch worker died before answering")
+    }
+
+    fn pending(&self) -> usize {
+        let answered = self.answered.load(Ordering::Acquire);
+        self.accepted
+            .load(Ordering::Acquire)
+            .saturating_sub(answered)
+    }
+
+    fn shutdown(&self) {
+        // Drop the sender first: the worker drains the queue (flushing
+        // accepted ingests) and exits; then join it.
+        self.tx.lock().unwrap().take();
+        if let Some(worker) = self.worker.lock().unwrap().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for IngestCoalescer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// A coalescing wrapper around a peer: concurrent *single* requests merge
-/// into one `POST /v1/recommend:batch` wire call (bounded by the linger
-/// window and batch cap in [`BatchConfig`]), so a router under concurrent
-/// load pays one round-trip per batch instead of one per request.
+/// into one `POST /v1/recommend:batch` wire call, and concurrent single
+/// ingests merge into one `POST /v1/ingest:batch` (both bounded by the
+/// linger window and batch cap in [`BatchConfig`]), so a router under
+/// concurrent load pays one round-trip per batch instead of one per
+/// request in either direction.
 ///
 /// Single-generation guarantee: every caller coalesced into one batch is
 /// answered from that batch's one generation — the peer's batch endpoint
 /// serves a whole batch from exactly one bundle generation, and the
-/// coalescer never splits one logical flush across wire calls. Batches and
-/// ingests pass straight through to the inner peer (they are already
-/// batched, or must not be reordered).
+/// coalescer never splits one logical flush across wire calls. Recommend
+/// batches pass straight through to the inner peer (already batched).
+/// Coalescing ingests is safe precisely because of the idempotency-key
+/// contract: a batch that fails in transit can be retried entry-by-entry
+/// and the peer's dedup window absorbs any entry that already landed.
 pub struct CoalescedShard {
     inner: Arc<dyn PeerTransport>,
     coalescer: Coalescer<PeerSource>,
+    ingests: IngestCoalescer,
 }
 
 impl CoalescedShard {
-    /// Wrap `inner`, coalescing its single-request traffic under `cfg`.
+    /// Wrap `inner`, coalescing its single-request and single-ingest
+    /// traffic under `cfg`.
     pub fn new(inner: Arc<dyn PeerTransport>, cfg: BatchConfig) -> CoalescedShard {
         CoalescedShard {
             coalescer: Coalescer::spawn(PeerSource(Arc::clone(&inner)), cfg),
+            ingests: IngestCoalescer::spawn(Arc::clone(&inner), cfg),
             inner,
         }
     }
 
-    /// Requests accepted by the coalescer but not yet answered.
+    /// Requests and ingests accepted by the coalescers but not yet
+    /// answered.
     pub fn pending(&self) -> usize {
-        self.coalescer.pending()
+        self.coalescer.pending() + self.ingests.pending()
     }
 
-    /// Close the queue, flush accepted requests, and join the worker (see
+    /// Close both queues, flush accepted work, and join the workers (see
     /// [`Coalescer::shutdown`]). Also runs on drop.
     pub fn shutdown(&self) {
         self.coalescer.shutdown();
+        self.ingests.shutdown();
     }
 }
 
@@ -124,7 +315,30 @@ impl PeerTransport for CoalescedShard {
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
-        self.inner.ingest(user, item, rating)
+        self.ingest_keyed(None, user, item, rating).map(|_| ())
+    }
+
+    fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, BackendError> {
+        self.ingests.submit(IngestEntry {
+            key: key.map(str::to_string),
+            user,
+            item,
+            rating,
+        })
+    }
+
+    fn ingest_batch(
+        &self,
+        entries: &[IngestEntry],
+    ) -> Result<Vec<Result<IngestAck, ServeError>>, BackendError> {
+        // Already a batch: straight through, one wire call.
+        self.inner.ingest_batch(entries)
     }
 
     fn generation(&self) -> Result<u64, BackendError> {

@@ -114,6 +114,22 @@ pub enum TraceData {
         /// Replica index restored.
         replica: u32,
     },
+    /// A node's write-ahead log was replayed on startup.
+    WalReplay {
+        /// Records recovered (valid prefix).
+        records: u64,
+        /// Bytes of the valid prefix replayed.
+        bytes: u64,
+        /// Replay stopped early at a torn or corrupt record.
+        corrupted: bool,
+    },
+    /// A node's write-ahead log was compacted after a refit persisted.
+    WalTruncate {
+        /// Records retained (racing ingests + dedup-key stubs).
+        retained: u64,
+        /// Shard-set generation whose install triggered the truncation.
+        generation: u64,
+    },
     /// One HTTP request, with per-stage timing.
     Http {
         /// Hub-assigned request id.
@@ -146,6 +162,8 @@ impl TraceData {
             TraceData::BandFailover { .. } => "band_failover",
             TraceData::ReplicaEjected { .. } => "replica_ejected",
             TraceData::ReplicaRestored { .. } => "replica_restored",
+            TraceData::WalReplay { .. } => "wal_replay",
+            TraceData::WalTruncate { .. } => "wal_truncate",
             TraceData::Http { .. } => "http",
         }
     }

@@ -92,6 +92,9 @@ pub enum ServeError {
     UnknownUser(UserId),
     /// The item id is outside the bundle's catalog.
     UnknownItem(ItemId),
+    /// The node's write-ahead log could not record the ingest, so it was
+    /// not applied — safe to retry (idempotency keys make retries no-ops).
+    Durability,
 }
 
 impl std::fmt::Display for ServeError {
@@ -99,6 +102,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownUser(u) => write!(f, "unknown user {}", u.0),
             ServeError::UnknownItem(i) => write!(f, "unknown item {}", i.0),
+            ServeError::Durability => write!(f, "write-ahead log append failed"),
         }
     }
 }

@@ -62,6 +62,7 @@ pub(crate) mod obs;
 pub mod refit;
 pub mod saveload;
 pub mod shard;
+pub mod wal;
 
 pub use batch::{BatchConfig, BatchSource, CoalescedAnswer, Coalescer, MicroBatcher};
 pub use bundle::{make_scorer, BoundModel, CoverageState, FitConfig, FittedModel, ModelBundle};
@@ -74,4 +75,8 @@ pub use refit::{
 pub use saveload::{PersistError, SaveLoad, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use shard::{
     save_shard_artifacts, shard_artifact_path, ShardConfig, ShardInfo, ShardPlan, ShardedEngine,
+};
+pub use wal::{
+    crc32, decode_stream, encode_record, DedupWindow, DurableConfig, DurableLog, IngestAck, Wal,
+    WalRecord, WalReplaySummary, WalStats, MAX_KEY_LEN, MAX_PAYLOAD, WAL_MAGIC, WAL_VERSION,
 };

@@ -73,6 +73,25 @@ pub fn merge_interactions(base: &Interactions, ingested: &[(UserId, ItemId, f32)
     Interactions::from_ratings(base.n_users(), base.n_items(), &ratings)
 }
 
+/// Atomically persist a refitted bundle: write a sibling file, sync it,
+/// `rename` over the target. A crash at any point leaves either the old
+/// artifact or the new one — never a torn envelope (which would strand the
+/// WAL records the following truncation drops).
+fn persist_artifact(bundle: &ModelBundle, path: &std::path::Path) -> std::io::Result<()> {
+    use crate::saveload::SaveLoad;
+    let bytes = bundle
+        .to_bytes()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let tmp = path.with_extension("ganc.tmp");
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// What one refit pass did.
 #[derive(Debug, Clone)]
 pub enum RefitOutcome {
@@ -105,6 +124,26 @@ impl ShardedEngine {
         match self.install_refit(generation, Arc::clone(&bundle), consumed) {
             Some(generation) => {
                 self.obs_refit_swapped(generation);
+                // Durable engines compact the WAL now that the consumed
+                // ingests are inside the installed bundle — but only after
+                // the artifact (when configured) is safely on disk, so
+                // every acknowledged interaction is always recoverable
+                // from WAL ∪ artifact. A crash between persist and
+                // truncate replays interactions the artifact already
+                // holds; the merge is last-rating-wins, so that
+                // double-apply is harmless and the next truncation clears
+                // it.
+                if let Some(durable) = self.durable() {
+                    let persisted = match durable.artifact_path() {
+                        Some(path) => persist_artifact(&bundle, path).is_ok(),
+                        None => true,
+                    };
+                    if persisted {
+                        // A failed truncation only delays compaction; the
+                        // un-truncated records replay harmlessly.
+                        let _ = durable.truncate(consumed, generation);
+                    }
+                }
                 RefitOutcome::Swapped { generation, bundle }
             }
             None => {

@@ -24,6 +24,7 @@
 use crate::bundle::ModelBundle;
 use crate::engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 use crate::saveload::{PersistError, SaveLoad};
+use crate::wal::{DurableConfig, DurableLog, IngestAck, WalReplaySummary, WalStats};
 use ganc_core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Counter, Gauge, ObsHub, TraceData, WindowFold, WindowStats};
@@ -179,6 +180,9 @@ pub struct ShardedEngine {
     /// window span to thread onto every generation's band engines, plus
     /// refit lifecycle counters.
     obs: OnceLock<ShardObs>,
+    /// Optional durability ([`ShardedEngine::attach_durable`]): the WAL +
+    /// dedup window every acknowledged ingest goes through.
+    durable: OnceLock<Arc<DurableLog>>,
 }
 
 /// Shard-level observability state: what every new generation's engines
@@ -251,6 +255,7 @@ impl ShardedEngine {
             engine_cfg: cfg.engine,
             plan: cfg.plan,
             obs: OnceLock::new(),
+            durable: OnceLock::new(),
         }
     }
 
@@ -265,6 +270,69 @@ impl ShardedEngine {
         obs.generation_gauge.set(set.generation as f64);
         drop(set);
         let _ = self.obs.set(obs);
+        // Either attach order works: whichever of obs/durable arrives
+        // second threads the WAL counters through.
+        if let (Some(obs), Some(durable)) = (self.obs.get(), self.durable.get()) {
+            durable.attach_obs(Arc::clone(&obs.hub));
+        }
+    }
+
+    /// Attach a write-ahead log: open (or create) the WAL at `cfg.path`,
+    /// replay whatever survives through the normal ingest path, and route
+    /// every subsequent ingest through the log before acknowledgement.
+    /// One-shot; must happen before serving starts (a second attach is
+    /// refused). Returns what the startup replay recovered.
+    ///
+    /// Fails with `InvalidData` if a recovered interaction is outside the
+    /// bundle's id space — a WAL paired with the wrong artifact is a
+    /// deployment error worth refusing loudly, not a reason to silently
+    /// drop acknowledged ratings.
+    pub fn attach_durable(&self, cfg: DurableConfig) -> std::io::Result<WalReplaySummary> {
+        let (log, recovered) = DurableLog::open(cfg)?;
+        let summary = log.replay_summary();
+        #[allow(clippy::readonly_write_lock)]
+        let set = self.set.write().unwrap();
+        for &(u, i, _) in &recovered {
+            if u.idx() >= set.bundle.n_users() as usize || i.idx() >= set.bundle.n_items() as usize
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL record (user {}, item {}) is outside the artifact's id space",
+                        u.0, i.0
+                    ),
+                ));
+            }
+        }
+        // Recovered interactions re-enter through the normal path — refit
+        // log then shards, keeping the WAL's pending records 1:1 with the
+        // log — but are NOT re-appended (they are already in the WAL).
+        let mut ingest_log = self.ingest_log.lock().unwrap();
+        for &(u, i, r) in &recovered {
+            ingest_log.push((u, i, r));
+            set.apply_ingest(u, i, r)
+                .expect("validated against the bundle above");
+        }
+        drop(ingest_log);
+        drop(set);
+        self.durable
+            .set(Arc::new(log))
+            .map_err(|_| std::io::Error::other("durable log already attached"))?;
+        if let (Some(obs), Some(durable)) = (self.obs.get(), self.durable.get()) {
+            durable.attach_obs(Arc::clone(&obs.hub));
+        }
+        Ok(summary)
+    }
+
+    /// The attached durable log, when any ([`crate::refit`] truncates it
+    /// after a swap).
+    pub(crate) fn durable(&self) -> Option<&Arc<DurableLog>> {
+        self.durable.get()
+    }
+
+    /// WAL counters and sizes, when a durable log is attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durable.get().map(|d| d.stats())
     }
 
     /// Per-band rolling-window metrics plus their cross-band aggregate
@@ -396,24 +464,53 @@ impl ShardedEngine {
     /// Takes the outer write lock — the ingest mutates all shards, and
     /// requests (which hold the read side) must observe either none or all
     /// of it, never a half-applied fan-out mid-batch.
+    pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), ServeError> {
+        self.ingest_keyed(None, user, item, rating).map(|_| ())
+    }
+
+    /// Like [`ShardedEngine::ingest`], with an optional idempotency key.
+    /// On a durable engine the interaction hits the WAL before anything
+    /// else (and before the caller is acknowledged); a key already inside
+    /// the dedup window short-circuits to
+    /// [`IngestAck::Deduplicated`] without touching the log or any shard.
     // The guard is never written *through* (shard mutation goes via the
     // inner engines' own locks); the write side is held purely for its
     // exclusion against in-flight batches.
     #[allow(clippy::readonly_write_lock)]
-    pub fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), ServeError> {
+    pub fn ingest_keyed(
+        &self,
+        key: Option<&str>,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> Result<IngestAck, ServeError> {
         let set = self.set.write().unwrap();
         // Validate against the baseline bundle before touching anything so
-        // a rejected ingest leaves neither the log nor any shard modified.
+        // a rejected ingest leaves neither the WAL, the log, nor any shard
+        // modified.
         if user.idx() >= set.bundle.n_users() as usize {
             return Err(ServeError::UnknownUser(user));
         }
         if item.idx() >= set.bundle.n_items() as usize {
             return Err(ServeError::UnknownItem(item));
         }
-        // Log first, then apply, both under the outer write lock: a refit
-        // swap can never observe the shards ahead of the log.
+        // WAL first (still under the outer write lock, so WAL order, log
+        // order, and shard application order all agree), then the refit
+        // log, then the shards: a refit swap can never observe the shards
+        // ahead of the log, and a crash after the WAL append replays an
+        // interaction the client may not have seen acknowledged — which
+        // the oracle tolerates because applying it is what the client
+        // retry would have done anyway.
+        if let Some(durable) = self.durable.get() {
+            match durable.append(key, set.generation, user, item, rating) {
+                Ok(IngestAck::Deduplicated) => return Ok(IngestAck::Deduplicated),
+                Ok(IngestAck::Applied) => {}
+                Err(_) => return Err(ServeError::Durability),
+            }
+        }
         self.ingest_log.lock().unwrap().push((user, item, rating));
-        set.apply_ingest(user, item, rating)
+        set.apply_ingest(user, item, rating)?;
+        Ok(IngestAck::Applied)
     }
 
     /// Drop every shard's cached responses.

@@ -1,0 +1,941 @@
+//! Per-node write-ahead log for durable, exactly-once ingestion.
+//!
+//! The paper's dynamic models (DynCoverage, the OSLG refit) only stay
+//! correct if every observed interaction is applied exactly once — but the
+//! refit log lives in memory, so a node restart silently loses ratings and
+//! a retried `/v1/ingest` double-applies one. This module closes both
+//! holes:
+//!
+//! * **Durability** — every acknowledged ingest is appended to a
+//!   length-prefixed, CRC32-checksummed, generation-stamped log *before*
+//!   the acknowledgement, and replayed through the normal ingest path on
+//!   startup. Replay recovers the longest valid record prefix: a torn tail
+//!   or a flipped bit stops the replay cleanly at the first bad record —
+//!   never a panic, never a garbage interaction applied.
+//! * **Exactly-once** — ingests may carry an idempotency key; a bounded
+//!   dedup window remembers recently acknowledged keys, and the window
+//!   itself is persisted in the WAL (keys ride on their ingest records;
+//!   truncation rewrites surviving keys as key-only stubs), so a retried
+//!   or replayed request is a no-op **across restarts** too.
+//!
+//! Truncation is atomic (write a fresh log beside the live one, then
+//! `rename` over it) and keeps everything still unaccounted for: ingests
+//! that raced the refit stay as full records, already-refitted keys shrink
+//! to stubs. Durability is against process death (the crash-recovery
+//! oracle in `tests/wal_recovery.rs` SIGKILLs a node mid-storm); appends
+//! are written but not fsynced, so power-loss durability would add an
+//! `fsync` knob — a deliberate trade against ingest latency.
+
+use ganc_dataset::{ItemId, UserId};
+use ganc_obs::{Counter, ObsHub, TraceData};
+use std::collections::{HashSet, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Leading magic bytes of every WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"GWAL";
+
+/// WAL format version; bump on any framing or payload change.
+pub const WAL_VERSION: u16 = 1;
+
+/// File header: magic + version.
+const HEADER_LEN: u64 = 6;
+
+/// Frame prefix: payload length (u32) + CRC32 of the payload (u32).
+const FRAME_PREFIX: usize = 8;
+
+/// Largest payload a reader accepts — guards a corrupted length prefix
+/// from turning into a giant allocation.
+pub const MAX_PAYLOAD: u32 = 64 * 1024;
+
+/// Longest idempotency key accepted anywhere in the stack.
+pub const MAX_KEY_LEN: usize = 128;
+
+// ---------------------------------------------------------------- crc32
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven — std-only, no crates.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// -------------------------------------------------------------- records
+
+/// One durable log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An acknowledged ingest not yet covered by a persisted refit.
+    /// Replay re-applies it and (when keyed) re-arms the dedup window.
+    Ingest {
+        /// Shard-set generation at acknowledgement time (diagnostic).
+        generation: u64,
+        /// User the rating came from.
+        user: UserId,
+        /// Item rated.
+        item: ItemId,
+        /// Rating value.
+        rating: f32,
+        /// Idempotency key the ingest carried, if any.
+        key: Option<String>,
+    },
+    /// A dedup-key stub: its interaction is already inside a persisted
+    /// artifact, so replay only re-arms the dedup window.
+    Key {
+        /// Generation whose truncation wrote the stub.
+        generation: u64,
+        /// The idempotency key.
+        key: String,
+    },
+}
+
+const TAG_INGEST: u8 = 0;
+const TAG_KEY: u8 = 1;
+
+fn push_key(out: &mut Vec<u8>, key: &str) {
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+}
+
+fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match rec {
+        WalRecord::Ingest {
+            generation,
+            user,
+            item,
+            rating,
+            key,
+        } => {
+            out.push(TAG_INGEST);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&user.0.to_le_bytes());
+            out.extend_from_slice(&item.0.to_le_bytes());
+            out.extend_from_slice(&rating.to_bits().to_le_bytes());
+            push_key(&mut out, key.as_deref().unwrap_or(""));
+        }
+        WalRecord::Key { generation, key } => {
+            out.push(TAG_KEY);
+            out.extend_from_slice(&generation.to_le_bytes());
+            push_key(&mut out, key);
+        }
+    }
+    out
+}
+
+/// Encode one record as its complete wire frame:
+/// `len:u32le | crc32(payload):u32le | payload`.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(rec);
+    let mut out = Vec::with_capacity(FRAME_PREFIX + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn key(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        if len > MAX_KEY_LEN {
+            return None;
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
+    let rec = match c.u8()? {
+        TAG_INGEST => {
+            let generation = c.u64()?;
+            let user = UserId(c.u32()?);
+            let item = ItemId(c.u32()?);
+            let rating = f32::from_bits(c.u32()?);
+            let key = c.key()?;
+            WalRecord::Ingest {
+                generation,
+                user,
+                item,
+                rating,
+                key: (!key.is_empty()).then_some(key),
+            }
+        }
+        TAG_KEY => {
+            let generation = c.u64()?;
+            let key = c.key()?;
+            if key.is_empty() {
+                return None;
+            }
+            WalRecord::Key { generation, key }
+        }
+        _ => return None,
+    };
+    // Trailing bytes inside a CRC-valid payload mean a framing bug, not
+    // line noise — refuse rather than guess.
+    (c.at == payload.len()).then_some(rec)
+}
+
+/// What a replay of a record stream recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalReplaySummary {
+    /// Records in the recovered (longest valid) prefix.
+    pub records: u64,
+    /// Bytes of that prefix, **excluding** the file header.
+    pub bytes: u64,
+    /// The stream ended at a torn or corrupt record instead of cleanly.
+    pub corrupted: bool,
+}
+
+/// Decode a record stream (the file contents *after* the header),
+/// recovering the longest valid prefix. Never panics; a bad length, a CRC
+/// mismatch, an unknown tag, or a torn tail ends the replay at the last
+/// good record.
+pub fn decode_stream(buf: &[u8]) -> (Vec<WalRecord>, WalReplaySummary) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut corrupted = false;
+    loop {
+        let rest = &buf[at..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < FRAME_PREFIX {
+            corrupted = true;
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD || rest.len() < FRAME_PREFIX + len as usize {
+            corrupted = true;
+            break;
+        }
+        let payload = &rest[FRAME_PREFIX..FRAME_PREFIX + len as usize];
+        if crc32(payload) != crc {
+            corrupted = true;
+            break;
+        }
+        match decode_payload(payload) {
+            Some(rec) => records.push(rec),
+            None => {
+                corrupted = true;
+                break;
+            }
+        }
+        at += FRAME_PREFIX + len as usize;
+    }
+    let summary = WalReplaySummary {
+        records: records.len() as u64,
+        bytes: at as u64,
+        corrupted,
+    };
+    (records, summary)
+}
+
+// ------------------------------------------------------------------ wal
+
+/// The append handle over one WAL file.
+///
+/// [`Wal::open`] replays the existing file (recovering the longest valid
+/// prefix and truncating any corrupt tail away, so later appends extend a
+/// clean log), [`Wal::append`] adds one framed record, and
+/// [`Wal::rewrite`] atomically replaces the whole file (write-beside +
+/// `rename`).
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    records: u64,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `path`, replaying whatever it holds.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Wal, Vec<WalRecord>, WalReplaySummary)> {
+        let path = path.as_ref().to_path_buf();
+        let mut buf = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let (records, mut summary, valid_len) = if buf.is_empty() {
+            (
+                Vec::new(),
+                WalReplaySummary {
+                    records: 0,
+                    bytes: 0,
+                    corrupted: false,
+                },
+                0,
+            )
+        } else if buf.len() < HEADER_LEN as usize
+            || buf[..4] != WAL_MAGIC
+            || u16::from_le_bytes([buf[4], buf[5]]) != WAL_VERSION
+        {
+            // A foreign or mangled header means there is no valid prefix at
+            // all: recover nothing, start a fresh log.
+            (
+                Vec::new(),
+                WalReplaySummary {
+                    records: 0,
+                    bytes: 0,
+                    corrupted: true,
+                },
+                0,
+            )
+        } else {
+            let (records, summary) = decode_stream(&buf[HEADER_LEN as usize..]);
+            let valid = HEADER_LEN + summary.bytes;
+            (records, summary, valid)
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        if valid_len == 0 {
+            // Fresh or unreadable: rewrite the header in place.
+            file.set_len(0)?;
+            file.write_all(&WAL_MAGIC)?;
+            file.write_all(&WAL_VERSION.to_le_bytes())?;
+        } else if (valid_len) < buf.len() as u64 {
+            // Drop the corrupt tail so future appends extend the valid
+            // prefix instead of burying records behind garbage.
+            file.set_len(valid_len)?;
+        }
+        file.flush()?;
+        let bytes = if valid_len == 0 {
+            HEADER_LEN
+        } else {
+            valid_len
+        };
+        summary.bytes = bytes.saturating_sub(HEADER_LEN);
+        let wal = Wal {
+            path,
+            file,
+            records: records.len() as u64,
+            bytes,
+        };
+        Ok((wal, records, summary))
+    }
+
+    /// Append one record (written before the caller acknowledges the
+    /// ingest — the whole point).
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        let frame = encode_record(rec);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically replace the log's contents: write a sibling file, fsync
+    /// it, `rename` over the live path. A crash at any point leaves either
+    /// the old log or the new one — never a torn mix.
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        let mut out = Vec::new();
+        out.extend_from_slice(&WAL_MAGIC);
+        out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        for rec in records {
+            out.extend_from_slice(&encode_record(rec));
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        self.records = records.len() as u64;
+        self.bytes = out.len() as u64;
+        Ok(())
+    }
+
+    /// Records currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes currently in the log (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// --------------------------------------------------------- dedup window
+
+/// Bounded FIFO window of recently acknowledged idempotency keys.
+#[derive(Debug)]
+pub struct DedupWindow {
+    cap: usize,
+    seen: HashSet<String>,
+    order: VecDeque<String>,
+}
+
+impl DedupWindow {
+    /// A window remembering up to `cap` keys (clamped to ≥ 1).
+    pub fn new(cap: usize) -> DedupWindow {
+        DedupWindow {
+            cap: cap.max(1),
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Is `key` inside the window?
+    pub fn contains(&self, key: &str) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Record `key`; returns `false` (and changes nothing) if it was
+    /// already present. At capacity the oldest key falls out.
+    pub fn observe(&mut self, key: &str) -> bool {
+        if self.seen.contains(key) {
+            return false;
+        }
+        if self.order.len() == self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        self.seen.insert(key.to_string());
+        self.order.push_back(key.to_string());
+        true
+    }
+
+    /// Keys currently remembered, oldest first.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|k| k.as_str())
+    }
+
+    /// Keys currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Is the window empty?
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+// ---------------------------------------------------------- durable log
+
+/// What an acknowledged ingest did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestAck {
+    /// The interaction was applied (and logged, on durable nodes).
+    Applied,
+    /// The idempotency key was already acknowledged: nothing changed.
+    Deduplicated,
+}
+
+/// Durable-log construction knobs.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// WAL file path.
+    pub path: PathBuf,
+    /// Dedup-window capacity (keys remembered across truncations and
+    /// restarts).
+    pub dedup_window: usize,
+    /// When set, a refit swap persists the refitted bundle here (atomic
+    /// write-beside + rename) *before* truncating the WAL, so every
+    /// acknowledged interaction is always in the WAL or in the artifact.
+    pub artifact_path: Option<PathBuf>,
+}
+
+impl DurableConfig {
+    /// Defaults: 4096-key window, no artifact persistence.
+    pub fn new(path: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            path: path.into(),
+            dedup_window: 4096,
+            artifact_path: None,
+        }
+    }
+}
+
+struct DurableInner {
+    wal: Wal,
+    window: DedupWindow,
+    /// Ingest records since the last truncation, append order — kept 1:1
+    /// with the engine's in-memory refit log so a truncation knows which
+    /// prefix a refit consumed.
+    pending: Vec<WalRecord>,
+}
+
+/// WAL metric handles, registered at [`DurableLog::attach_obs`].
+struct WalObs {
+    hub: Arc<ObsHub>,
+    appends: Arc<Counter>,
+    replayed: Arc<Counter>,
+    truncations: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
+}
+
+/// A point-in-time view of the durable log, for `/v1/healthz` and stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records currently in the log file.
+    pub records: u64,
+    /// Bytes currently in the log file (header included).
+    pub bytes: u64,
+    /// Appends acknowledged over this handle's lifetime.
+    pub appends: u64,
+    /// Records recovered by the startup replay.
+    pub replayed: u64,
+    /// Truncations (refit compactions) performed.
+    pub truncations: u64,
+    /// Keyed ingests answered from the dedup window (no-ops).
+    pub dedup_hits: u64,
+    /// Keys currently inside the dedup window.
+    pub dedup_keys: usize,
+}
+
+/// The WAL + dedup window + counters bundle a durable node threads through
+/// its ingest path. Thread-safe; one per node.
+pub struct DurableLog {
+    inner: Mutex<DurableInner>,
+    artifact_path: Option<PathBuf>,
+    replay: WalReplaySummary,
+    appends: AtomicU64,
+    truncations: AtomicU64,
+    dedup_hits: AtomicU64,
+    obs: OnceLock<WalObs>,
+}
+
+impl DurableLog {
+    /// Open the log, replaying what survives: returns the handle plus the
+    /// recovered interactions, which the caller must re-apply through its
+    /// normal ingest path (the dedup window is already re-armed).
+    #[allow(clippy::type_complexity)]
+    pub fn open(cfg: DurableConfig) -> io::Result<(DurableLog, Vec<(UserId, ItemId, f32)>)> {
+        let (wal, records, replay) = Wal::open(&cfg.path)?;
+        let mut window = DedupWindow::new(cfg.dedup_window);
+        let mut recovered = Vec::new();
+        let mut pending = Vec::new();
+        for rec in records {
+            match &rec {
+                WalRecord::Ingest {
+                    user,
+                    item,
+                    rating,
+                    key,
+                    ..
+                } => {
+                    if let Some(k) = key {
+                        window.observe(k);
+                    }
+                    recovered.push((*user, *item, *rating));
+                    pending.push(rec);
+                }
+                WalRecord::Key { key, .. } => {
+                    window.observe(key);
+                }
+            }
+        }
+        let log = DurableLog {
+            inner: Mutex::new(DurableInner {
+                wal,
+                window,
+                pending,
+            }),
+            artifact_path: cfg.artifact_path,
+            replay,
+            appends: AtomicU64::new(0),
+            truncations: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        };
+        Ok((log, recovered))
+    }
+
+    /// Where a refit swap should persist the refitted bundle, when
+    /// configured.
+    pub fn artifact_path(&self) -> Option<&Path> {
+        self.artifact_path.as_deref()
+    }
+
+    /// What the startup replay recovered.
+    pub fn replay_summary(&self) -> WalReplaySummary {
+        self.replay
+    }
+
+    /// Log one acknowledged ingest *before* the caller applies it.
+    /// [`IngestAck::Deduplicated`] means the key was already acknowledged:
+    /// the caller must skip the apply entirely.
+    pub fn append(
+        &self,
+        key: Option<&str>,
+        generation: u64,
+        user: UserId,
+        item: ItemId,
+        rating: f32,
+    ) -> io::Result<IngestAck> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(k) = key {
+            if inner.window.contains(k) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.obs.get() {
+                    obs.dedup_hits.inc();
+                }
+                return Ok(IngestAck::Deduplicated);
+            }
+        }
+        let rec = WalRecord::Ingest {
+            generation,
+            user,
+            item,
+            rating,
+            key: key.map(str::to_string),
+        };
+        inner.wal.append(&rec)?;
+        if let Some(k) = key {
+            inner.window.observe(k);
+        }
+        inner.pending.push(rec);
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.appends.inc();
+        }
+        Ok(IngestAck::Applied)
+    }
+
+    /// Compact after a refit swap: the first `consumed` pending ingests
+    /// are inside the newly installed (and, when configured, persisted)
+    /// bundle, so their full records are no longer needed — their keys
+    /// shrink to stubs, racing ingests stay whole. Atomic.
+    pub fn truncate(&self, consumed: usize, generation: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let consumed = consumed.min(inner.pending.len());
+        let racers = inner.pending.split_off(consumed);
+        let racer_keys: HashSet<&str> = racers
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Ingest { key: Some(k), .. } => Some(k.as_str()),
+                _ => None,
+            })
+            .collect();
+        let mut recs: Vec<WalRecord> = inner
+            .window
+            .keys()
+            .filter(|k| !racer_keys.contains(k))
+            .map(|k| WalRecord::Key {
+                generation,
+                key: k.to_string(),
+            })
+            .collect();
+        recs.extend(racers.iter().cloned());
+        let retained = recs.len() as u64;
+        match inner.wal.rewrite(&recs) {
+            Ok(()) => {}
+            Err(e) => {
+                // Put the racers back so pending stays 1:1 with the refit
+                // log; the un-truncated records replay harmlessly (the
+                // merge is last-rating-wins) until the next compaction.
+                inner.pending = racers;
+                return Err(e);
+            }
+        }
+        inner.pending = racers;
+        self.truncations.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.truncations.inc();
+            obs.hub.trace.record(
+                obs.hub.now_us(),
+                TraceData::WalTruncate {
+                    retained,
+                    generation,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Register `ganc_wal_*` counters and emit the startup-replay trace
+    /// event. One-shot; later calls are no-ops.
+    pub fn attach_obs(&self, hub: Arc<ObsHub>) {
+        let m = &hub.metrics;
+        let obs = WalObs {
+            appends: m.counter("ganc_wal_appends_total", "WAL records appended", &[]),
+            replayed: m.counter(
+                "ganc_wal_replayed_total",
+                "WAL records recovered by startup replay",
+                &[],
+            ),
+            truncations: m.counter(
+                "ganc_wal_truncations_total",
+                "WAL compactions after refit swaps",
+                &[],
+            ),
+            dedup_hits: m.counter(
+                "ganc_wal_dedup_hits_total",
+                "Keyed ingests answered from the dedup window",
+                &[],
+            ),
+            hub: Arc::clone(&hub),
+        };
+        if self.obs.set(obs).is_ok() {
+            let obs = self.obs.get().expect("just set");
+            // Catch the counters up with whatever happened pre-attach.
+            obs.appends.add(self.appends.load(Ordering::Relaxed));
+            obs.replayed.add(self.replay.records);
+            obs.truncations
+                .add(self.truncations.load(Ordering::Relaxed));
+            obs.dedup_hits.add(self.dedup_hits.load(Ordering::Relaxed));
+            obs.hub.trace.record(
+                obs.hub.now_us(),
+                TraceData::WalReplay {
+                    records: self.replay.records,
+                    bytes: self.replay.bytes,
+                    corrupted: self.replay.corrupted,
+                },
+            );
+        }
+    }
+
+    /// Current counters and sizes.
+    pub fn stats(&self) -> WalStats {
+        let inner = self.inner.lock().unwrap();
+        WalStats {
+            records: inner.wal.records(),
+            bytes: inner.wal.bytes(),
+            appends: self.appends.load(Ordering::Relaxed),
+            replayed: self.replay.records,
+            truncations: self.truncations.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            dedup_keys: inner.window.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ganc_wal_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}_{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn ingest(user: u32, item: u32, key: Option<&str>) -> WalRecord {
+        WalRecord::Ingest {
+            generation: 0,
+            user: UserId(user),
+            item: ItemId(item),
+            rating: 4.5,
+            key: key.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_frames_round_trip() {
+        for rec in [
+            ingest(3, 7, None),
+            ingest(0, 0, Some("k-1")),
+            WalRecord::Key {
+                generation: 9,
+                key: "abc".to_string(),
+            },
+        ] {
+            let frame = encode_record(&rec);
+            let (decoded, summary) = decode_stream(&frame);
+            assert_eq!(decoded, vec![rec]);
+            assert!(!summary.corrupted);
+            assert_eq!(summary.bytes, frame.len() as u64);
+        }
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let path = tmp("reopen");
+        let (mut wal, recs, summary) = Wal::open(&path).unwrap();
+        assert!(recs.is_empty());
+        assert!(!summary.corrupted);
+        wal.append(&ingest(1, 2, Some("a"))).unwrap();
+        wal.append(&ingest(3, 4, None)).unwrap();
+        drop(wal);
+        let (wal, recs, summary) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![ingest(1, 2, Some("a")), ingest(3, 4, None)]);
+        assert_eq!(wal.records(), 2);
+        assert!(!summary.corrupted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix_and_truncates() {
+        let path = tmp("torn");
+        let (mut wal, _, _) = Wal::open(&path).unwrap();
+        wal.append(&ingest(1, 2, None)).unwrap();
+        wal.append(&ingest(3, 4, None)).unwrap();
+        drop(wal);
+        // Tear the last record mid-frame.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut wal, recs, summary) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![ingest(1, 2, None)]);
+        assert!(summary.corrupted);
+        // The tail was dropped, so a new append lands on a clean log.
+        wal.append(&ingest(5, 6, None)).unwrap();
+        drop(wal);
+        let (_, recs, summary) = Wal::open(&path).unwrap();
+        assert_eq!(recs, vec![ingest(1, 2, None), ingest(5, 6, None)]);
+        assert!(!summary.corrupted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_header_starts_fresh_without_panicking() {
+        let path = tmp("header");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        let (mut wal, recs, summary) = Wal::open(&path).unwrap();
+        assert!(recs.is_empty());
+        assert!(summary.corrupted);
+        wal.append(&ingest(1, 1, None)).unwrap();
+        drop(wal);
+        let (_, recs, _) = Wal::open(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_fifo() {
+        let mut w = DedupWindow::new(2);
+        assert!(w.observe("a"));
+        assert!(!w.observe("a"), "duplicate detected");
+        assert!(w.observe("b"));
+        assert!(w.observe("c"), "capacity evicts the oldest");
+        assert!(!w.contains("a"), "a fell out of the window");
+        assert!(w.contains("b") && w.contains("c"));
+        assert_eq!(w.keys().collect::<Vec<_>>(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn durable_log_dedups_across_reopen_and_truncation() {
+        let path = tmp("durable");
+        let cfg = DurableConfig::new(&path);
+        let (log, recovered) = DurableLog::open(cfg.clone()).unwrap();
+        assert!(recovered.is_empty());
+        let ack = |log: &DurableLog, key: Option<&str>, u: u32| {
+            log.append(key, 0, UserId(u), ItemId(1), 5.0).unwrap()
+        };
+        assert_eq!(ack(&log, Some("k1"), 0), IngestAck::Applied);
+        assert_eq!(ack(&log, Some("k1"), 0), IngestAck::Deduplicated);
+        assert_eq!(ack(&log, None, 1), IngestAck::Applied);
+        assert_eq!(ack(&log, Some("k2"), 2), IngestAck::Applied);
+        assert_eq!(log.stats().appends, 3);
+        assert_eq!(log.stats().dedup_hits, 1);
+
+        // Refit consumed the first two ingests; k2's record raced it.
+        log.truncate(2, 1).unwrap();
+        let stats = log.stats();
+        assert_eq!(stats.truncations, 1);
+        // k1 stub + k2 full record.
+        assert_eq!(stats.records, 2);
+        assert_eq!(ack(&log, Some("k1"), 0), IngestAck::Deduplicated);
+        assert_eq!(ack(&log, Some("k2"), 2), IngestAck::Deduplicated);
+        drop(log);
+
+        // Reopen: only the racer replays, both keys still dedup.
+        let (log, recovered) = DurableLog::open(cfg).unwrap();
+        assert_eq!(recovered, vec![(UserId(2), ItemId(1), 5.0)]);
+        assert_eq!(ack(&log, Some("k1"), 0), IngestAck::Deduplicated);
+        assert_eq!(ack(&log, Some("k2"), 0), IngestAck::Deduplicated);
+        assert_eq!(ack(&log, Some("k3"), 3), IngestAck::Applied);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_or_binary_keys_are_refused_by_decode() {
+        // A hand-built frame with a key length beyond MAX_KEY_LEN must be
+        // treated as corruption, not allocated and trusted.
+        let mut payload = vec![TAG_KEY];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&(MAX_KEY_LEN as u16 + 1).to_le_bytes());
+        payload.extend(std::iter::repeat_n(b'x', MAX_KEY_LEN + 1));
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let (recs, summary) = decode_stream(&frame);
+        assert!(recs.is_empty());
+        assert!(summary.corrupted);
+    }
+}

@@ -8,7 +8,7 @@
 use ganc::core::coverage::CoverageKind;
 use ganc::core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc::dataset::synth::DatasetProfile;
-use ganc::dataset::{Interactions, UserId};
+use ganc::dataset::{Interactions, ItemId, UserId};
 use ganc::http::testing::{FlakyPeer, GatedPeer};
 use ganc::http::{
     CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, ReplicaConfig,
@@ -21,8 +21,8 @@ use ganc::preference::generalized::GeneralizedConfig;
 use ganc::recommender::item_avg::ItemAvg;
 use ganc::serve::refit::Refitter;
 use ganc::serve::{
-    BatchConfig, CadenceConfig, EngineConfig, FitConfig, FittedModel, ModelBundle, ServingEngine,
-    ShardConfig, ShardedEngine,
+    BatchConfig, CadenceConfig, DurableConfig, EngineConfig, FitConfig, FittedModel, ModelBundle,
+    ServingEngine, ShardConfig, ShardedEngine,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -765,6 +765,121 @@ fn router_replica_counters_and_trace_events_move_under_faults() {
     assert_eq!(shards[1]["replicas"]["failovers"].as_u64(), Some(1));
 
     gates[0][0].open();
+}
+
+/// The PR 8 durability surface is observable end to end: a startup replay
+/// that ran *before* obs attach is backfilled into the `ganc_wal_*`
+/// counters and leaves a typed `wal_replay` trace event; live keyed
+/// ingests move the append and dedup-hit counters; a refit's compaction
+/// moves the truncation counter and leaves a `wal_truncate` event; and
+/// `/v1/healthz` exposes the durable log's current size.
+#[test]
+fn wal_counters_trace_events_and_healthz_surface() {
+    let path = std::env::temp_dir().join(format!("ganc_obs_wal_{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // A previous life of the node acknowledges two keyed ingests into its
+    // WAL, then "crashes" (dropped without refit).
+    {
+        let engine = ShardedEngine::new(fixture_bundle(47), ShardConfig::quantile(2));
+        engine.attach_durable(DurableConfig::new(&path)).unwrap();
+        engine
+            .ingest_keyed(Some("obs-0"), UserId(0), ItemId(1), 4.0)
+            .unwrap();
+        engine
+            .ingest_keyed(Some("obs-1"), UserId(1), ItemId(2), 3.0)
+            .unwrap();
+    }
+
+    // Restart: the replay happens at attach_durable, before bind attaches
+    // the hub — the counters must be backfilled, not lost.
+    let engine = Arc::new(ShardedEngine::new(
+        fixture_bundle(47),
+        ShardConfig::quantile(2),
+    ));
+    let replay = engine.attach_durable(DurableConfig::new(&path)).unwrap();
+    assert_eq!(replay.records, 2);
+    let hook = RefitHook {
+        fitter: fitter(),
+        cfg: fit_cfg(),
+        cadence: None,
+    };
+    let server = HttpServer::bind(
+        Frontend::Sharded(Arc::clone(&engine)),
+        Some(hook),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    // One new keyed ingest plus a resend under the same key.
+    let body = "{\"user\":2,\"item\":3,\"rating\":5.0}";
+    let resp = client
+        .request_keyed("POST", "/v1/ingest", Some(body), "obs-2")
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = client
+        .request_keyed("POST", "/v1/ingest", Some(body), "obs-2")
+        .unwrap();
+    let v: Value = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(v["deduplicated"].as_bool(), Some(true));
+
+    let health = get_json(&mut client, "/v1/healthz");
+    assert_eq!(health["wal"]["records"].as_u64(), Some(3));
+    assert!(health["wal"]["bytes"].as_u64().unwrap() > 0);
+
+    // Refit drains the three pending ingests and compacts the WAL.
+    assert_eq!(
+        client.request("POST", "/admin/refit", None).unwrap().status,
+        200
+    );
+
+    let resp = client.request("GET", "/v1/metrics", None).unwrap();
+    let samples = parse_prometheus(std::str::from_utf8(&resp.body).unwrap());
+    let counter = |name: &str| {
+        samples
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .2
+    };
+    assert_eq!(
+        counter("ganc_wal_replayed_total"),
+        2.0,
+        "pre-attach replay backfilled"
+    );
+    assert_eq!(
+        counter("ganc_wal_appends_total"),
+        1.0,
+        "the one post-restart ingest"
+    );
+    assert_eq!(counter("ganc_wal_dedup_hits_total"), 1.0);
+    assert_eq!(counter("ganc_wal_truncations_total"), 1.0);
+
+    let trace = get_json(&mut client, "/v1/trace");
+    let events = trace["events"].as_array().unwrap();
+    let replay_ev = events
+        .iter()
+        .find(|e| e["kind"].as_str() == Some("wal_replay"))
+        .expect("wal_replay event recorded at attach");
+    assert_eq!(replay_ev["data"]["records"].as_u64(), Some(2));
+    assert_eq!(replay_ev["data"]["corrupted"].as_bool(), Some(false));
+    let trunc = events
+        .iter()
+        .find(|e| e["kind"].as_str() == Some("wal_truncate"))
+        .expect("wal_truncate event recorded at refit");
+    assert_eq!(trunc["data"]["generation"].as_u64(), Some(1));
+    assert_eq!(
+        trunc["data"]["retained"].as_u64(),
+        Some(3),
+        "all three keys survive as dedup stubs"
+    );
+
+    // After compaction the log holds exactly the three key stubs.
+    let health = get_json(&mut client, "/v1/healthz");
+    assert_eq!(health["wal"]["records"].as_u64(), Some(3));
+    let _ = std::fs::remove_file(&path);
 }
 
 /// `/v1/stats` windows agree with the engine's own view, and a `GET

@@ -22,15 +22,18 @@ use ganc::core::coverage::CoverageKind;
 use ganc::core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc::dataset::synth::DatasetProfile;
 use ganc::dataset::{ItemId, UserId};
-use ganc::http::testing::{FlakyPeer, GatedPeer};
+use ganc::http::testing::{FlakyPeer, GatedPeer, RecordingPeer};
 use ganc::http::{
-    BackendError, Frontend, HttpClient, HttpServer, PeerTransport, ReplicaConfig, ReplicaSet,
-    RouterNode, ServerConfig, ShardRoute,
+    BackendError, CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, ReplicaConfig,
+    ReplicaSet, RouterNode, ServerConfig, ShardRoute,
 };
 use ganc::obs::{Clock, ManualClock};
 use ganc::preference::generalized::GeneralizedConfig;
 use ganc::recommender::pop::MostPopular;
-use ganc::serve::{EngineConfig, FitConfig, FittedModel, ModelBundle, ServeError, ServingEngine};
+use ganc::serve::{
+    BatchConfig, DurableConfig, EngineConfig, FitConfig, FittedModel, ModelBundle, ServeError,
+    ServingEngine, ShardConfig, ShardedEngine,
+};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -508,6 +511,161 @@ fn hedge_budget_gates_on_the_injected_clock() {
     });
     assert_eq!(h.sets[0].stats().hedges, 1, "exactly one hedge fired");
     h.open_all();
+}
+
+/// A WAL-backed sharded replica behind a [`FlakyPeer`], for the
+/// exactly-once ingest regressions.
+fn durable_replica(tag: &str) -> (Arc<ShardedEngine>, Arc<FlakyPeer>, std::path::PathBuf) {
+    let engine = Arc::new(ShardedEngine::new(
+        fixture_bundle().clone(),
+        ShardConfig::quantile(2),
+    ));
+    let path = std::env::temp_dir().join(format!(
+        "ganc_router_replicas_{tag}_{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    engine.attach_durable(DurableConfig::new(&path)).unwrap();
+    let flaky =
+        FlakyPeer::new(Arc::new(Frontend::Sharded(Arc::clone(&engine))) as Arc<dyn PeerTransport>);
+    (engine, flaky, path)
+}
+
+/// The keyed ingest fan-out is exactly-once against WAL-backed replicas
+/// under both ingest fault classes:
+///
+/// * a **lost request** (replica errors before its engine sees the write)
+///   is healed by the in-call retry;
+/// * a **lost ack** (replica applies, then the ack is dropped) makes the
+///   retry come back `Deduplicated` from the WAL's key window instead of
+///   double-applying;
+///
+/// and a caller-level resend of the whole storm under the same keys is a
+/// no-op. Each replica's WAL ends up holding each interaction exactly
+/// once.
+#[test]
+fn flaky_replica_keyed_ingest_fan_out_is_exactly_once() {
+    let (e0, f0, p0) = durable_replica("lost_req");
+    let (e1, f1, p1) = durable_replica("lost_ack");
+    let set = ReplicaSet::new(
+        vec![
+            Arc::clone(&f0) as Arc<dyn PeerTransport>,
+            Arc::clone(&f1) as Arc<dyn PeerTransport>,
+        ],
+        ReplicaConfig::default(),
+    );
+
+    // Lost request on replica 0: the first attempt fails before the
+    // engine sees it; the in-call retry delivers it.
+    f0.fail_ingests(1);
+    set.ingest_keyed(Some("storm-0"), UserId(0), ItemId(1), 5.0)
+        .unwrap();
+
+    // Lost ack on replica 1: the engine applies, the ack is dropped, and
+    // the retry hits the idempotency window — not the model twice.
+    f1.fail_ingest_acks(1);
+    set.ingest_keyed(Some("storm-1"), UserId(1), ItemId(2), 4.0)
+        .unwrap();
+
+    // A caller resending the acknowledged storm (same keys) is a no-op.
+    set.ingest_keyed(Some("storm-0"), UserId(0), ItemId(1), 5.0)
+        .unwrap();
+    set.ingest_keyed(Some("storm-1"), UserId(1), ItemId(2), 4.0)
+        .unwrap();
+
+    for (r, e) in [&e0, &e1].into_iter().enumerate() {
+        let w = e.wal_stats().expect("durable replica");
+        assert_eq!(
+            w.records, 2,
+            "replica {r} must hold each interaction exactly once: {w:?}"
+        );
+        assert_eq!(e.pending_ingests(), 2, "replica {r} pending for refit");
+    }
+    // Replica 0 absorbed the two resends; replica 1 additionally absorbed
+    // the retry after its lost ack.
+    assert_eq!(e0.wal_stats().unwrap().dedup_hits, 2);
+    assert_eq!(e1.wal_stats().unwrap().dedup_hits, 3);
+    let _ = std::fs::remove_file(p0);
+    let _ = std::fs::remove_file(p1);
+}
+
+/// Hedged dispatch composes with [`CoalescedShard`]-wrapped replicas: a
+/// primary parked *inside its coalescer* is hedged around byte-identically
+/// to a plain single-backend oracle, a keyed ingest travels to every
+/// replica as **one** `ingest_batch` wire call carrying the key (never a
+/// single-ingest call), and the read path still matches afterwards.
+#[test]
+fn coalesced_replicas_hedge_byte_identically_under_a_parked_primary() {
+    let bundle = fixture_bundle();
+    let oracle_engine = Arc::new(ServingEngine::new(bundle.clone(), EngineConfig::default()));
+    let oracle = Frontend::Single(Arc::clone(&oracle_engine));
+
+    let mut peers: Vec<Arc<dyn PeerTransport>> = Vec::new();
+    let mut gates = Vec::new();
+    let mut recorders = Vec::new();
+    let mut engines = Vec::new();
+    for _ in 0..2 {
+        let engine = Arc::new(ServingEngine::new(bundle.clone(), EngineConfig::default()));
+        let gate = GatedPeer::new(
+            Arc::new(Frontend::Single(Arc::clone(&engine))) as Arc<dyn PeerTransport>
+        );
+        gate.open();
+        let recorder = RecordingPeer::new(Arc::clone(&gate) as Arc<dyn PeerTransport>);
+        peers.push(Arc::new(CoalescedShard::new(
+            Arc::clone(&recorder) as Arc<dyn PeerTransport>,
+            BatchConfig::default(),
+        )));
+        gates.push(gate);
+        recorders.push(recorder);
+        engines.push(engine);
+    }
+    let set = ReplicaSet::new(peers, hedge_now());
+
+    let mut users: Vec<UserId> = (0..bundle.n_users()).rev().map(UserId).collect();
+    users.extend((0..10).map(UserId));
+    let expected = oracle.recommend_batch_traced(&users).unwrap();
+
+    // Park the primary inside its coalescer: the zero-budget hedge must
+    // answer from the other coalesced replica, byte-identically.
+    gates[0].close();
+    let hedged = set.recommend_batch_traced(&users).expect("hedge answers");
+    assert_eq!(hedged, expected, "coalesced hedge diverges from the oracle");
+    let stats = set.stats();
+    assert!(
+        stats.hedges >= 1,
+        "the parked primary forced a hedge: {stats:?}"
+    );
+    assert_eq!(stats.failovers, 0, "a parked coalescer is not a failure");
+    gates[0].open();
+
+    // A keyed ingest through the coalescers reaches every replica exactly
+    // once, as a batched wire call that carries the idempotency key.
+    set.ingest_keyed(Some("coalesced-0"), UserId(0), ItemId(1), 5.0)
+        .unwrap();
+    oracle_engine.ingest(UserId(0), ItemId(1), 5.0).unwrap();
+    for (r, engine) in engines.iter().enumerate() {
+        assert_eq!(engine.stats().ingested, 1, "replica {r} missed the ingest");
+    }
+    for (r, recorder) in recorders.iter().enumerate() {
+        let batches = recorder.ingest_batches();
+        assert_eq!(batches.len(), 1, "replica {r}: exactly one wire batch");
+        assert_eq!(batches[0].len(), 1, "replica {r}");
+        assert_eq!(
+            batches[0][0].key.as_deref(),
+            Some("coalesced-0"),
+            "replica {r}: the key must survive coalescing"
+        );
+        assert_eq!(
+            recorder.ingest_singles(),
+            0,
+            "replica {r}: coalesced ingest must not use the single-ingest call"
+        );
+    }
+
+    // The hedged+coalesced read path still matches after the ingest.
+    let after = oracle.recommend_batch_traced(&users).unwrap();
+    let replicated = set.recommend_batch_traced(&users).expect("both live");
+    assert_eq!(replicated, after, "post-ingest read path diverges");
 }
 
 /// Ingest fans to **every** replica of every band (healthy or not), so no
