@@ -149,6 +149,11 @@ impl HttpClient {
     /// makes a resend safe (the server's dedup window absorbs a replay of
     /// an already-acknowledged request), so keyed requests get the
     /// dead-reused-connection retry that plain POSTs are denied.
+    ///
+    /// The key is interpolated into the request head, so a key failing
+    /// [`ganc_serve::wal::validate_key`] (CR/LF, control bytes, oversized)
+    /// would be header injection against the peer — such keys are refused
+    /// here with `InvalidInput`, before any IO.
     pub fn request_keyed(
         &mut self,
         method: &str,
@@ -156,6 +161,8 @@ impl HttpClient {
         body: Option<&str>,
         key: &str,
     ) -> io::Result<Response> {
+        ganc_serve::wal::validate_key(key)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
         self.request_full(method, path_and_query, body, true, Some(key))
     }
 
@@ -225,6 +232,12 @@ fn send_request(
     key: Option<&str>,
 ) -> io::Result<()> {
     let body = body.unwrap_or("");
+    // Backstop behind `request_keyed`'s ingress check: nothing that can
+    // break header framing is ever written into the head.
+    if let Some(k) = key {
+        ganc_serve::wal::validate_key(k)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+    }
     let key_header = key
         .map(|k| format!("Idempotency-Key: {k}\r\n"))
         .unwrap_or_default();
@@ -588,6 +601,28 @@ mod tests {
             delay = next;
         }
         assert_eq!(delay, BACKOFF_CAP);
+    }
+
+    #[test]
+    fn request_keyed_refuses_injection_keys_before_dialing() {
+        // A CR/LF in the idempotency key would splice an attacker-chosen
+        // header into the request head. Refusal must happen before any
+        // network IO — no connection, no backoff state.
+        let mut client = HttpClient::new(dead_addr());
+        for bad in [
+            "evil\r\nX-Smuggled: 1",
+            "nul\0key",
+            "with space",
+            &"x".repeat(200),
+            "",
+        ] {
+            let err = client
+                .request_keyed("POST", "/v1/ingest", Some("{}"), bad)
+                .expect_err("injection key accepted");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{bad:?}");
+        }
+        assert!(client.conn.is_none(), "refusal must precede dialing");
+        assert!(client.backoff.is_none(), "no dial, no backoff penalty");
     }
 
     #[test]

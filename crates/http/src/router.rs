@@ -37,6 +37,8 @@ use ganc_core::query::shard_of;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Counter, Histogram, ObsHub};
 use ganc_serve::{DedupWindow, IngestAck, ServeError, ServingEngine};
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
@@ -232,10 +234,19 @@ pub struct RouterNode {
     /// call. In-memory only — the durable dedup lives in each WAL-backed
     /// node; this window just short-circuits the common retry.
     ingest_keys: Mutex<DedupWindow>,
-    /// Key-generation state for unkeyed ingests: `ganc-{epoch:x}-{seq:x}`
-    /// is unique per router instance per request, so every route of one
-    /// fan-out shares one key and a retried route dedups downstream.
+    /// Key-generation state for unkeyed ingests:
+    /// `ganc-{epoch:x}-{nonce:x}-{seq:x}` is unique per router instance
+    /// per request, so every route of one fan-out shares one key and a
+    /// retried route dedups downstream.
     key_epoch: u64,
+    /// Per-instance random nonce mixed into every generated key. The
+    /// epoch alone is construction time in microseconds — two router
+    /// instances built in the same microsecond would emit colliding key
+    /// streams, and a collision makes a WAL node answer `Deduplicated`
+    /// for a *different* interaction, silently dropping an acknowledged
+    /// rating. The nonce (process id + `RandomState` entropy) makes
+    /// cross-instance collisions practically impossible.
+    key_nonce: u64,
     key_seq: AtomicU64,
 }
 
@@ -257,6 +268,12 @@ impl RouterNode {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_micros() as u64)
             .unwrap_or(0);
+        let key_nonce = {
+            let mut h = RandomState::new().build_hasher();
+            h.write_u64(key_epoch);
+            h.write_u32(std::process::id());
+            h.finish()
+        };
         RouterNode {
             theta,
             cuts,
@@ -264,6 +281,7 @@ impl RouterNode {
             obs: OnceLock::new(),
             ingest_keys: Mutex::new(DedupWindow::new(ROUTER_DEDUP_WINDOW)),
             key_epoch,
+            key_nonce,
             key_seq: AtomicU64::new(0),
         }
     }
@@ -506,14 +524,13 @@ impl RouterNode {
         self.ingest_keyed(None, user, item, rating).map(|_| ())
     }
 
-    /// The next router-generated fan-out key. Unique per router instance:
-    /// the epoch is this router's construction time in microseconds, the
-    /// sequence a per-request counter — two routers constructed in the
-    /// same microsecond would collide, but a key collision only causes a
-    /// spurious dedup inside one node's bounded window, never corruption.
+    /// The next router-generated fan-out key: construction-time epoch
+    /// micros, the per-instance random nonce, and a per-request sequence.
+    /// Always ≤ 55 visible-ASCII bytes, so it passes
+    /// [`ganc_serve::wal::validate_key`] everywhere downstream.
     fn next_key(&self) -> String {
         let seq = self.key_seq.fetch_add(1, Ordering::Relaxed);
-        format!("ganc-{:x}-{:x}", self.key_epoch, seq)
+        format!("ganc-{:x}-{:x}-{:x}", self.key_epoch, self.key_nonce, seq)
     }
 
     /// Fan an ingested interaction to every route under one idempotency
@@ -547,6 +564,15 @@ impl RouterNode {
             return Err(BackendError::Serve(ServeError::UnknownUser(user)));
         }
         if let Some(k) = key {
+            // The HTTP front 400s malformed keys before reaching here;
+            // this guards programmatic callers, failing before any route
+            // (local included) mutates — a malformed key would otherwise
+            // be refused by every WAL node and wire client anyway.
+            if let Err(msg) = ganc_serve::validate_key(k) {
+                return Err(BackendError::Transport(format!(
+                    "invalid idempotency key: {msg}"
+                )));
+            }
             if self.ingest_keys.lock().unwrap().contains(k) {
                 return Ok(IngestAck::Deduplicated);
             }
@@ -636,5 +662,66 @@ fn generation_check() -> impl FnMut(&mut Option<u64>, u64) -> Result<(), Backend
         Some(have) => Err(BackendError::Transport(format!(
             "generation skew across shards: {have} vs {g}"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A route that must never be dispatched to — key generation is pure
+    /// router-local state.
+    struct NeverPeer;
+
+    impl PeerTransport for NeverPeer {
+        fn label(&self) -> String {
+            "never".to_string()
+        }
+        fn recommend_traced(&self, _user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+            unreachable!("key tests never dispatch")
+        }
+        fn recommend_batch_traced(
+            &self,
+            _users: &[UserId],
+        ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+            unreachable!("key tests never dispatch")
+        }
+        fn ingest(&self, _: UserId, _: ItemId, _: f32) -> Result<(), BackendError> {
+            unreachable!("key tests never dispatch")
+        }
+        fn generation(&self) -> Result<u64, BackendError> {
+            unreachable!("key tests never dispatch")
+        }
+    }
+
+    fn bare_router() -> RouterNode {
+        RouterNode::new(
+            Arc::new(vec![0.0]),
+            Vec::new(),
+            vec![ShardRoute::Remote(Arc::new(NeverPeer))],
+        )
+    }
+
+    /// Generated fan-out keys must be valid idempotency keys (they cross
+    /// the same ingress validation as client keys) and two routers — even
+    /// ones built within the same microsecond — must emit disjoint key
+    /// streams: a cross-instance collision makes a WAL node answer
+    /// `Deduplicated` for a different interaction, silently dropping an
+    /// acknowledged rating.
+    #[test]
+    fn generated_keys_are_valid_and_disjoint_across_instances() {
+        let a = bare_router();
+        let b = bare_router();
+        let ka: Vec<String> = (0..100).map(|_| a.next_key()).collect();
+        let kb: Vec<String> = (0..100).map(|_| b.next_key()).collect();
+        for k in ka.iter().chain(&kb) {
+            ganc_serve::validate_key(k).unwrap_or_else(|e| panic!("{k:?}: {e}"));
+            assert!(k.len() <= ganc_serve::MAX_KEY_LEN);
+        }
+        let set: std::collections::BTreeSet<&String> = ka.iter().chain(&kb).collect();
+        assert_eq!(set.len(), 200, "same-process instances must not collide");
+        // Both nonces differ even though the two epochs almost certainly
+        // matched (same-microsecond construction is the review scenario).
+        assert_ne!(a.key_nonce, b.key_nonce);
     }
 }

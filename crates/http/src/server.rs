@@ -684,6 +684,13 @@ impl App {
                     _ => return Err("key must be a non-empty string"),
                 },
             };
+            // Reject malformed keys at ingress (400): a key the WAL
+            // decoder would refuse on replay, or one carrying CR/LF /
+            // control bytes that could smuggle headers into the router's
+            // fan-out requests, must never be acknowledged.
+            if let Some(k) = &key {
+                ganc_serve::validate_key(k)?;
+            }
             Ok((user, item, rating, key))
         });
         let (user, item, rating, key) = match parsed {
@@ -728,6 +735,10 @@ impl App {
                         Value::String(s) if !s.is_empty() => Some(s.clone()),
                         _ => return Err("key must be a non-empty string"),
                     };
+                    // Same ingress validation as the single-ingest path.
+                    if let Some(k) = &key {
+                        ganc_serve::validate_key(k)?;
+                    }
                     Ok((user, item, rating, key))
                 })
                 .collect::<Result<Vec<_>, _>>()

@@ -206,24 +206,36 @@ impl IngestCoalescer {
     }
 
     fn submit(&self, entry: IngestEntry) -> Result<IngestAck, BackendError> {
-        let tx = self
-            .tx
-            .lock()
-            .unwrap()
-            .as_ref()
-            .cloned()
-            .expect("ingest coalescer running");
+        // Racing shutdown or a dead worker fails this one request — never
+        // the serving thread. The caller sees a transport error exactly
+        // as if the peer went away, and a retry under the same key is
+        // safe (that is the idempotency contract).
+        let Some(tx) = self.tx.lock().unwrap().as_ref().cloned() else {
+            return Err(BackendError::Transport(
+                "ingest coalescer shut down".to_string(),
+            ));
+        };
         let (reply_tx, reply_rx) = mpsc::channel();
-        tx.send(PendingIngest {
-            entry,
-            reply: reply_tx,
-        })
-        .expect("ingest batch worker alive");
+        if tx
+            .send(PendingIngest {
+                entry,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return Err(BackendError::Transport(
+                "ingest batch worker died".to_string(),
+            ));
+        }
         self.accepted.fetch_add(1, Ordering::Release);
         drop(tx);
-        reply_rx
-            .recv()
-            .expect("ingest batch worker died before answering")
+        reply_rx.recv().unwrap_or_else(|_| {
+            // Count the orphaned request as answered so pending() drains.
+            self.answered.fetch_add(1, Ordering::Release);
+            Err(BackendError::Transport(
+                "ingest batch worker died before answering".to_string(),
+            ))
+        })
     }
 
     fn pending(&self) -> usize {

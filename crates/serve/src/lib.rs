@@ -77,6 +77,7 @@ pub use shard::{
     save_shard_artifacts, shard_artifact_path, ShardConfig, ShardInfo, ShardPlan, ShardedEngine,
 };
 pub use wal::{
-    crc32, decode_stream, encode_record, DedupWindow, DurableConfig, DurableLog, IngestAck, Wal,
-    WalRecord, WalReplaySummary, WalStats, MAX_KEY_LEN, MAX_PAYLOAD, WAL_MAGIC, WAL_VERSION,
+    crc32, decode_stream, encode_record, validate_key, DedupWindow, DurableConfig, DurableLog,
+    IngestAck, Wal, WalRecord, WalReplaySummary, WalStats, MAX_KEY_LEN, MAX_PAYLOAD, WAL_MAGIC,
+    WAL_VERSION,
 };

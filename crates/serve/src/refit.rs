@@ -125,23 +125,25 @@ impl ShardedEngine {
             Some(generation) => {
                 self.obs_refit_swapped(generation);
                 // Durable engines compact the WAL now that the consumed
-                // ingests are inside the installed bundle — but only after
-                // the artifact (when configured) is safely on disk, so
-                // every acknowledged interaction is always recoverable
-                // from WAL ∪ artifact. A crash between persist and
-                // truncate replays interactions the artifact already
-                // holds; the merge is last-rating-wins, so that
-                // double-apply is harmless and the next truncation clears
-                // it.
+                // ingests are inside the installed bundle — but only once
+                // the refitted artifact is safely on disk, so every
+                // acknowledged interaction is always recoverable from
+                // WAL ∪ artifact. With no artifact path configured the
+                // swap exists only in memory and the WAL is the sole
+                // durable copy of the consumed ingests: truncation is
+                // skipped entirely (the log grows until restart) rather
+                // than orphaning acknowledged history behind a crash. A
+                // crash between persist and truncate replays interactions
+                // the artifact already holds; the merge is
+                // last-rating-wins, so that double-apply is harmless and
+                // the next truncation clears it.
                 if let Some(durable) = self.durable() {
-                    let persisted = match durable.artifact_path() {
-                        Some(path) => persist_artifact(&bundle, path).is_ok(),
-                        None => true,
-                    };
-                    if persisted {
-                        // A failed truncation only delays compaction; the
-                        // un-truncated records replay harmlessly.
-                        let _ = durable.truncate(consumed, generation);
+                    if let Some(path) = durable.artifact_path() {
+                        if persist_artifact(&bundle, path).is_ok() {
+                            // A failed truncation only delays compaction;
+                            // the un-truncated records replay harmlessly.
+                            let _ = durable.truncate(consumed, generation);
+                        }
                     }
                 }
                 RefitOutcome::Swapped { generation, bundle }

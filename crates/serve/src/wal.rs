@@ -54,6 +54,30 @@ pub const MAX_PAYLOAD: u32 = 64 * 1024;
 /// Longest idempotency key accepted anywhere in the stack.
 pub const MAX_KEY_LEN: usize = 128;
 
+/// Validate an idempotency key at ingress: 1..=[`MAX_KEY_LEN`] bytes of
+/// visible ASCII (`0x21..=0x7E`).
+///
+/// Enforced *before* a key reaches a WAL record or an outbound HTTP
+/// header, because both layers have hard requirements the write path must
+/// guarantee: the replay decoder treats keys longer than [`MAX_KEY_LEN`]
+/// as corruption (an unchecked oversized key would become an acknowledged
+/// record that replay refuses, truncating every acknowledged ingest behind
+/// it), and the `Idempotency-Key` header is raw text on the wire (a CR/LF
+/// or control byte in a client-supplied key would be header injection
+/// against internal peers).
+pub fn validate_key(key: &str) -> Result<(), &'static str> {
+    if key.is_empty() {
+        return Err("idempotency key must not be empty");
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err("idempotency key longer than 128 bytes");
+    }
+    if !key.bytes().all(|b| (0x21..=0x7E).contains(&b)) {
+        return Err("idempotency key must be visible ASCII without spaces or control characters");
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------- crc32
 
 /// CRC-32 (IEEE 802.3, reflected), table-driven — std-only, no crates.
@@ -114,6 +138,14 @@ const TAG_INGEST: u8 = 0;
 const TAG_KEY: u8 = 1;
 
 fn push_key(out: &mut Vec<u8>, key: &str) {
+    // Writers validate at ingress ([`validate_key`]); this backstop makes
+    // it impossible to encode a record the replay decoder would refuse as
+    // corrupt (and keeps the u16 length prefix from ever wrapping).
+    assert!(
+        key.len() <= MAX_KEY_LEN,
+        "unvalidated idempotency key ({} bytes) reached the WAL encoder",
+        key.len()
+    );
     out.extend_from_slice(&(key.len() as u16).to_le_bytes());
     out.extend_from_slice(key.as_bytes());
 }
@@ -508,6 +540,10 @@ pub struct DurableConfig {
     /// When set, a refit swap persists the refitted bundle here (atomic
     /// write-beside + rename) *before* truncating the WAL, so every
     /// acknowledged interaction is always in the WAL or in the artifact.
+    /// When `None`, a refit swap exists only in memory, so the WAL is
+    /// **never truncated** (it keeps every acknowledged ingest and grows
+    /// until restart) — truncating after an in-memory-only swap would
+    /// orphan the consumed ingests on the next crash.
     pub artifact_path: Option<PathBuf>,
 }
 
@@ -630,7 +666,9 @@ impl DurableLog {
 
     /// Log one acknowledged ingest *before* the caller applies it.
     /// [`IngestAck::Deduplicated`] means the key was already acknowledged:
-    /// the caller must skip the apply entirely.
+    /// the caller must skip the apply entirely. A key that fails
+    /// [`validate_key`] is rejected (`InvalidInput`) before anything is
+    /// written — every appended record is guaranteed decodable on replay.
     pub fn append(
         &self,
         key: Option<&str>,
@@ -639,6 +677,9 @@ impl DurableLog {
         item: ItemId,
         rating: f32,
     ) -> io::Result<IngestAck> {
+        if let Some(k) = key {
+            validate_key(k).map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
+        }
         let mut inner = self.inner.lock().unwrap();
         if let Some(k) = key {
             if inner.window.contains(k) {
@@ -919,6 +960,61 @@ mod tests {
         assert_eq!(ack(&log, Some("k1"), 0), IngestAck::Deduplicated);
         assert_eq!(ack(&log, Some("k2"), 0), IngestAck::Deduplicated);
         assert_eq!(ack(&log, Some("k3"), 3), IngestAck::Applied);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_key_enforces_length_and_charset() {
+        assert!(validate_key("order-42").is_ok());
+        assert!(validate_key(&"k".repeat(MAX_KEY_LEN)).is_ok());
+        assert!(validate_key("!~A_z.9").is_ok(), "full visible-ASCII range");
+        for bad in [
+            "",
+            "has space",
+            "crlf\r\ninjection",
+            "tab\there",
+            "nul\0byte",
+            "ünïcode",
+        ] {
+            assert!(validate_key(bad).is_err(), "{bad:?} accepted");
+        }
+        assert!(validate_key(&"k".repeat(MAX_KEY_LEN + 1)).is_err());
+    }
+
+    #[test]
+    fn append_rejects_invalid_keys_before_writing() {
+        // The review scenario: an unchecked >MAX_KEY_LEN key would become
+        // an acknowledged, CRC-valid record that replay refuses as
+        // corruption — truncating every acknowledged ingest behind it.
+        // Write-time validation must refuse it before anything hits disk.
+        let path = tmp("invalid_keys");
+        let cfg = DurableConfig::new(&path);
+        let (log, _) = DurableLog::open(cfg.clone()).unwrap();
+        let long = "x".repeat(MAX_KEY_LEN + 1);
+        for bad in [long.as_str(), "crlf\r\nkey", "with space", "nül"] {
+            let err = log
+                .append(Some(bad), 0, UserId(0), ItemId(0), 1.0)
+                .expect_err("invalid key acknowledged");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{bad:?}");
+        }
+        assert_eq!(log.stats().appends, 0, "nothing may reach the file");
+
+        // A max-length valid key appends, replays, and still dedups.
+        let max = "k".repeat(MAX_KEY_LEN);
+        assert_eq!(
+            log.append(Some(&max), 0, UserId(1), ItemId(2), 3.0)
+                .unwrap(),
+            IngestAck::Applied
+        );
+        drop(log);
+        let (log, recovered) = DurableLog::open(cfg).unwrap();
+        assert_eq!(recovered, vec![(UserId(1), ItemId(2), 3.0)]);
+        assert!(!log.replay_summary().corrupted);
+        assert_eq!(
+            log.append(Some(&max), 0, UserId(1), ItemId(2), 3.0)
+                .unwrap(),
+            IngestAck::Deduplicated
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -235,6 +235,54 @@ fn bad_json_and_unknown_routes_keep_the_connection() {
     assert_eq!(resp.status, 200);
 }
 
+/// Idempotency keys that could smuggle headers (CR/LF via the JSON body
+/// `"key"` field — a real header can't carry them) or that the WAL replay
+/// decoder would refuse (oversized) must be 400'd at ingress, never
+/// acknowledged, and must not cost the connection.
+#[test]
+fn malformed_idempotency_keys_get_400_at_ingress() {
+    let server = spawn_server();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    let smuggle = "{\"user\":0,\"item\":0,\"rating\":4.0,\
+                   \"key\":\"evil\\r\\nX-Smuggled: 1\"}";
+    let long = format!(
+        "{{\"user\":0,\"item\":0,\"rating\":4.0,\"key\":\"{}\"}}",
+        "x".repeat(200)
+    );
+    let spaced = "{\"user\":0,\"item\":0,\"rating\":4.0,\"key\":\"has space\"}";
+    for body in [smuggle, &long, spaced] {
+        let resp = client.request("POST", "/v1/ingest", Some(body)).unwrap();
+        assert_eq!(resp.status, 400, "{body}");
+        let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(v["error"].as_str().is_some());
+        assert!(
+            resp.keep_alive,
+            "a refused key must not cost the connection"
+        );
+    }
+
+    // Same contract on the batch endpoint: one bad entry fails the parse.
+    let batch = format!(
+        "{{\"entries\":[{{\"user\":0,\"item\":0,\"rating\":4.0,\"key\":\"ok-1\"}},{smuggle}]}}"
+    );
+    let resp = client
+        .request("POST", "/v1/ingest:batch", Some(&batch))
+        .unwrap();
+    assert_eq!(resp.status, 400, "batch with an injection key");
+
+    // A well-formed key on the same connection still works.
+    let resp = client
+        .request(
+            "POST",
+            "/v1/ingest",
+            Some("{\"user\":0,\"item\":0,\"rating\":4.0,\"key\":\"good-key-1\"}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_alive(&server, "malformed keys");
+}
+
 /// Pipelined requests: a valid request followed by garbage. The valid one
 /// is answered 200, the garbage gets its fatal 400, then the connection
 /// closes — responses in order, no interleaving.

@@ -776,7 +776,9 @@ fn router_replica_counters_and_trace_events_move_under_faults() {
 #[test]
 fn wal_counters_trace_events_and_healthz_surface() {
     let path = std::env::temp_dir().join(format!("ganc_obs_wal_{}.bin", std::process::id()));
+    let artifact = std::env::temp_dir().join(format!("ganc_obs_wal_{}.ganc", std::process::id()));
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&artifact);
 
     // A previous life of the node acknowledges two keyed ingests into its
     // WAL, then "crashes" (dropped without refit).
@@ -797,7 +799,12 @@ fn wal_counters_trace_events_and_healthz_surface() {
         fixture_bundle(47),
         ShardConfig::quantile(2),
     ));
-    let replay = engine.attach_durable(DurableConfig::new(&path)).unwrap();
+    // Refit compaction only truncates once the refitted bundle is
+    // persisted somewhere; give the restarted node an artifact path so
+    // the truncation counter asserted below can move.
+    let mut durable_cfg = DurableConfig::new(&path);
+    durable_cfg.artifact_path = Some(artifact.clone());
+    let replay = engine.attach_durable(durable_cfg).unwrap();
     assert_eq!(replay.records, 2);
     let hook = RefitHook {
         fitter: fitter(),
@@ -880,6 +887,7 @@ fn wal_counters_trace_events_and_healthz_surface() {
     let health = get_json(&mut client, "/v1/healthz");
     assert_eq!(health["wal"]["records"].as_u64(), Some(3));
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&artifact);
 }
 
 /// `/v1/stats` windows agree with the engine's own view, and a `GET

@@ -347,6 +347,54 @@ fn crash_recovery_matches_from_scratch_fit() {
     std::fs::remove_file(&path).ok();
 }
 
+/// With no `artifact_path` configured, a refit swap exists only in
+/// memory — the WAL is the *sole* durable copy of every acknowledged
+/// ingest. Truncating it after such a swap would orphan the consumed
+/// ingests on the next crash, so the refit must leave the WAL alone and a
+/// post-refit crash must still recover everything.
+#[test]
+fn refit_without_artifact_path_keeps_wal_records() {
+    let path = scratch("no_artifact_refit");
+    let (train, bundle) = fixture();
+    let n_users = bundle.n_users();
+    let sent = storm(12, n_users, bundle.n_items());
+
+    let engine = ShardedEngine::new(bundle, ShardConfig::quantile(2));
+    engine.attach_durable(DurableConfig::new(&path)).unwrap();
+    for (k, &(u, i, r)) in sent.iter().enumerate() {
+        let ack = engine
+            .ingest_keyed(Some(&format!("na{k}")), u, i, r)
+            .unwrap();
+        assert_eq!(ack, IngestAck::Applied);
+    }
+
+    let fitter = item_avg_fitter();
+    let outcome = engine.refit_once(fitter.as_ref(), &fit_cfg());
+    assert!(matches!(outcome, RefitOutcome::Swapped { .. }));
+    let stats = engine.wal_stats().expect("stats after attach");
+    assert_eq!(
+        stats.truncations, 0,
+        "in-memory-only swap must not truncate"
+    );
+    assert_eq!(stats.records, 12, "every acknowledged ingest stays on disk");
+    drop(engine); // SIGKILL stand-in: the swapped bundle is gone.
+
+    // Restart on the *original* bundle — exactly what a real crash sees.
+    let (_, bundle) = fixture();
+    let revived = ShardedEngine::new(bundle, ShardConfig::quantile(2));
+    let replay = revived.attach_durable(DurableConfig::new(&path)).unwrap();
+    assert_eq!(replay.records, 12, "nothing was orphaned by the refit");
+    assert!(!replay.corrupted);
+    revived.refit_once(fitter.as_ref(), &fit_cfg());
+    assert_matches_oracle(
+        &revived,
+        &oracle_engine(&train, &sent),
+        n_users,
+        "refit without artifact",
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 /// A tear in the last record (the crash landed mid-`write`) is dropped
 /// cleanly: replay applies exactly the intact prefix, never panics, never
 /// applies garbage — and the recovered node still matches the oracle for
