@@ -6,6 +6,7 @@ use crate::http1::{self, Response};
 use crate::transport::IngestEntry;
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::WindowWire;
 use ganc_serve::{IngestAck, ServeError};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -515,6 +516,43 @@ impl RemoteShard {
             .as_u64()
             .ok_or_else(|| BackendError::Transport("missing generation".to_string()))
     }
+
+    /// The peer's rolling window summary (`GET /v1/window`), or `None`
+    /// when the peer's front exposes no window (`{"window":null}`).
+    pub fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        let resp = self.call("GET", "/v1/window", None)?;
+        if resp.status != 200 {
+            return Err(error_from_body(&resp));
+        }
+        let v = parse_json(&resp)?;
+        let w = &v["window"];
+        if w.is_null() {
+            return Ok(None);
+        }
+        let field = |name: &str| -> Result<u64, BackendError> {
+            w[name]
+                .as_u64()
+                .ok_or_else(|| BackendError::Transport(format!("window missing {name}")))
+        };
+        let distinct = w["distinct"]
+            .as_array()
+            .ok_or_else(|| BackendError::Transport("window missing distinct".to_string()))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|i| i as u32)
+                    .ok_or_else(|| BackendError::Transport("non-integer distinct id".to_string()))
+            })
+            .collect::<Result<Vec<u32>, BackendError>>()?;
+        Ok(Some(WindowWire {
+            n_items: field("n_items")? as usize,
+            lists: field("lists")?,
+            items: field("items")?,
+            novelty_microbits: field("novelty_microbits")?,
+            tail_hits: field("tail_hits")?,
+            distinct,
+        }))
+    }
 }
 
 /// A `RemoteShard` *is* the production peer transport; the router only
@@ -560,6 +598,10 @@ impl crate::transport::PeerTransport for RemoteShard {
 
     fn generation(&self) -> Result<u64, BackendError> {
         RemoteShard::generation(self)
+    }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        RemoteShard::window_wire(self)
     }
 }
 

@@ -2,18 +2,23 @@
 //!
 //! A dependency-free HTTP/1.1 front-end for the `ganc-serve` engines,
 //! built on `std::net` alone (the build environment has no crates.io
-//! registry; JSON comes from the vendored `tinyjson` stand-in, swappable
-//! for `serde_json` later).
+//! registry; JSON comes from the vendored `tinyjson` stand-in and socket
+//! readiness from the vendored `polling` stand-in, each swappable for the
+//! real crate later).
 //!
 //! Three layers:
 //!
 //! 1. **Wire** ([`http1`]) — request/response framing with hard limits and
 //!    a deterministic response header set (no `Date`), so identical state
 //!    produces byte-identical responses.
-//! 2. **Server** ([`server`]) — [`HttpServer`]: a fixed worker thread pool
-//!    with keep-alive and content-length framing, fronting a
-//!    [`Frontend`] (single engine, in-process sharded engine, or router),
-//!    with `POST /admin/refit` wired to the background-refit machinery.
+//! 2. **Server** ([`server`]) — [`HttpServer`]: an event-driven front-end
+//!    (one readiness-polling event loop owning every connection, a small
+//!    compute-only worker pool for handler dispatch), with keep-alive,
+//!    content-length framing, clock-driven idle/slow-loris eviction, and
+//!    graceful drain — connection concurrency is bounded by file
+//!    descriptors, not workers. Fronts a [`Frontend`] (single engine,
+//!    in-process sharded engine, or router), with `POST /admin/refit`
+//!    wired to the background-refit machinery.
 //! 3. **Client** ([`client`], [`router`]) — [`HttpClient`] /
 //!    [`RemoteShard`] / [`RouterNode`]: a router node loads θ + cuts,
 //!    serves some bands from local bundle slices, and dispatches the rest

@@ -35,7 +35,7 @@ use crate::transport::PeerTransport;
 use crate::BackendError;
 use ganc_core::query::shard_of;
 use ganc_dataset::{ItemId, UserId};
-use ganc_obs::{Counter, Histogram, ObsHub};
+use ganc_obs::{Counter, Histogram, ObsHub, WindowFold, WindowStats, WindowWire};
 use ganc_serve::{DedupWindow, IngestAck, ServeError, ServingEngine};
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hasher};
@@ -92,6 +92,19 @@ impl ShardRoute {
         match self {
             ShardRoute::Local(_) => None,
             ShardRoute::Remote(r) => r.pending_depth(),
+            ShardRoute::Replicas(_) => None,
+        }
+    }
+
+    /// This band's rolling-window summary, when the route can produce
+    /// one: local slices export their own window, remote peers are asked
+    /// over the wire (`GET /v1/window`), replica groups are skipped —
+    /// each replica serves a copy of the same traffic, so folding them
+    /// would multiply-count every served list.
+    pub(crate) fn window_wire(&self) -> Option<WindowWire> {
+        match self {
+            ShardRoute::Local(engine) => engine.window_wire(),
+            ShardRoute::Remote(remote) => remote.window_wire().ok().flatten(),
             ShardRoute::Replicas(_) => None,
         }
     }
@@ -234,6 +247,13 @@ pub struct RouterNode {
     /// call. In-memory only — the durable dedup lives in each WAL-backed
     /// node; this window just short-circuits the common retry.
     ingest_keys: Mutex<DedupWindow>,
+    /// Client-supplied keys whose **local** applies already landed. Local
+    /// slices have no WAL, so without this window a resend after partial
+    /// fan-out failure (remote down, locals applied) would bump local
+    /// live-popularity a second time. Recorded once every local route has
+    /// applied — even when a remote route failed — so the resend repairs
+    /// the remotes and skips the locals.
+    local_keys: Mutex<DedupWindow>,
     /// Key-generation state for unkeyed ingests:
     /// `ganc-{epoch:x}-{nonce:x}-{seq:x}` is unique per router instance
     /// per request, so every route of one fan-out shares one key and a
@@ -280,6 +300,7 @@ impl RouterNode {
             routes,
             obs: OnceLock::new(),
             ingest_keys: Mutex::new(DedupWindow::new(ROUTER_DEDUP_WINDOW)),
+            local_keys: Mutex::new(DedupWindow::new(ROUTER_DEDUP_WINDOW)),
             key_epoch,
             key_nonce,
             key_seq: AtomicU64::new(0),
@@ -548,11 +569,15 @@ impl RouterNode {
     /// bounded in-memory window only after a *fully* successful fan-out,
     /// so a resend after partial failure repairs instead of no-opping.
     ///
-    /// Exactly-once is scoped to WAL-backed nodes: a local
-    /// [`ServingEngine`] slice has no durable log, so a resend after
-    /// partial failure may double-bump its live popularity counters
-    /// (refit state is immune — [`ganc_serve::merge_interactions`] is
-    /// last-rating-wins).
+    /// Local [`ServingEngine`] slices have no durable log, so the router
+    /// itself dedups their applies: a bounded window of client keys whose
+    /// local applies landed is consulted before any local mutation, so a
+    /// resend after partial fan-out failure repairs the remotes without
+    /// double-bumping local live popularity. The window is in-memory and
+    /// bounded ([`RouterNode::dedup_stats`] surfaces the retention
+    /// contract) — a key evicted or lost to a router restart degrades to
+    /// at-least-once for local *live counters only* (refit state is
+    /// immune — [`ganc_serve::merge_interactions`] is last-rating-wins).
     pub fn ingest_keyed(
         &self,
         key: Option<&str>,
@@ -600,10 +625,24 @@ impl RouterNode {
                 first_err.get_or_insert(e);
             }
         }
-        for route in &self.routes {
-            if let ShardRoute::Local(engine) = route {
-                if let Err(e) = engine.ingest(user, item, rating) {
-                    first_err.get_or_insert(BackendError::Serve(e));
+        // Local slices dedup here, not in a WAL: skip them when this
+        // client key's local applies already landed on an earlier
+        // (partially failed) fan-out, so a resend repairs the remotes
+        // without double-bumping local live popularity.
+        let locals_done = key.is_some_and(|k| self.local_keys.lock().unwrap().contains(k));
+        if !locals_done {
+            let mut locals_ok = true;
+            for route in &self.routes {
+                if let ShardRoute::Local(engine) = route {
+                    if let Err(e) = engine.ingest(user, item, rating) {
+                        first_err.get_or_insert(BackendError::Serve(e));
+                        locals_ok = false;
+                    }
+                }
+            }
+            if locals_ok {
+                if let Some(k) = key {
+                    self.local_keys.lock().unwrap().observe(k);
                 }
             }
         }
@@ -621,6 +660,48 @@ impl RouterNode {
     /// The deployment's generation (route 0's view).
     pub fn generation(&self) -> Result<u64, BackendError> {
         self.routes[0].generation()
+    }
+
+    /// Per-band rolling-window summaries and their cross-band union:
+    /// local slices export their window in-process, remote bands are
+    /// fetched over the wire ([`PeerTransport::window_wire`]), and the
+    /// aggregate folds the transportable summaries exactly like an
+    /// in-process [`ganc_serve::ShardedEngine`] folds its engines —
+    /// union coverage stays exact because distinct ids cross the wire.
+    /// Bands that can't report (unreachable peer, replica group,
+    /// observability not attached) hold `None`; the aggregate is `None`
+    /// only when *no* band reported.
+    #[allow(clippy::type_complexity)]
+    pub fn window_stats(&self) -> (Vec<Option<WindowStats>>, Option<WindowStats>) {
+        let wires: Vec<Option<WindowWire>> = self
+            .routes
+            .iter()
+            .map(|route| route.window_wire())
+            .collect();
+        let n_items = wires.iter().flatten().map(|w| w.n_items).max().unwrap_or(0);
+        let mut fold = WindowFold::new(n_items);
+        let mut any = false;
+        let per_band = wires
+            .iter()
+            .map(|wire| {
+                let wire = wire.as_ref()?;
+                if wire.n_items == n_items {
+                    fold.absorb_wire(wire);
+                    any = true;
+                }
+                Some(wire.stats())
+            })
+            .collect();
+        (per_band, any.then(|| fold.stats()))
+    }
+
+    /// The fan-out dedup window's retention contract for `/v1/healthz`:
+    /// (capacity, keys currently remembered, keys forgotten to the cap).
+    /// A key evicted here is only a lost *short-circuit* — WAL-backed
+    /// routes still dedup it durably on resend.
+    pub fn dedup_stats(&self) -> (usize, usize, u64) {
+        let w = self.ingest_keys.lock().unwrap();
+        (w.cap(), w.len(), w.evictions())
     }
 
     /// Bands running below full replication (some replica ejected), from

@@ -1,4 +1,4 @@
-//! The HTTP server: a fixed worker pool over `std::net::TcpListener`
+//! The HTTP server: an event-driven front-end over `std::net::TcpListener`
 //! fronting a serving backend.
 //!
 //! ## Endpoints
@@ -11,6 +11,7 @@
 //! | POST | `/v1/ingest:batch` | `{"entries":[{"user","item","rating","key"?},...]}` | `{"results":[...]}` per entry |
 //! | GET  | `/v1/healthz` | — | `{"ok":true,"generation":g}` |
 //! | GET  | `/v1/stats` | — | generation, cache hit rate, shard map |
+//! | GET  | `/v1/window` | — | `{"window":{...}}` transportable rolling-window summary |
 //! | POST | `/admin/refit` | — | runs one refit pass and hot-swaps |
 //!
 //! Batches route through the backend's `recommend_batch_traced`, so a batch
@@ -20,49 +21,98 @@
 //! `unknown_item` so a [`crate::RemoteShard`] can reconstruct the typed
 //! error without parsing prose.
 //!
+//! ## Architecture: one event loop, a compute-only worker pool
+//!
+//! A single event-loop thread owns the listener and every connection
+//! through a readiness poller ([`polling::Poller`], oneshot delivery). It
+//! accepts, reads non-blockingly into per-connection buffers, and frames
+//! requests *incrementally*: a cheap gate (head terminator found +
+//! `Content-Length` bytes buffered) decides when a request is complete,
+//! and only then is the unchanged [`http1::read_request`] parser run over
+//! the buffered bytes — framing behaviour and response bytes are identical
+//! to the previous blocking implementation, which `tests/http_equivalence.rs`
+//! and `tests/http_protocol.rs` pin unmodified.
+//!
+//! Complete requests are dispatched to a small worker pool that only
+//! *computes*: route, serialize, and write the response straight to the
+//! socket (safe: oneshot delivery disarmed the fd when its readable event
+//! fired, so the loop won't touch it until the worker posts a completion).
+//! A worker never blocks on a slow peer — an `EWOULDBLOCK` hands the
+//! unwritten tail back to the event loop, which finishes the flush on
+//! write readiness. The result is that concurrent connections are bounded
+//! by file descriptors, not by `workers`: 10k idle keep-alive connections
+//! cost one `HashMap` entry each, while `workers` sizes only the compute
+//! concurrency.
+//!
 //! ## Connection state machine
 //!
-//! Framing violations (torn heads, bad `Content-Length`, oversized bodies)
-//! answer once and close — the stream cannot be re-synchronized.
-//! Well-framed but invalid requests (bad JSON, unknown route, unknown ids)
-//! answer 400/404 and keep the connection, so a client burst survives its
-//! own mistakes. `tests/http_protocol.rs` fuzzes exactly this contract.
+//! Each connection is `Reading` (buffering a request), `Dispatched` (a
+//! worker owns it), `Writing` (the loop is flushing a response tail), or
+//! `Draining` (a fatal error was answered; discarding already-sent input
+//! so the close doesn't RST the error response away). Framing violations
+//! (torn heads, bad `Content-Length`, oversized bodies) answer once and
+//! close — the stream cannot be re-synchronized. Well-framed but invalid
+//! requests (bad JSON, unknown route, unknown ids) answer 400/404 and keep
+//! the connection, so a client burst survives its own mistakes.
+//! `tests/http_protocol.rs` fuzzes exactly this contract.
+//!
+//! ## Timeouts
+//!
+//! All deadlines read the observability hub's clock, so tests drive them
+//! with a `ManualClock` and zero sleeps. `read_timeout` is the *progress*
+//! timeout: a connection that neither delivers nor accepts a byte for this
+//! long is evicted (idle keep-alive reclaim). `request_deadline` caps a
+//! single request's total head+body read time, so a slow-loris peer
+//! trickling one byte per progress window is still evicted. Evictions
+//! close silently (no response), bump `ganc_http_conn_evicted_total` and
+//! leave a `conn_evict` trace event with the reason.
 
-use crate::http1::{self, Limits, ReadOutcome, Request, StatusCode, WaitOutcome};
+use crate::http1::{self, Limits, ReadOutcome, Request, StatusCode};
 use crate::router::RouterNode;
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
-use ganc_obs::{Histogram, ObsHub, TraceData, TraceEvent, WindowStats};
+use ganc_obs::{Counter, Gauge, Histogram, ObsHub, TraceData, TraceEvent, WindowStats, WindowWire};
 use ganc_serve::refit::{RefitController, RefitOutcome, Refitter};
 use ganc_serve::{CadenceConfig, FitConfig, ServeError, ServingEngine, ShardedEngine};
-use std::io::{self, BufReader};
+use polling::{Event, Poller};
+use std::collections::HashMap;
+use std::io::{self, Cursor, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tinyjson::{obj, Value};
 
 /// Server tuning knobs.
 #[derive(Clone)]
 pub struct ServerConfig {
-    /// Worker threads (each owns one connection at a time).
+    /// Compute worker threads (handler dispatch + response serialization).
+    /// This bounds concurrent *request processing*, not concurrent
+    /// connections — idle keep-alive connections are owned by the event
+    /// loop and cost no worker.
     pub workers: usize,
     /// Framing limits (oversized heads → 400, oversized bodies → 413).
     pub limits: Limits,
     /// Requests served per connection before the server closes it.
     pub keep_alive_requests: u32,
-    /// Per-read socket timeout; an idle keep-alive connection is reclaimed
-    /// after this long. Note this bounds each *read*, not a connection's
-    /// total hold time: a peer trickling one byte per timeout window can
-    /// pin a worker indefinitely (slow-loris). The server is built for
-    /// trusted networks (loopback, an internal shard mesh) where that
-    /// trade — blocking std IO, no timer wheel — is the right simplicity;
-    /// don't expose it to untrusted clients without a reverse proxy in
-    /// front.
+    /// Progress timeout: a connection that neither delivers nor accepts a
+    /// byte for this long is evicted. For an idle keep-alive connection
+    /// this is the reclaim timer; mid-request it bounds each stall.
+    /// Deadlines read the observability hub's clock (`ManualClock`-driven
+    /// in tests).
     pub read_timeout: Duration,
+    /// Slow-loris cap: total time one request may spend being read (head +
+    /// body, from its first byte to its last). A peer trickling a byte per
+    /// `read_timeout` window dodges the progress timeout; it cannot dodge
+    /// this one.
+    pub request_deadline: Duration,
+    /// Concurrent-connection ceiling. Accepts beyond it are closed
+    /// immediately (counted + traced as `capacity` evictions) instead of
+    /// queueing unboundedly toward fd exhaustion.
+    pub max_connections: usize,
     /// Observability hub every request records into (metrics, trace ring,
     /// request-stage timing). `None` creates a fresh wall-clock hub at
     /// bind time; tests inject a `ManualClock` hub here to make timing and
@@ -76,15 +126,14 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            // Thread-per-connection with keep-alive: a persistent client
-            // pins its worker, so the pool must track expected concurrent
-            // connections, not cores — the floor of 8 keeps small hosts
-            // (including 1-CPU CI runners) from starving a handful of
-            // keep-alive clients.
-            workers: std::thread::available_parallelism().map_or(8, |p| p.get().clamp(8, 16)),
+            // Compute-only pool: track cores, not expected connections —
+            // connection concurrency is the event loop's job now.
+            workers: std::thread::available_parallelism().map_or(4, |p| p.get().clamp(2, 16)),
             limits: Limits::default(),
             keep_alive_requests: 100_000,
             read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(30),
+            max_connections: 16_384,
             obs: None,
             stats_window: Duration::from_secs(300),
         }
@@ -164,6 +213,19 @@ impl Frontend {
             Frontend::Router(r) => r.generation(),
         }
     }
+
+    /// The backend's transportable rolling-window summary, when
+    /// observability is attached: a single engine exports its own window,
+    /// a sharded engine the exact cross-band fold. Routers answer `None` —
+    /// they aggregate *remote* windows for their own stats and re-exporting
+    /// that union upstream would double-count it.
+    fn window_wire(&self) -> Option<WindowWire> {
+        match self {
+            Frontend::Single(e) => e.window_wire(),
+            Frontend::Sharded(e) => e.window_wire(),
+            Frontend::Router(_) => None,
+        }
+    }
 }
 
 /// Any in-process frontend can stand in as a peer: the loopback building
@@ -206,6 +268,10 @@ impl crate::transport::PeerTransport for Frontend {
     fn generation(&self) -> Result<u64, BackendError> {
         Frontend::generation(self)
     }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        Ok(Frontend::window_wire(self))
+    }
 }
 
 /// Refit support for `POST /admin/refit`: the fitter and fit config one
@@ -225,12 +291,13 @@ pub struct RefitHook {
     pub cadence: Option<CadenceConfig>,
 }
 
-/// A running HTTP server; dropping it stops the acceptor and joins every
-/// worker.
+/// A running HTTP server; dropping it drains in-flight requests, stops the
+/// event loop, and joins every worker.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    poller: Arc<Poller>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -270,10 +337,14 @@ impl HttpServer {
             _ => None,
         };
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(LISTENER_KEY))?;
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
         let rx = Arc::new(Mutex::new(rx));
+        let completions = Arc::new(Mutex::new(Vec::new()));
         let http = HttpObs::new(&hub);
         // Replicated router bands get their background health-probe loops
         // here: probes restore ejected replicas and rotate primaries for
@@ -297,42 +368,39 @@ impl HttpServer {
                 let rx = Arc::clone(&rx);
                 let app = Arc::clone(&app);
                 let stop = Arc::clone(&stop);
+                let completions = Arc::clone(&completions);
+                let poller = Arc::clone(&poller);
                 std::thread::spawn(move || loop {
-                    let stream = match rx.lock().unwrap().recv() {
-                        Ok(stream) => stream,
-                        Err(_) => return, // acceptor gone, queue drained
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // event loop gone, queue drained
                     };
+                    let key = job.key;
                     // A handler panic must not take the worker down with it
                     // (the fuzz suite's "never crash" property); the
                     // connection is simply dropped.
-                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        app.handle_connection(stream, &stop);
-                    }));
+                    let done =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| app.respond(&job, &stop)));
+                    let done = done.unwrap_or(Completion::Failed { key });
+                    completions.lock().unwrap().push(done);
+                    let _ = poller.notify();
                 })
             })
             .collect();
 
-        let acceptor = {
+        let event_loop = {
             let stop = Arc::clone(&stop);
+            let poller = Arc::clone(&poller);
             std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Ok(stream) = stream {
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                }
-                // tx drops here; workers exit once the queue drains.
+                EventLoop::new(app, listener, poller, tx, completions, stop).run();
             })
         };
 
         Ok(HttpServer {
             addr,
             stop,
-            acceptor: Some(acceptor),
+            poller,
+            event_loop: Some(event_loop),
             workers,
         })
     }
@@ -342,23 +410,14 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting, wake the acceptor, and join all threads.
+    /// Graceful drain: stop accepting, close idle connections, let
+    /// in-flight requests finish (bounded by a wall-clock cap), then join
+    /// the event loop and all workers.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection. A wildcard
-        // bind address (0.0.0.0 / ::) is not connectable on every
-        // platform, so aim the wake-up at the loopback of the same family
-        // instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(wake);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        let _ = self.poller.notify();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -370,6 +429,710 @@ impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Poller key reserved for the listener; connection keys start above it.
+const LISTENER_KEY: usize = 0;
+/// Bytes of already-sent input drained after a fatal-framing response, so
+/// closing the socket doesn't RST the response away before the client
+/// reads it (a 413'd client deserves to see its 413).
+const FATAL_DRAIN_BYTES: usize = 1024 * 1024;
+/// Per-`read(2)` scratch size on the event loop.
+const READ_CHUNK: usize = 16 * 1024;
+/// Wall-clock cap on the graceful shutdown drain. Real time, not hub
+/// time — a `ManualClock` never advances during shutdown.
+const DRAIN_CAP: Duration = Duration::from_secs(5);
+/// Poll tick while connections exist: deadline checks observe a
+/// `ManualClock` advance within one tick without any socket activity.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
+/// What the event loop does once a response flush completes.
+enum AfterWrite {
+    /// Keep-alive: look for the next (possibly pipelined) request.
+    Advance,
+    /// Response said `Connection: close`.
+    Close,
+    /// A fatal-framing response: drain already-sent input, then close.
+    Drain,
+}
+
+/// Per-connection state. `Dispatched` means a worker owns the socket (its
+/// fd is disarmed by oneshot delivery); every other state is owned by the
+/// event loop.
+enum ConnState {
+    Reading,
+    Dispatched,
+    Writing {
+        buf: Vec<u8>,
+        pos: usize,
+        then: AfterWrite,
+    },
+    Draining {
+        budget: usize,
+    },
+}
+
+impl ConnState {
+    fn tag(&self) -> usize {
+        match self {
+            ConnState::Reading => 0,
+            ConnState::Dispatched => 1,
+            ConnState::Writing { .. } => 2,
+            ConnState::Draining { .. } => 3,
+        }
+    }
+}
+
+/// Gauge labels, indexed by [`ConnState::tag`].
+const STATE_LABELS: [&str; 4] = ["reading", "dispatched", "writing", "draining"];
+
+struct Conn {
+    stream: Arc<TcpStream>,
+    /// Buffered unparsed input.
+    buf: Vec<u8>,
+    /// Peer half-closed its write side; whatever is buffered is the whole
+    /// request stream.
+    eof: bool,
+    state: ConnState,
+    served: u32,
+    /// Hub-clock μs of the last byte moved in either direction.
+    last_progress_us: u64,
+    /// Hub-clock μs the currently-buffering request's first byte arrived
+    /// (`None` between requests) — the slow-loris deadline anchor.
+    request_start_us: Option<u64>,
+}
+
+/// One complete request handed to the compute pool.
+struct Job {
+    key: usize,
+    stream: Arc<TcpStream>,
+    req: Request,
+    /// Request ordinal on this connection (keep-alive budget).
+    served: u32,
+    parse_us: u64,
+}
+
+/// What a worker posts back to the event loop.
+enum Completion {
+    Done {
+        key: usize,
+        keep_alive: bool,
+        /// Response tail the worker could not write without blocking; the
+        /// event loop flushes it on write readiness. Empty = fully sent.
+        unwritten: Vec<u8>,
+    },
+    Failed {
+        key: usize,
+    },
+}
+
+/// What the incremental framing gate decided about a connection's buffer.
+enum Gate {
+    /// Not enough bytes yet to hold one complete request.
+    NeedMore,
+    /// One complete request, consuming this many buffered bytes.
+    Request(Box<Request>, usize, u64),
+    /// Framing violation: answer once, then drain + close.
+    Fatal { status: u16, message: &'static str },
+    /// Clean end of stream between requests.
+    Closed,
+}
+
+struct EventLoop {
+    app: Arc<App>,
+    listener: TcpListener,
+    poller: Arc<Poller>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    jobs: Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    stop: Arc<AtomicBool>,
+    gauges: [Arc<Gauge>; 4],
+    accepted: Arc<Counter>,
+}
+
+impl EventLoop {
+    fn new(
+        app: Arc<App>,
+        listener: TcpListener,
+        poller: Arc<Poller>,
+        jobs: Sender<Job>,
+        completions: Arc<Mutex<Vec<Completion>>>,
+        stop: Arc<AtomicBool>,
+    ) -> EventLoop {
+        let gauge = |state| {
+            app.hub.metrics.gauge(
+                "ganc_http_connections",
+                "Open HTTP connections by state-machine state",
+                &[("state", state)],
+            )
+        };
+        let gauges = [
+            gauge(STATE_LABELS[0]),
+            gauge(STATE_LABELS[1]),
+            gauge(STATE_LABELS[2]),
+            gauge(STATE_LABELS[3]),
+        ];
+        let accepted = app.hub.metrics.counter(
+            "ganc_http_conn_accepted_total",
+            "Connections accepted by the event loop",
+            &[],
+        );
+        EventLoop {
+            app,
+            listener,
+            poller,
+            conns: HashMap::new(),
+            next_key: LISTENER_KEY,
+            jobs,
+            completions,
+            stop,
+            gauges,
+            accepted,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            if !draining && self.stop.load(Ordering::Relaxed) {
+                draining = true;
+                drain_deadline = Instant::now() + DRAIN_CAP;
+                let _ = self.poller.delete(&self.listener);
+            }
+            if draining {
+                // Evict everything without an in-flight response
+                // (Dispatched finishes its handler, Writing finishes its
+                // flush); repeat each tick because completions re-enter
+                // Reading.
+                let idle: Vec<usize> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| {
+                        matches!(c.state, ConnState::Reading | ConnState::Draining { .. })
+                    })
+                    .map(|(&k, _)| k)
+                    .collect();
+                for key in idle {
+                    self.close(key, Some("shutdown"));
+                }
+                if self.conns.is_empty() || Instant::now() >= drain_deadline {
+                    let rest: Vec<usize> = self.conns.keys().copied().collect();
+                    for key in rest {
+                        self.close(key, Some("shutdown"));
+                    }
+                    self.publish_gauges();
+                    return;
+                }
+            }
+            let timeout = if draining {
+                Some(Duration::from_millis(2))
+            } else if self.conns.is_empty() {
+                None // woken by accept or notify
+            } else {
+                Some(POLL_TICK)
+            };
+            events.clear();
+            let _ = self.poller.wait(&mut events, timeout);
+            // Completions first: they re-arm interest (or free the key)
+            // before this batch's readiness events are interpreted.
+            let done: Vec<Completion> = std::mem::take(&mut *self.completions.lock().unwrap());
+            for completion in done {
+                self.complete(completion);
+            }
+            for ev in events.iter().copied() {
+                if ev.key == LISTENER_KEY {
+                    if !draining {
+                        self.accept_ready();
+                    }
+                } else {
+                    self.conn_ready(ev);
+                }
+            }
+            self.sweep_deadlines();
+            self.publish_gauges();
+        }
+    }
+
+    fn alloc_key(&mut self) -> usize {
+        loop {
+            self.next_key = self.next_key.wrapping_add(1);
+            let k = self.next_key;
+            if k != LISTENER_KEY && k != usize::MAX && !self.conns.contains_key(&k) {
+                return k;
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let key = self.alloc_key();
+                    if self.conns.len() >= self.app.cfg.max_connections {
+                        // Immediate close beats an unbounded queue marching
+                        // toward fd exhaustion; the reject is observable.
+                        self.evicted(key, "capacity");
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if self.poller.add(&stream, Event::readable(key)).is_err() {
+                        continue;
+                    }
+                    let now = self.app.hub.now_us();
+                    self.conns.insert(
+                        key,
+                        Conn {
+                            stream: Arc::new(stream),
+                            buf: Vec::new(),
+                            eof: false,
+                            state: ConnState::Reading,
+                            served: 0,
+                            last_progress_us: now,
+                            request_start_us: None,
+                        },
+                    );
+                    self.accepted.inc();
+                    self.app.hub.trace.record(
+                        now,
+                        TraceData::ConnAccept {
+                            conn: key as u64,
+                            open: self.conns.len() as u64,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE, aborted handshake):
+                // keep serving what's open.
+                Err(_) => break,
+            }
+        }
+        let _ = self
+            .poller
+            .modify(&self.listener, Event::readable(LISTENER_KEY));
+    }
+
+    fn conn_ready(&mut self, ev: Event) {
+        // Stale events are possible (the conn closed earlier this batch).
+        let Some(conn) = self.conns.get(&ev.key) else {
+            return;
+        };
+        // Error/hangup conditions arrive as readable+writable; the state
+        // decides which direction this connection actually works in.
+        match conn.state {
+            ConnState::Reading => self.read_ready(ev.key),
+            ConnState::Writing { .. } => self.write_ready(ev.key),
+            ConnState::Draining { .. } => self.drain_ready(ev.key),
+            // Oneshot delivery disarmed the fd at dispatch; nothing to do.
+            ConnState::Dispatched => {}
+        }
+    }
+
+    fn read_ready(&mut self, key: usize) {
+        let now = self.app.hub.now_us();
+        let mut scratch = [0u8; READ_CHUNK];
+        let mut progressed = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return;
+            };
+            match (&*conn.stream).read(&mut scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    if conn.buf.is_empty() && conn.request_start_us.is_none() {
+                        conn.request_start_us = Some(now);
+                    }
+                    conn.buf.extend_from_slice(&scratch[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(key, None);
+                    return;
+                }
+            }
+        }
+        if progressed {
+            if let Some(conn) = self.conns.get_mut(&key) {
+                conn.last_progress_us = now;
+            }
+        }
+        self.advance(key);
+    }
+
+    /// Run the framing gate over a connection's buffer: dispatch a complete
+    /// request, answer a framing violation, re-arm for more bytes, or
+    /// close a finished stream. Entered from read readiness and from a
+    /// keep-alive completion (pipelined requests parse from the buffer
+    /// without touching the socket).
+    fn advance(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        conn.state = ConnState::Reading;
+        let gate = try_frame(&conn.buf, self.app.cfg.limits, conn.eof, &self.app.hub);
+        match gate {
+            Gate::Closed => self.close(key, None),
+            Gate::NeedMore => {
+                if conn.eof {
+                    // Half-closed with a partial request: the parser over
+                    // the final bytes yields the right fatal answer, and
+                    // `try_frame` only reports NeedMore at eof for an
+                    // empty buffer (handled as Closed).
+                    self.close(key, None);
+                    return;
+                }
+                let _ = self.poller.modify(&*conn.stream, Event::readable(key));
+            }
+            Gate::Request(req, consumed, parse_us) => {
+                conn.buf.drain(..consumed);
+                let now = self.app.hub.now_us();
+                conn.request_start_us = if conn.buf.is_empty() { None } else { Some(now) };
+                conn.served += 1;
+                conn.state = ConnState::Dispatched;
+                let job = Job {
+                    key,
+                    stream: Arc::clone(&conn.stream),
+                    req: *req,
+                    served: conn.served,
+                    parse_us,
+                };
+                // The fd is disarmed (oneshot), so the worker owns the
+                // socket until its completion comes back.
+                if self.jobs.send(job).is_err() {
+                    self.close(key, None);
+                }
+            }
+            Gate::Fatal { status, message } => {
+                self.app.count_request("malformed", status);
+                let body = tinyjson::to_string(&obj! { "error" => message });
+                let mut bytes = Vec::new();
+                let _ = http1::write_response(&mut bytes, status, body.as_bytes(), false);
+                conn.buf.clear();
+                conn.request_start_us = None;
+                self.start_write(key, bytes, 0, AfterWrite::Drain);
+            }
+        }
+    }
+
+    /// Write as much of `bytes[pos..]` as the socket takes; park the rest
+    /// in `Writing` state armed for write readiness.
+    fn start_write(&mut self, key: usize, bytes: Vec<u8>, pos: usize, then: AfterWrite) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let mut pos = pos;
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            match (&*conn.stream).write(&bytes[pos..]) {
+                Ok(0) => {
+                    self.close(key, None);
+                    return;
+                }
+                Ok(n) => pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.state = ConnState::Writing {
+                        buf: bytes,
+                        pos,
+                        then,
+                    };
+                    let _ = self.poller.modify(&*conn.stream, Event::writable(key));
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(key, None);
+                    return;
+                }
+            }
+        }
+        self.finish_write(key, then);
+    }
+
+    fn write_ready(&mut self, key: usize) {
+        let now = self.app.hub.now_us();
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        conn.last_progress_us = now;
+        let state = std::mem::replace(&mut conn.state, ConnState::Reading);
+        let ConnState::Writing { buf, pos, then } = state else {
+            conn.state = state;
+            return;
+        };
+        self.start_write(key, buf, pos, then);
+    }
+
+    fn finish_write(&mut self, key: usize, then: AfterWrite) {
+        match then {
+            AfterWrite::Advance => self.advance(key),
+            AfterWrite::Close => self.close(key, None),
+            AfterWrite::Drain => {
+                let Some(conn) = self.conns.get_mut(&key) else {
+                    return;
+                };
+                if conn.eof {
+                    // Nothing more can arrive; the response is flushed.
+                    self.close(key, None);
+                    return;
+                }
+                conn.state = ConnState::Draining {
+                    budget: FATAL_DRAIN_BYTES,
+                };
+                let _ = self.poller.modify(&*conn.stream, Event::readable(key));
+            }
+        }
+    }
+
+    fn drain_ready(&mut self, key: usize) {
+        let now = self.app.hub.now_us();
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns.get_mut(&key) else {
+                return;
+            };
+            let ConnState::Draining { budget } = &mut conn.state else {
+                return;
+            };
+            match (&*conn.stream).read(&mut scratch) {
+                Ok(0) => {
+                    self.close(key, None);
+                    return;
+                }
+                Ok(n) => {
+                    conn.last_progress_us = now;
+                    if *budget <= n {
+                        self.close(key, None);
+                        return;
+                    }
+                    *budget -= n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let _ = self.poller.modify(&*conn.stream, Event::readable(key));
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(key, None);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, completion: Completion) {
+        match completion {
+            Completion::Failed { key } => self.close(key, None),
+            Completion::Done {
+                key,
+                keep_alive,
+                unwritten,
+            } => {
+                let now = self.app.hub.now_us();
+                let Some(conn) = self.conns.get_mut(&key) else {
+                    return;
+                };
+                conn.last_progress_us = now;
+                let then = if keep_alive {
+                    AfterWrite::Advance
+                } else {
+                    AfterWrite::Close
+                };
+                if unwritten.is_empty() {
+                    self.finish_write(key, then);
+                } else {
+                    // The worker stopped at EWOULDBLOCK; don't re-attempt
+                    // inline, wait for write readiness.
+                    conn.state = ConnState::Writing {
+                        buf: unwritten,
+                        pos: 0,
+                        then,
+                    };
+                    let _ = self.poller.modify(&*conn.stream, Event::writable(key));
+                }
+            }
+        }
+    }
+
+    /// Evict connections that stopped making progress (`read_timeout`) or
+    /// whose in-flight request exceeded its total read deadline
+    /// (`request_deadline`, the slow-loris cap). Dispatched connections
+    /// are exempt — a worker owns them.
+    fn sweep_deadlines(&mut self) {
+        if self.conns.is_empty() {
+            return;
+        }
+        let now = self.app.hub.now_us();
+        let idle_us = self.app.cfg.read_timeout.as_micros() as u64;
+        let deadline_us = self.app.cfg.request_deadline.as_micros() as u64;
+        let mut evict: Vec<(usize, &'static str)> = Vec::new();
+        for (&key, conn) in &self.conns {
+            if matches!(conn.state, ConnState::Dispatched) {
+                continue;
+            }
+            let mid_request =
+                conn.request_start_us.is_some() || !matches!(conn.state, ConnState::Reading);
+            if conn
+                .request_start_us
+                .is_some_and(|t0| now.saturating_sub(t0) >= deadline_us)
+            {
+                evict.push((key, "deadline"));
+            } else if now.saturating_sub(conn.last_progress_us) >= idle_us {
+                evict.push((key, if mid_request { "deadline" } else { "idle" }));
+            }
+        }
+        for (key, reason) in evict {
+            self.close(key, Some(reason));
+        }
+    }
+
+    fn close(&mut self, key: usize, evict_reason: Option<&'static str>) {
+        if let Some(conn) = self.conns.remove(&key) {
+            let _ = self.poller.delete(&*conn.stream);
+            if let Some(reason) = evict_reason {
+                self.evicted(key, reason);
+            }
+        }
+    }
+
+    fn evicted(&self, key: usize, reason: &'static str) {
+        self.app
+            .hub
+            .metrics
+            .counter(
+                "ganc_http_conn_evicted_total",
+                "Connections evicted by the event loop, by reason",
+                &[("reason", reason)],
+            )
+            .inc();
+        self.app.hub.trace.record(
+            self.app.hub.now_us(),
+            TraceData::ConnEvict {
+                conn: key as u64,
+                reason,
+            },
+        );
+    }
+
+    fn publish_gauges(&self) {
+        let mut counts = [0u64; 4];
+        for conn in self.conns.values() {
+            counts[conn.state.tag()] += 1;
+        }
+        for (gauge, count) in self.gauges.iter().zip(counts) {
+            gauge.set(count as f64);
+        }
+    }
+}
+
+/// The incremental framing gate: decide — without consuming anything —
+/// whether `buf` holds one complete request, then run the unchanged
+/// [`http1::read_request`] parser over it. The gate mirrors the parser's
+/// `Content-Length` rules exactly; on any disagreement-shaped input
+/// (malformed/duplicate/oversized lengths, transfer-encoding) it parses
+/// immediately and lets the parser produce its canonical fatal answer.
+fn try_frame(buf: &[u8], limits: Limits, eof: bool, hub: &ObsHub) -> Gate {
+    if buf.is_empty() {
+        return if eof { Gate::Closed } else { Gate::NeedMore };
+    }
+    if !eof {
+        match head_end(buf) {
+            None => {
+                if buf.len() <= limits.max_head_bytes {
+                    return Gate::NeedMore;
+                }
+                // Oversized head: parse now for the canonical 400.
+            }
+            Some(end) => {
+                let hint = body_hint(&buf[..end], limits);
+                if let Some(body_len) = hint {
+                    if buf.len() < end + body_len {
+                        return Gate::NeedMore;
+                    }
+                }
+                // `None` hint: the head already violates framing — parse
+                // now, the parser answers before ever reading a body byte.
+            }
+        }
+    }
+    let t0 = hub.now_us();
+    let mut cursor = Cursor::new(buf);
+    let outcome = http1::read_request(&mut cursor, limits);
+    let parse_us = hub.now_us().saturating_sub(t0);
+    match outcome {
+        ReadOutcome::Request(req) => {
+            Gate::Request(Box::new(req), cursor.position() as usize, parse_us)
+        }
+        ReadOutcome::Fatal { status, message } => Gate::Fatal { status, message },
+        ReadOutcome::Disconnected => Gate::Closed,
+    }
+}
+
+/// Byte offset just past the head terminator (the empty line), if the
+/// buffer holds a complete head. Lines end in `\n` with an optional `\r`,
+/// matching the parser's `read_line`.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        match buf[i] {
+            b'\n' => {
+                // A line just ended; an immediately following empty line
+                // terminates the head.
+                if buf.get(i + 1) == Some(&b'\n') {
+                    return Some(i + 2);
+                }
+                if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                    return Some(i + 3);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// How many body bytes the head declares, mirroring the parser's
+/// `Content-Length` rules. `Some(n)` = a well-formed declaration within
+/// limits (0 when absent); `None` = the head already violates framing
+/// (malformed/duplicate/oversized length, transfer-encoding) and should be
+/// parsed immediately for its canonical fatal answer.
+fn body_hint(head: &[u8], limits: Limits) -> Option<usize> {
+    let mut declared: Option<usize> = None;
+    for line in head.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        let name = &line[..colon];
+        if name.eq_ignore_ascii_case(b"transfer-encoding") {
+            return None;
+        }
+        if !name.eq_ignore_ascii_case(b"content-length") {
+            continue;
+        }
+        let value = std::str::from_utf8(&line[colon + 1..]).ok()?.trim();
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let len = value.parse::<u64>().ok()?;
+        if len > limits.max_body_bytes as u64 || declared.replace(len as usize).is_some() {
+            return None;
+        }
+    }
+    Some(declared.unwrap_or(0))
 }
 
 /// Request-stage timing handles, resolved once at bind.
@@ -420,85 +1183,74 @@ struct App {
 }
 
 impl App {
-    fn handle_connection(&self, stream: TcpStream, stop: &AtomicBool) {
-        let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
-        let _ = stream.set_nodelay(true);
-        let mut reader = BufReader::new(stream);
-        let mut served = 0u32;
-        loop {
-            // Block for the next request's first bytes *before* starting
-            // the parse timer: keep-alive idle is client think-time, and
-            // folding it into the parse stage would swamp the histogram.
-            if let WaitOutcome::Disconnected = http1::wait_for_data(&mut reader) {
-                return;
+    /// Serve one dispatched request on a worker thread: route, serialize,
+    /// and write the response straight to the (non-blocking) socket. The
+    /// fd is disarmed while the worker owns it, so this write never races
+    /// the event loop; an `EWOULDBLOCK` tail rides back on the completion
+    /// for the loop to flush.
+    fn respond(&self, job: &Job, stop: &AtomicBool) -> Completion {
+        let t_dispatch = self.hub.now_us();
+        let (reply, endpoint) = self.route(&job.req);
+        let (status, content_type, body) = match reply {
+            Reply::Json(status, value) => (status, "application/json", tinyjson::to_string(&value)),
+            Reply::Text(status, text) => (status, "text/plain; version=0.0.4", text),
+        };
+        let t_write = self.hub.now_us();
+        let keep_alive = job.req.keep_alive
+            && job.served < self.cfg.keep_alive_requests
+            && !stop.load(Ordering::Relaxed);
+        let mut bytes = Vec::with_capacity(body.len() + 128);
+        let _ = http1::write_response_with_type(
+            &mut bytes,
+            status,
+            content_type,
+            body.as_bytes(),
+            keep_alive,
+        );
+        let mut pos = 0;
+        let mut failed = false;
+        while pos < bytes.len() {
+            match (&*job.stream).write(&bytes[pos..]) {
+                Ok(0) => {
+                    failed = true;
+                    break;
+                }
+                Ok(n) => pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
             }
-            let t_parse = self.hub.now_us();
-            match http1::read_request(&mut reader, self.cfg.limits) {
-                ReadOutcome::Disconnected => return,
-                ReadOutcome::Fatal { status, message } => {
-                    self.count_request("malformed", status);
-                    let body = tinyjson::to_string(&obj! { "error" => message });
-                    let _ = http1::write_response(reader.get_mut(), status, body.as_bytes(), false);
-                    // Drain (bounded) what the peer already sent before
-                    // closing: dropping a socket with unread bytes makes the
-                    // OS send RST, which can discard the error response
-                    // before the client reads it — a 413'd client deserves
-                    // to see its 413. Bounded in bytes here and per read by
-                    // the socket timeout (a trickling peer can stretch it —
-                    // see the `read_timeout` trust-model note).
-                    let _ = std::io::copy(
-                        &mut std::io::Read::take(&mut reader, 1024 * 1024),
-                        &mut std::io::sink(),
-                    );
-                    return;
-                }
-                ReadOutcome::Request(req) => {
-                    let t_dispatch = self.hub.now_us();
-                    served += 1;
-                    let (reply, endpoint) = self.route(&req);
-                    let (status, content_type, body) = match reply {
-                        Reply::Json(status, value) => {
-                            (status, "application/json", tinyjson::to_string(&value))
-                        }
-                        Reply::Text(status, text) => (status, "text/plain; version=0.0.4", text),
-                    };
-                    let t_write = self.hub.now_us();
-                    let keep_alive = req.keep_alive
-                        && served < self.cfg.keep_alive_requests
-                        && !stop.load(Ordering::Relaxed);
-                    let wrote = http1::write_response_with_type(
-                        reader.get_mut(),
-                        status,
-                        content_type,
-                        body.as_bytes(),
-                        keep_alive,
-                    )
-                    .is_ok();
-                    let t_done = self.hub.now_us();
-                    let (parse_us, dispatch_us, write_us) = (
-                        t_dispatch.saturating_sub(t_parse),
-                        t_write.saturating_sub(t_dispatch),
-                        t_done.saturating_sub(t_write),
-                    );
-                    self.http.parse_us.observe_us(parse_us);
-                    self.http.dispatch_us.observe_us(dispatch_us);
-                    self.http.write_us.observe_us(write_us);
-                    self.count_request(endpoint, status);
-                    self.hub.trace.record(
-                        t_done,
-                        TraceData::Http {
-                            request_id: self.hub.next_request_id(),
-                            endpoint,
-                            status,
-                            parse_us,
-                            dispatch_us,
-                            write_us,
-                        },
-                    );
-                    if !wrote || !keep_alive {
-                        return;
-                    }
-                }
+        }
+        let t_done = self.hub.now_us();
+        let (dispatch_us, write_us) = (
+            t_write.saturating_sub(t_dispatch),
+            t_done.saturating_sub(t_write),
+        );
+        self.http.parse_us.observe_us(job.parse_us);
+        self.http.dispatch_us.observe_us(dispatch_us);
+        self.http.write_us.observe_us(write_us);
+        self.count_request(endpoint, status);
+        self.hub.trace.record(
+            t_done,
+            TraceData::Http {
+                request_id: self.hub.next_request_id(),
+                endpoint,
+                status,
+                parse_us: job.parse_us,
+                dispatch_us,
+                write_us,
+            },
+        );
+        if failed {
+            Completion::Failed { key: job.key }
+        } else {
+            Completion::Done {
+                key: job.key,
+                keep_alive,
+                unwritten: bytes[pos..].to_vec(),
             }
         }
     }
@@ -534,6 +1286,7 @@ impl App {
                 )
             }
             ("GET", "/v1/trace") => (self.trace(), "trace"),
+            ("GET", "/v1/window") => (self.window(), "window"),
             ("POST", "/v1/recommend:batch") => (self.recommend_batch(&req.body), "recommend_batch"),
             ("POST", "/v1/ingest") => (self.ingest(req), "ingest"),
             ("POST", "/v1/ingest:batch") => (self.ingest_batch(&req.body), "ingest_batch"),
@@ -556,9 +1309,20 @@ impl App {
                     body.insert("pending_ingests", Value::from(e.pending_ingests()));
                     // WAL footprint, when a durable log is attached: how
                     // many acknowledged-but-uncompacted records a crash
-                    // would replay, and their on-disk size.
+                    // would replay, their on-disk size, and the dedup
+                    // window's retention contract — keys beyond `window`
+                    // distinct successors are forgotten (`evictions`
+                    // counts them), after which a resend re-applies.
                     if let Some(w) = e.wal_stats() {
                         body.insert("wal", obj! { "records" => w.records, "bytes" => w.bytes });
+                        body.insert(
+                            "dedup",
+                            obj! {
+                                "window" => w.dedup_window,
+                                "len" => w.dedup_keys,
+                                "evictions" => w.dedup_evictions,
+                            },
+                        );
                     }
                 }
                 if let Frontend::Router(r) = &self.frontend {
@@ -570,6 +1334,19 @@ impl App {
                     body.insert(
                         "degraded_bands",
                         Value::Array(degraded.into_iter().map(Value::from).collect()),
+                    );
+                    // The fan-out dedup window's retention contract (same
+                    // shape as the WAL one): an evicted key only loses its
+                    // resend short-circuit — WAL-backed routes still dedup
+                    // durably.
+                    let (window, len, evictions) = r.dedup_stats();
+                    body.insert(
+                        "dedup",
+                        obj! {
+                            "window" => window,
+                            "len" => len,
+                            "evictions" => evictions,
+                        },
                     );
                 }
                 if let Some(controller) = &self.controller {
@@ -602,6 +1379,28 @@ impl App {
             StatusCode::OK,
             obj! { "events" => Value::Array(events), "dropped" => dropped },
         )
+    }
+
+    /// `GET /v1/window` — the node's transportable rolling-window summary,
+    /// the wire call a router's stats fold makes against each remote band.
+    /// `{"window":null}` when observability is not attached (or the node
+    /// is itself a router).
+    fn window(&self) -> (u16, Value) {
+        let window = match self.frontend.window_wire() {
+            Some(w) => {
+                let distinct = Value::Array(w.distinct.iter().map(|&i| Value::from(i)).collect());
+                obj! {
+                    "n_items" => w.n_items,
+                    "lists" => w.lists,
+                    "items" => w.items,
+                    "novelty_microbits" => w.novelty_microbits,
+                    "tail_hits" => w.tail_hits,
+                    "distinct" => distinct,
+                }
+            }
+            None => Value::Null,
+        };
+        (StatusCode::OK, obj! { "window" => window })
     }
 
     fn recommend(&self, user_part: &str, query: Option<&str>) -> (u16, Value) {
@@ -899,6 +1698,23 @@ impl App {
                         }
                     })
                     .collect();
+                // Rolling windows across the deployment: local bands fold
+                // in-process, remote bands over the wire (`GET
+                // /v1/window`), the aggregate is the exact union. A band
+                // that can't report (unreachable peer, replica group)
+                // holds null without hiding the others.
+                let (bands, aggregate) = r.window_stats();
+                let window = aggregate
+                    .map(|agg| {
+                        window_obj(
+                            agg,
+                            bands
+                                .into_iter()
+                                .map(|b| b.map(window_value).unwrap_or(Value::Null))
+                                .collect(),
+                        )
+                    })
+                    .unwrap_or(Value::Null);
                 match r.generation() {
                     Ok(g) => (
                         StatusCode::OK,
@@ -906,6 +1722,7 @@ impl App {
                             "backend" => "router",
                             "generation" => g,
                             "shards" => Value::Array(shards),
+                            "window" => window,
                         },
                     ),
                     Err(e) => backend_error(e),
@@ -1018,6 +1835,14 @@ fn trace_event_value(e: TraceEvent) -> Value {
             "retained" => retained,
             "generation" => generation,
         },
+        TraceData::ConnAccept { conn, open } => obj! {
+            "conn" => conn,
+            "open" => open,
+        },
+        TraceData::ConnEvict { conn, reason } => obj! {
+            "conn" => conn,
+            "reason" => reason,
+        },
         TraceData::Http {
             request_id,
             endpoint,
@@ -1104,5 +1929,66 @@ fn backend_error(e: BackendError) -> (u16, Value) {
                 "band" => band,
             },
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_finds_the_empty_line_in_both_newline_dialects() {
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\nbody"), Some(17));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        assert_eq!(head_end(b""), None);
+    }
+
+    #[test]
+    fn body_hint_mirrors_parser_content_length_rules() {
+        let limits = Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 100,
+        };
+        let head = |s: &str| s.as_bytes().to_vec();
+        assert_eq!(body_hint(&head("GET / HTTP/1.1\r\n"), limits), Some(0));
+        assert_eq!(
+            body_hint(&head("POST / HTTP/1.1\r\nContent-Length: 42\r\n"), limits),
+            Some(42)
+        );
+        // Parser-fatal shapes parse immediately (None): oversized,
+        // malformed, duplicated, signed, transfer-encoded.
+        assert_eq!(
+            body_hint(&head("POST / HTTP/1.1\r\nContent-Length: 101\r\n"), limits),
+            None
+        );
+        assert_eq!(
+            body_hint(&head("POST / HTTP/1.1\r\nContent-Length: nope\r\n"), limits),
+            None
+        );
+        assert_eq!(
+            body_hint(&head("POST / HTTP/1.1\r\nContent-Length: +4\r\n"), limits),
+            None
+        );
+        assert_eq!(
+            body_hint(
+                &head("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n"),
+                limits
+            ),
+            None
+        );
+        assert_eq!(
+            body_hint(
+                &head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"),
+                limits
+            ),
+            None
+        );
+        // Case-insensitive names, like the parser.
+        assert_eq!(
+            body_hint(&head("POST / HTTP/1.1\r\ncontent-LENGTH: 7\r\n"), limits),
+            Some(7)
+        );
     }
 }

@@ -19,6 +19,7 @@
 use crate::transport::{IngestEntry, PeerTransport};
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::WindowWire;
 use ganc_serve::{IngestAck, ServeError};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -114,6 +115,10 @@ impl PeerTransport for LedgerPeer {
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
     }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
+    }
 }
 
 /// A peer whose reads are *provably last*: each call first waits for the
@@ -191,6 +196,10 @@ impl PeerTransport for SlowPeer {
 
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
+    }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
     }
 }
 
@@ -305,6 +314,10 @@ impl PeerTransport for FlakyPeer {
 
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
+    }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
     }
 }
 
@@ -431,6 +444,10 @@ impl PeerTransport for ReorderingPeer {
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
     }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
+    }
 }
 
 /// One recorded wire-level batch call: who was asked, and the generation
@@ -530,6 +547,10 @@ impl PeerTransport for RecordingPeer {
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
     }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
+    }
 }
 
 struct Gate {
@@ -625,5 +646,9 @@ impl PeerTransport for GatedPeer {
 
     fn generation(&self) -> Result<u64, BackendError> {
         self.inner.generation()
+    }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::WindowWire;
 use ganc_serve::{BatchConfig, BatchSource, Coalescer, IngestAck, ServeError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -104,6 +105,16 @@ pub trait PeerTransport: Send + Sync {
     /// holds no queue.
     fn pending_depth(&self) -> Option<usize> {
         None
+    }
+
+    /// The peer's rolling beyond-accuracy window as a transportable
+    /// summary, so a router can fold remote bands into its aggregate
+    /// `/v1/stats` view. `Ok(None)` means the peer exposes no window
+    /// (the default for transports without one); wire transports
+    /// ([`crate::RemoteShard`]) fetch it over `GET /v1/window`, and
+    /// wrappers forward to their inner peer.
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        Ok(None)
     }
 }
 
@@ -363,5 +374,9 @@ impl PeerTransport for CoalescedShard {
 
     fn pending_depth(&self) -> Option<usize> {
         Some(self.pending())
+    }
+
+    fn window_wire(&self) -> Result<Option<WindowWire>, BackendError> {
+        self.inner.window_wire()
     }
 }

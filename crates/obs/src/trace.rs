@@ -130,6 +130,21 @@ pub enum TraceData {
         /// Shard-set generation whose install triggered the truncation.
         generation: u64,
     },
+    /// The event-driven HTTP front accepted a connection.
+    ConnAccept {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Connections open after the accept.
+        open: u64,
+    },
+    /// The event-driven HTTP front forcibly closed a connection it was
+    /// still tracking (the peer had not closed it first).
+    ConnEvict {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Why: `idle`, `deadline`, `capacity`, or `shutdown`.
+        reason: &'static str,
+    },
     /// One HTTP request, with per-stage timing.
     Http {
         /// Hub-assigned request id.
@@ -164,6 +179,8 @@ impl TraceData {
             TraceData::ReplicaRestored { .. } => "replica_restored",
             TraceData::WalReplay { .. } => "wal_replay",
             TraceData::WalTruncate { .. } => "wal_truncate",
+            TraceData::ConnAccept { .. } => "conn_accept",
+            TraceData::ConnEvict { .. } => "conn_evict",
             TraceData::Http { .. } => "http",
         }
     }

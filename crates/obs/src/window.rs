@@ -257,6 +257,59 @@ impl RollingWindow {
         );
         stats
     }
+
+    /// Expire, then export the live state as a [`WindowWire`] summary.
+    pub fn wire(&mut self, now_us: u64) -> WindowWire {
+        self.expire(now_us);
+        WindowWire {
+            n_items: self.n_items,
+            lists: self.entries.len() as u64,
+            items: self.items,
+            novelty_microbits: self.novelty_microbits,
+            tail_hits: self.tail_hits,
+            distinct: (0..self.n_items as u32)
+                .filter(|&i| self.freq[i as usize] > 0)
+                .collect(),
+        }
+    }
+}
+
+/// A window's live state in transportable form: the four running sums
+/// plus the **distinct served item ids** instead of the dense frequency
+/// vector. Because [`WindowFold`] only uses frequencies to count
+/// distinct items, folding a wire summary reproduces the union coverage
+/// *exactly* — multiplicity is already summarized in `items`,
+/// `novelty_microbits`, and `tail_hits`. This is what a remote θ-band
+/// ships to a router so multi-node deployments keep aggregate windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowWire {
+    /// Catalog size the window was built over.
+    pub n_items: usize,
+    /// Served lists currently inside the window.
+    pub lists: u64,
+    /// Served items (with multiplicity) inside the window.
+    pub items: u64,
+    /// Sum of per-item novelty micro-bits over served items.
+    pub novelty_microbits: u64,
+    /// Long-tail served items (with multiplicity).
+    pub tail_hits: u64,
+    /// Item ids served at least once inside the window, ascending.
+    pub distinct: Vec<u32>,
+}
+
+impl WindowWire {
+    /// This summary's own metrics (identical to the stats of the window
+    /// it was taken from).
+    pub fn stats(&self) -> WindowStats {
+        finalize(
+            self.lists,
+            self.items,
+            self.distinct.len(),
+            self.n_items,
+            self.novelty_microbits,
+            self.tail_hits,
+        )
+    }
 }
 
 /// Cross-window union: aggregates several [`RollingWindow`]s (one per
@@ -302,6 +355,39 @@ impl WindowFold {
         self.items += items;
         self.novelty_microbits += novelty_microbits;
         self.tail_hits += tail_hits;
+    }
+
+    /// Merge a transportable window summary. Distinct ids mark their
+    /// frequency slot (multiplicity is already folded into the sums), so
+    /// union coverage stays exact across local windows and wire
+    /// summaries mixed in one fold.
+    pub fn absorb_wire(&mut self, wire: &WindowWire) {
+        debug_assert_eq!(wire.n_items, self.n_items);
+        for &item in &wire.distinct {
+            if let Some(f) = self.freq.get_mut(item as usize) {
+                *f += 1;
+            }
+        }
+        self.lists += wire.lists;
+        self.items += wire.items;
+        self.novelty_microbits += wire.novelty_microbits;
+        self.tail_hits += wire.tail_hits;
+    }
+
+    /// Export everything absorbed so far as one [`WindowWire`] summary —
+    /// how a sharded node answers a router's window fetch with a single
+    /// cross-band aggregate.
+    pub fn wire(&self) -> WindowWire {
+        WindowWire {
+            n_items: self.n_items,
+            lists: self.lists,
+            items: self.items,
+            novelty_microbits: self.novelty_microbits,
+            tail_hits: self.tail_hits,
+            distinct: (0..self.n_items as u32)
+                .filter(|&i| self.freq[i as usize] > 0)
+                .collect(),
+        }
     }
 
     /// Aggregate metrics over everything absorbed so far.
@@ -357,6 +443,33 @@ mod tests {
         assert_eq!(cat.novelty_microbits(0), 0);
         let expect = (5.0f64.log2() * 1e6).round() as u64;
         assert_eq!(cat.novelty_microbits(3), expect);
+    }
+
+    #[test]
+    fn wire_summary_folds_identically_to_the_dense_window() {
+        let cat = catalog();
+        let mut a = RollingWindow::new(Duration::from_micros(100), 4);
+        let mut b = RollingWindow::new(Duration::from_micros(100), 4);
+        a.observe(0, &[0, 1, 1], &cat);
+        b.observe(5, &[1, 2], &cat);
+
+        // Dense reference fold.
+        let mut dense = WindowFold::new(4);
+        a.fold_into(10, &mut dense);
+        b.fold_into(10, &mut dense);
+
+        // Wire-summary fold: one window local, one over the wire.
+        let mut wired = WindowFold::new(4);
+        a.fold_into(10, &mut wired);
+        let wire = b.wire(10);
+        assert_eq!(wire.stats(), b.stats(10), "wire stats match the source");
+        wired.absorb_wire(&wire);
+
+        assert_eq!(dense.stats(), wired.stats());
+        // A fold re-exported as a wire summary keeps the same stats.
+        assert_eq!(wired.wire().stats(), wired.stats());
+        // Expiry is honored before export.
+        assert_eq!(b.wire(200).lists, 0);
     }
 
     #[test]

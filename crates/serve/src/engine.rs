@@ -37,7 +37,7 @@ use crate::lru::LruCache;
 use crate::obs::EngineObs;
 use ganc_core::query::{fused_select_recording, fused_select_runs, UserQuery};
 use ganc_dataset::{ItemId, UserId};
-use ganc_obs::{ObsHub, WindowStats};
+use ganc_obs::{ObsHub, WindowStats, WindowWire};
 use ganc_recommender::pop::MostPopular;
 use ganc_recommender::topn::train_item_mask;
 use ganc_recommender::Recommender;
@@ -337,6 +337,13 @@ impl ServingEngine {
     /// Current rolling-window metrics, when observability is attached.
     pub fn window_stats(&self) -> Option<WindowStats> {
         self.obs.get().map(|o| o.window_stats())
+    }
+
+    /// This engine's rolling window as a transportable summary, when
+    /// observability is attached — what a remote node ships to a router
+    /// so the router's aggregate window stays an exact union.
+    pub fn window_wire(&self) -> Option<WindowWire> {
+        self.obs.get().map(|o| o.window_wire())
     }
 
     /// The attached observability handles, if any (sharding layer + tests).

@@ -20,7 +20,7 @@ use ganc_dataset::stats::LongTail;
 use ganc_dataset::ItemId;
 use ganc_obs::{
     CatalogProfile, Counter, Gauge, Histogram, ObsHub, RollingWindow, TraceData, WindowFold,
-    WindowStats,
+    WindowStats, WindowWire,
 };
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -338,6 +338,15 @@ impl EngineObs {
         let stats = self.window.lock().unwrap().window.fold_into(now, fold);
         self.publish(stats);
         stats
+    }
+
+    /// Expire + export this engine's window as a transportable summary
+    /// (what `GET /v1/window` answers), publishing the gauges alongside.
+    pub(crate) fn window_wire(&self) -> WindowWire {
+        let now = self.hub.now_us();
+        let wire = self.window.lock().unwrap().window.wire(now);
+        self.publish(wire.stats());
+        wire
     }
 
     fn publish(&self, stats: WindowStats) {

@@ -27,7 +27,7 @@ use crate::saveload::{PersistError, SaveLoad};
 use crate::wal::{DurableConfig, DurableLog, IngestAck, WalReplaySummary, WalStats};
 use ganc_core::query::{band_bounds, cut_theta_bands, shard_of};
 use ganc_dataset::{ItemId, UserId};
-use ganc_obs::{Counter, Gauge, ObsHub, TraceData, WindowFold, WindowStats};
+use ganc_obs::{Counter, Gauge, ObsHub, TraceData, WindowFold, WindowStats, WindowWire};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
@@ -350,6 +350,22 @@ impl ShardedEngine {
             bands.push(obs.fold_window(&mut fold));
         }
         Some((bands, fold.stats()))
+    }
+
+    /// The cross-band aggregate window as one transportable summary,
+    /// when observability is attached — a sharded node answers a
+    /// router's window fetch with its bands already unioned.
+    pub fn window_wire(&self) -> Option<WindowWire> {
+        self.obs.get()?;
+        let set = self.set.read().unwrap();
+        let mut fold = WindowFold::new(set.bundle.n_items() as usize);
+        for engine in &set.engines {
+            let obs = engine
+                .engine_obs()
+                .expect("attach_obs threads onto every generation");
+            obs.fold_window(&mut fold);
+        }
+        Some(fold.wire())
     }
 
     /// Refit lifecycle hooks, called by [`crate::refit`].

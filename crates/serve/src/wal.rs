@@ -469,6 +469,7 @@ pub struct DedupWindow {
     cap: usize,
     seen: HashSet<String>,
     order: VecDeque<String>,
+    evictions: u64,
 }
 
 impl DedupWindow {
@@ -478,6 +479,7 @@ impl DedupWindow {
             cap: cap.max(1),
             seen: HashSet::new(),
             order: VecDeque::new(),
+            evictions: 0,
         }
     }
 
@@ -495,6 +497,7 @@ impl DedupWindow {
         if self.order.len() == self.cap {
             if let Some(evicted) = self.order.pop_front() {
                 self.seen.remove(&evicted);
+                self.evictions += 1;
             }
         }
         self.seen.insert(key.to_string());
@@ -515,6 +518,19 @@ impl DedupWindow {
     /// Is the window empty?
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
+    }
+
+    /// The retention bound: how many distinct keys the window holds
+    /// before the oldest is forgotten.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Keys forgotten so far because `cap` newer distinct keys arrived.
+    /// A nonzero value means a sufficiently delayed retry could re-apply
+    /// — the retention contract surfaced by `/v1/healthz`.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -593,6 +609,10 @@ pub struct WalStats {
     pub dedup_hits: u64,
     /// Keys currently inside the dedup window.
     pub dedup_keys: usize,
+    /// The dedup window's retention bound (capacity in distinct keys).
+    pub dedup_window: usize,
+    /// Keys the dedup window has forgotten to make room for newer ones.
+    pub dedup_evictions: u64,
 }
 
 /// The WAL + dedup window + counters bundle a durable node threads through
@@ -813,6 +833,8 @@ impl DurableLog {
             truncations: self.truncations.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             dedup_keys: inner.window.len(),
+            dedup_window: inner.window.cap(),
+            dedup_evictions: inner.window.evictions(),
         }
     }
 }

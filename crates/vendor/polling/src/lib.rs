@@ -1,0 +1,566 @@
+//! Offline stand-in for the `polling` crate: portable readiness
+//! notification over raw file descriptors, std-only.
+//!
+//! The surface mirrors the subset `ganc-http` consumes: a [`Poller`]
+//! holding a kernel readiness queue, [`Event`] interest/readiness flags
+//! keyed by a caller-chosen `usize`, **oneshot** delivery (after an event
+//! fires for a source, that source stays disarmed until [`Poller::modify`]
+//! re-arms it), and a thread-safe [`Poller::notify`] that wakes a
+//! concurrent [`Poller::wait`] from another thread.
+//!
+//! Backends: `epoll(7)` (with `EPOLLONESHOT`) on Linux, `poll(2)` with a
+//! registration table on other Unix systems. Both call straight into the
+//! C library symbols std already links — no external crates.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Interest in — or readiness of — a registered source, keyed by the
+/// caller's identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest: the source stays registered but disarmed.
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Key reserved for the internal notification pipe; user keys must not
+/// collide with it.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// Clamp a timeout to the millisecond resolution the syscalls take,
+/// rounding sub-millisecond waits *up* so a short timeout never becomes
+/// a busy spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis().min(i32::MAX as u128) as i32;
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+    use std::os::raw::{c_int, c_void};
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+
+    // The kernel UAPI packs epoll_event on x86-64 only.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(ev: Event) -> u32 {
+        let mut bits = EPOLLONESHOT;
+        if ev.readable {
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if ev.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// epoll-backed readiness queue with a self-pipe for wakeups.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: c_int,
+        pipe_read: c_int,
+        pipe_write: c_int,
+    }
+
+    // All fds are used through thread-safe syscalls.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let mut fds = [0 as c_int; 2];
+            if let Err(e) = cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) }) {
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+            let poller = Poller {
+                epfd,
+                pipe_read: fds[0],
+                pipe_write: fds[1],
+            };
+            // The notify pipe is level-triggered and never disarmed: it is
+            // drained inside wait(), not surfaced to the caller.
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY_KEY as u64,
+            };
+            cvt(unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, poller.pipe_read, &mut ev) })?;
+            Ok(poller)
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) })
+                .map(|_| ())
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+            let n = match cvt(unsafe {
+                epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    CAP as c_int,
+                    timeout_ms(timeout),
+                )
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            let before = events.len();
+            for ev in raw.iter().take(n) {
+                let key = ev.data as usize;
+                if key == NOTIFY_KEY {
+                    // Drain every queued wakeup byte.
+                    let mut buf = [0u8; 64];
+                    while unsafe {
+                        read(self.pipe_read, buf.as_mut_ptr() as *mut c_void, buf.len())
+                    } > 0
+                    {}
+                    continue;
+                }
+                // Error/hangup surfaces as readable+writable: the caller's
+                // next read/write observes the failure.
+                let err = ev.events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    key,
+                    readable: ev.events & EPOLLIN != 0 || err,
+                    writable: ev.events & EPOLLOUT != 0 || err,
+                });
+            }
+            Ok(events.len() - before)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let byte = 1u8;
+            // A full pipe already holds a pending wakeup; WouldBlock is fine.
+            unsafe { write(self.pipe_write, &byte as *const u8 as *const c_void, 1) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::*;
+    use std::collections::HashMap;
+    use std::os::raw::{c_int, c_void};
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const O_NONBLOCK: c_int = 0o4000;
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    /// poll(2)-backed readiness queue: a registration table re-scanned on
+    /// every wait, oneshot emulated by clearing interest after delivery.
+    #[derive(Debug)]
+    pub struct Poller {
+        registry: Mutex<HashMap<RawFd, Event>>,
+        pipe_read: c_int,
+        pipe_write: c_int,
+    }
+
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+                unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) };
+            }
+            Ok(Poller {
+                registry: Mutex::new(HashMap::new()),
+                pipe_read: fds[0],
+                pipe_write: fds[1],
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.registry.lock().unwrap().insert(fd, interest);
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.registry.lock().unwrap().insert(fd, interest);
+            Ok(())
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.registry.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut fds = vec![PollFd {
+                fd: self.pipe_read,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let keys: Vec<(RawFd, Event)> = {
+                let registry = self.registry.lock().unwrap();
+                registry.iter().map(|(&fd, &ev)| (fd, ev)).collect()
+            };
+            for &(fd, ev) in &keys {
+                let mut bits = 0i16;
+                if ev.readable {
+                    bits |= POLLIN;
+                }
+                if ev.writable {
+                    bits |= POLLOUT;
+                }
+                if bits != 0 {
+                    fds.push(PollFd {
+                        fd,
+                        events: bits,
+                        revents: 0,
+                    });
+                }
+            }
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            let before = events.len();
+            let mut registry = self.registry.lock().unwrap();
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if pfd.fd == self.pipe_read {
+                    let mut buf = [0u8; 64];
+                    while unsafe {
+                        read(self.pipe_read, buf.as_mut_ptr() as *mut c_void, buf.len())
+                    } > 0
+                    {}
+                    continue;
+                }
+                if let Some(ev) = registry.get_mut(&pfd.fd) {
+                    let err = pfd.revents & (POLLERR | POLLHUP) != 0;
+                    events.push(Event {
+                        key: ev.key,
+                        readable: pfd.revents & POLLIN != 0 || err,
+                        writable: pfd.revents & POLLOUT != 0 || err,
+                    });
+                    // Oneshot: disarm until the caller re-arms via modify.
+                    ev.readable = false;
+                    ev.writable = false;
+                }
+            }
+            Ok(events.len() - before)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let byte = 1u8;
+            unsafe { write(self.pipe_write, &byte as *const u8 as *const c_void, 1) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the vendored polling stand-in supports Unix targets only");
+
+/// Kernel readiness queue over raw fds with oneshot delivery and a
+/// thread-safe wakeup.
+#[derive(Debug)]
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create a new readiness queue.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Register `source` with the given interest. The key must not be
+    /// `usize::MAX` (reserved for the internal wakeup pipe).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert!(interest.key != NOTIFY_KEY, "key usize::MAX is reserved");
+        self.inner.add(source.as_raw_fd(), interest)
+    }
+
+    /// Re-arm (or change interest of) a registered source. Required after
+    /// every delivered event: delivery disarms the source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert!(interest.key != NOTIFY_KEY, "key usize::MAX is reserved");
+        self.inner.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Deregister a source. Must be called before the fd is closed.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.inner.delete(source.as_raw_fd())
+    }
+
+    /// Block until at least one source is ready, `timeout` elapses, or
+    /// [`Poller::notify`] is called; append readiness events and return
+    /// how many were appended. A wakeup or timeout appends none.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+
+    /// Wake a concurrent [`Poller::wait`] from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        self.inner.notify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn listener_readability_and_oneshot_disarm() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.add(&listener, Event::readable(7)).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out with no events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Oneshot: without modify, the still-pending accept is not
+        // redelivered.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Re-arming delivers it again.
+        poller.modify(&listener, Event::readable(7)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn stream_write_readiness_and_data_arrival() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        poller.add(&server, Event::all(3)).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.writable));
+
+        events.clear();
+        poller.modify(&server, Event::readable(3)).unwrap();
+        client.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.readable));
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        // Without the notify this would block for 10 seconds.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(events.is_empty(), "a bare wakeup carries no events");
+        handle.join().unwrap();
+    }
+}

@@ -11,8 +11,8 @@ use ganc::dataset::synth::DatasetProfile;
 use ganc::dataset::{Interactions, ItemId, UserId};
 use ganc::http::testing::{FlakyPeer, GatedPeer};
 use ganc::http::{
-    CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, ReplicaConfig,
-    ReplicaSet, RouterNode, ServerConfig, ShardRoute,
+    CoalescedShard, Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, RemoteShard,
+    ReplicaConfig, ReplicaSet, RouterNode, ServerConfig, ShardRoute,
 };
 use ganc::obs::{
     bucket_bounds_us, CatalogProfile, Clock, ManualClock, MetricsRegistry, ObsHub, RollingWindow,
@@ -641,6 +641,89 @@ fn router_stats_reports_per_band_kind_generation_and_pending() {
     assert_eq!(shards[1]["addr"].as_str(), Some("in-process:single"));
     assert_eq!(shards[1]["generation"].as_u64(), Some(0));
     assert_eq!(shards[1]["pending"].as_u64(), Some(0));
+}
+
+/// The remote-band window fix: a router's `/v1/stats` used to report
+/// windows only for local slices — remote bands (the common deployment)
+/// silently vanished from the fold. Now the window rides the wire
+/// (`GET /v1/window` against each shard node) and the router's aggregate
+/// is the exact union across the deployment.
+#[test]
+fn router_stats_folds_remote_band_windows_over_the_wire() {
+    let bundle = fixture_bundle(13);
+    let cuts = cut_theta_bands(&bundle.theta, 2);
+    let (lo0, hi0) = band_bounds(&cuts, 0);
+    let (lo1, hi1) = band_bounds(&cuts, 1);
+    let local = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo0, hi0),
+        EngineConfig::default(),
+    ));
+    // Band 1 runs behind a real shard server on its own hub: its window
+    // can only reach the router over HTTP, not through shared memory.
+    let shard_server = HttpServer::bind(
+        Frontend::Single(Arc::new(ServingEngine::new(
+            bundle.slice_theta_band(lo1, hi1),
+            EngineConfig::default(),
+        ))),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let remote = RemoteShard::connect(shard_server.local_addr().to_string()).unwrap();
+    let router = Arc::new(RouterNode::new(
+        Arc::clone(&bundle.theta),
+        cuts.clone(),
+        vec![ShardRoute::Local(local), ShardRoute::remote(remote)],
+    ));
+    let server = HttpServer::bind(
+        Frontend::Router(router),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    // One recommendation through each band, so both slices have live
+    // window entries.
+    let user_in = |band: usize| {
+        (0..bundle.n_users())
+            .map(UserId)
+            .find(|u| shard_of(&cuts, bundle.theta[u.idx()]) == band)
+            .unwrap()
+    };
+    for band in 0..2 {
+        let path = format!("/v1/recommend/{}", user_in(band).0);
+        assert_eq!(client.request("GET", &path, None).unwrap().status, 200);
+    }
+
+    let stats = get_json(&mut client, "/v1/stats");
+    let window = &stats["window"];
+    assert!(
+        !window.is_null(),
+        "router stats must fold band windows: {stats:?}"
+    );
+    let bands = window["bands"].as_array().unwrap();
+    assert_eq!(bands.len(), 2);
+    assert!(!bands[0].is_null(), "local band window present");
+    assert!(
+        !bands[1].is_null(),
+        "remote band window must come over the wire"
+    );
+    assert_eq!(bands[1]["lists"].as_u64(), Some(1));
+    // The aggregate is the exact union: one list per band served above.
+    assert_eq!(window["aggregate"]["lists"].as_u64(), Some(2));
+    assert_eq!(window["aggregate"]["items"].as_u64(), Some(2 * N as u64));
+
+    // The shard node's own `/v1/window` is the wire surface the router
+    // consumed — non-null for engine fronts, null for router fronts
+    // (a router's union must not be re-exported and double-counted).
+    let mut shard_client = HttpClient::new(shard_server.local_addr().to_string());
+    let wire = get_json(&mut shard_client, "/v1/window");
+    assert_eq!(wire["window"]["lists"].as_u64(), Some(1));
+    let router_wire = get_json(&mut client, "/v1/window");
+    assert!(router_wire["window"].is_null());
 }
 
 /// The PR 7 availability counters are not decorative: a parked primary

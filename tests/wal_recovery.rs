@@ -26,10 +26,15 @@
 //!    same WAL + artifact, re-sent the full storm under the same keys,
 //!    refit, and compared user-by-user against the oracle.
 
+use ganc::core::query::{band_bounds, cut_theta_bands};
 use ganc::core::CoverageKind;
 use ganc::dataset::synth::DatasetProfile;
 use ganc::dataset::{Interactions, ItemId, UserId};
-use ganc::http::{Frontend, HttpClient, HttpServer, RefitHook, ServerConfig};
+use ganc::http::testing::FlakyPeer;
+use ganc::http::{
+    Frontend, HttpClient, HttpServer, PeerTransport, RefitHook, RouterNode, ServerConfig,
+    ShardRoute,
+};
 use ganc::preference::generalized::GeneralizedConfig;
 use ganc::recommender::item_avg::ItemAvg;
 use ganc::serve::refit::{merge_interactions, RefitOutcome, Refitter};
@@ -474,6 +479,79 @@ fn double_apply_after_unpersisted_truncate_self_heals() {
         "double apply",
     );
     std::fs::remove_file(&path).ok();
+}
+
+/// The local-slice dedup fix: a keyed ingest resent after a partial
+/// fan-out failure used to double-bump the live popularity of local
+/// `ServingEngine` slices behind a router — they have no WAL to dedup
+/// through, and the router only remembered keys after *fully* successful
+/// fan-outs. The router now dedups local applies itself: the resend
+/// repairs the failed remote while local counters stay bumped exactly
+/// once, and a further resend is acknowledged as deduplicated without
+/// touching anything.
+#[test]
+fn resent_keyed_ingest_after_partial_fanout_bumps_locals_once() {
+    let (_, bundle) = fixture();
+    let cuts = cut_theta_bands(&bundle.theta, 2);
+    let (lo0, hi0) = band_bounds(&cuts, 0);
+    let (lo1, hi1) = band_bounds(&cuts, 1);
+    let local = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo0, hi0),
+        EngineConfig::default(),
+    ));
+    let remote_engine = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo1, hi1),
+        EngineConfig::default(),
+    ));
+    let flaky = FlakyPeer::new(
+        Arc::new(Frontend::Single(Arc::clone(&remote_engine))) as Arc<dyn PeerTransport>
+    );
+    let router = Arc::new(RouterNode::new(
+        Arc::clone(&bundle.theta),
+        cuts,
+        vec![
+            ShardRoute::Local(Arc::clone(&local)),
+            ShardRoute::Remote(Arc::clone(&flaky) as Arc<dyn PeerTransport>),
+        ],
+    ));
+    let server = HttpServer::bind(
+        Frontend::Router(router),
+        None,
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let json =
+        |resp: &[u8]| -> Value { tinyjson::from_str(std::str::from_utf8(resp).unwrap()).unwrap() };
+    let body = r#"{"user":0,"item":1,"rating":4.0,"key":"retry-0"}"#;
+
+    // First send: the remote band fails after the local slice applied.
+    // The 502 means "at least one route is missing this — resend, same
+    // key"; at-least-once would be lost without the retry.
+    flaky.fail_ingests(1);
+    let resp = client.request("POST", "/v1/ingest", Some(body)).unwrap();
+    assert_eq!(resp.status, 502, "partial fan-out must not be acked");
+    assert_eq!(local.stats().ingested, 1, "local slice applied");
+    assert_eq!(remote_engine.stats().ingested, 0, "remote missed it");
+
+    // The resend repairs the remote; the local slice is *not* re-applied.
+    let resp = client.request("POST", "/v1/ingest", Some(body)).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(json(&resp.body)["deduplicated"].as_bool(), Some(false));
+    assert_eq!(
+        local.stats().ingested,
+        1,
+        "resend must not double-bump local live popularity"
+    );
+    assert_eq!(remote_engine.stats().ingested, 1, "remote repaired");
+
+    // Fully applied: a third resend short-circuits as deduplicated.
+    let resp = client.request("POST", "/v1/ingest", Some(body)).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(json(&resp.body)["deduplicated"].as_bool(), Some(true));
+    assert_eq!(local.stats().ingested, 1);
+    assert_eq!(remote_engine.stats().ingested, 1);
 }
 
 /// A WAL whose records are outside the artifact's id space is a
