@@ -16,7 +16,8 @@ use ganc_preference::GeneralizedConfig;
 use ganc_recommender::pop::MostPopular;
 use ganc_serve::legacy::snapshots_to_v1_payload;
 use ganc_serve::{
-    CoverageState, EngineConfig, FitConfig, FittedModel, ModelBundle, SaveLoad, ServingEngine,
+    CoverageState, EngineConfig, FitConfig, FittedModel, ModelBundle, RequestOptions, SaveLoad,
+    ServingEngine,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -159,6 +160,23 @@ fn bench_query(c: &mut Criterion) {
         Some(measure_profile(split.train, 1_000, 5_000).0)
     };
 
+    // ---- per-request override path (θ override, bypasses the cache) ----
+    // Measured beside the default cold path so a regression in the
+    // override plumbing (or the default path paying for it) is visible:
+    // the default cold p50 above is the CI guard's baseline.
+    let opts = RequestOptions {
+        theta: Some(0.5),
+        ..RequestOptions::default()
+    };
+    let mut override_ns = Vec::with_capacity(cold_requests);
+    for k in 0..cold_requests {
+        let u = UserId((k as u32 * 193) % n_users);
+        let start = Instant::now();
+        black_box(engine.recommend_with_traced(u, &opts).unwrap());
+        override_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let override_cold = latency_stats(override_ns);
+
     // ---- criterion-style measurements for the console ----
     let mut g = c.benchmark_group("query");
     g.sample_size(if fast_mode() { 10 } else { 60 })
@@ -179,9 +197,18 @@ fn bench_query(c: &mut Criterion) {
         .unwrap_or_else(|_| format!("{}/../../BENCH_query.json", env!("CARGO_MANIFEST_DIR")));
     let large_json = large.as_ref().map_or("null".to_string(), |l| l.json());
     let json = format!(
-        "{{\n  \"bench\": \"query\",\n  \"medium\": {},\n  \"large\": {}\n}}\n",
+        concat!(
+            "{{\n  \"bench\": \"query\",\n  \"medium\": {},\n",
+            "  \"override_theta_cold\": {{\"mean_us\": {om:.2}, \"p50_us\": {o50:.2}, ",
+            "\"p99_us\": {o99:.2}, \"requests\": {oreq}}},\n",
+            "  \"large\": {}\n}}\n"
+        ),
         medium.json(),
-        large_json
+        large_json,
+        om = override_cold.mean_us,
+        o50 = override_cold.p50_us,
+        o99 = override_cold.p99_us,
+        oreq = override_cold.requests,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -6,18 +6,18 @@
 //! with `GANC_BENCH_OUT`) so the perf trajectory is tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ganc_bench::{fast_mode, latency_stats};
+use ganc_bench::{fast_mode, latency_stats, LatencyStats};
 use ganc_dataset::synth::DatasetProfile;
-use ganc_dataset::UserId;
+use ganc_dataset::{ItemId, UserId};
 use ganc_preference::GeneralizedConfig;
 use ganc_recommender::pop::MostPopular;
 use ganc_serve::{
-    BatchConfig, EngineConfig, FitConfig, FittedModel, MicroBatcher, ModelBundle, SaveLoad,
-    ServingEngine, ShardConfig, ShardedEngine,
+    BatchConfig, DurableConfig, DurableLog, EngineConfig, FitConfig, FittedModel, MicroBatcher,
+    ModelBundle, SaveLoad, ServingEngine, ShardConfig, ShardedEngine, SyncPolicy,
 };
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn bench_serve(c: &mut Criterion) {
     let data = DatasetProfile::medium().generate(18);
@@ -122,6 +122,31 @@ fn bench_serve(c: &mut Criterion) {
     let mb_rps = mb_requests as f64 / mb_start.elapsed().as_secs_f64();
     drop(batcher);
 
+    // ---- WAL per-append cost under each power-loss sync policy ----
+    let wal_appends = if fast_mode() { 200 } else { 2_000 };
+    let n_items = train.n_items();
+    let wal_cost = |policy: SyncPolicy| -> LatencyStats {
+        let path = std::env::temp_dir().join(format!("ganc_bench_wal_{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = DurableConfig {
+            sync_policy: policy,
+            ..DurableConfig::new(&path)
+        };
+        let (log, _) = DurableLog::open(cfg).unwrap();
+        let mut ns = Vec::with_capacity(wal_appends);
+        for k in 0..wal_appends as u32 {
+            let start = Instant::now();
+            log.append(None, 0, UserId(k % n_users), ItemId(k % n_items), 4.0)
+                .unwrap();
+            ns.push(start.elapsed().as_nanos() as f64);
+        }
+        let _ = std::fs::remove_file(&path);
+        latency_stats(ns)
+    };
+    let wal_flush = wal_cost(SyncPolicy::Flush);
+    let wal_per_append = wal_cost(SyncPolicy::PerAppend);
+    let wal_interval = wal_cost(SyncPolicy::Interval(Duration::from_millis(5)));
+
     // ---- criterion-style measurements for the console ----
     let mut g = c.benchmark_group("serve");
     g.sample_size(if fast_mode() { 10 } else { 60 })
@@ -165,6 +190,12 @@ fn bench_serve(c: &mut Criterion) {
             "  \"batch\": {{\"batch_size\": {bsize}, \"throughput_rps\": {brps:.0}}},\n",
             "  \"micro_batcher\": {{\"concurrent_callers\": 4, \"requests\": {mreq}, ",
             "\"throughput_rps\": {mrps:.0}}},\n",
+            "  \"wal\": {{\"appends_per_policy\": {wreq}, ",
+            "\"flush\": {{\"mean_us\": {wfm:.2}, \"p50_us\": {wf50:.2}, \"p99_us\": {wf99:.2}}}, ",
+            "\"per_append\": {{\"mean_us\": {wpm:.2}, \"p50_us\": {wp50:.2}, ",
+            "\"p99_us\": {wp99:.2}}}, ",
+            "\"interval_5ms\": {{\"mean_us\": {wim:.2}, \"p50_us\": {wi50:.2}, ",
+            "\"p99_us\": {wi99:.2}}}}},\n",
             "  \"sharded\": {{\"shards\": {shards}, ",
             "\"single_request_cold\": {{\"mean_us\": {sm:.2}, \"p50_us\": {s50:.2}, ",
             "\"p99_us\": {s99:.2}, \"requests\": {sreq}}}, ",
@@ -191,6 +222,16 @@ fn bench_serve(c: &mut Criterion) {
         brps = batch_rps,
         mreq = mb_requests,
         mrps = mb_rps,
+        wreq = wal_appends,
+        wfm = wal_flush.mean_us,
+        wf50 = wal_flush.p50_us,
+        wf99 = wal_flush.p99_us,
+        wpm = wal_per_append.mean_us,
+        wp50 = wal_per_append.p50_us,
+        wp99 = wal_per_append.p99_us,
+        wim = wal_interval.mean_us,
+        wi50 = wal_interval.p50_us,
+        wi99 = wal_interval.p99_us,
         shards = SHARDS,
         sm = sharded_cold.mean_us,
         s50 = sharded_cold.p50_us,

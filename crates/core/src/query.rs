@@ -133,6 +133,77 @@ pub fn band_bounds(cuts: &[f64], j: usize) -> (f64, f64) {
     (lo, hi)
 }
 
+/// Online post-processor selection for a per-request override (the batch
+/// re-rankers in `ganc-rerank` run behind the fused path when requested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerankMode {
+    /// Personalized Ranking Adaptation (Jugovac et al., 2017).
+    Pra,
+    /// Ranking-Based Techniques (Adomavicius & Kwon, 2012).
+    Rbt,
+    /// 5D resource-allocation re-ranking (Ho et al., 2014).
+    FiveD,
+}
+
+impl RerankMode {
+    /// Parse the wire token (`rerank=pra|rbt|5d`).
+    pub fn parse(s: &str) -> Option<RerankMode> {
+        match s {
+            "pra" => Some(RerankMode::Pra),
+            "rbt" => Some(RerankMode::Rbt),
+            "5d" => Some(RerankMode::FiveD),
+            _ => None,
+        }
+    }
+
+    /// The wire token this mode round-trips through.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RerankMode::Pra => "pra",
+            RerankMode::Rbt => "rbt",
+            RerankMode::FiveD => "5d",
+        }
+    }
+}
+
+/// Per-request trade-off overrides, threaded from the HTTP surface down to
+/// the fused query path. The default value (`RequestOptions::default()`)
+/// means "serve the fitted scenario" and MUST take the exact default code
+/// path — overrides are strictly pay-for-what-you-use.
+///
+/// `n` truncation deliberately does **not** live here: list size is a
+/// presentation concern the HTTP layer applies (`?n=` caps the returned
+/// prefix), so engines always produce the full fitted-N list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequestOptions {
+    /// Serve at this θ instead of the user's fitted `theta[u]`. Routed to
+    /// the band that owns it via [`shard_of`]. Must be finite in `[0, 1]`.
+    pub theta: Option<f64>,
+    /// Extra item ids excluded from the candidate pool for this request
+    /// only — sorted ascending and deduplicated (see
+    /// [`RequestOptions::set_exclude`]).
+    pub exclude: Vec<u32>,
+    /// Run this batch re-ranker as an online post-processor.
+    pub rerank: Option<RerankMode>,
+}
+
+impl RequestOptions {
+    /// True when every field is at its default — the request asks for the
+    /// fitted scenario and must be served by the unmodified default path
+    /// (including the user-keyed LRU cache).
+    pub fn is_default(&self) -> bool {
+        self.theta.is_none() && self.exclude.is_empty() && self.rerank.is_none()
+    }
+
+    /// Store an exclusion list, sorting and deduplicating it so downstream
+    /// merge code can rely on ascending unique ids.
+    pub fn set_exclude(&mut self, mut ids: Vec<u32>) {
+        ids.sort_unstable();
+        ids.dedup();
+        self.exclude = ids;
+    }
+}
+
 /// Combined GANC score `(1−θ)a + θc` written into `out` (Eq. III.1) — the
 /// dense reference combiner; the fused path computes the same expression
 /// per candidate without materializing `out`.

@@ -7,7 +7,7 @@ use crate::transport::IngestEntry;
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::WindowWire;
-use ganc_serve::{IngestAck, ServeError};
+use ganc_serve::{IngestAck, RequestOptions, ServeError};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
@@ -283,6 +283,30 @@ fn error_from_body(resp: &Response) -> BackendError {
     BackendError::Transport(format!("peer error {}", resp.status))
 }
 
+/// Per-request overrides as the query-string suffix the server parses:
+/// `?theta=…&exclude=1,2,3&rerank=pra`, empty for default options. θ uses
+/// Rust's shortest-round-trip float formatting, so the peer's
+/// `parse::<f64>()` recovers the exact bits and the served list is
+/// byte-identical to an in-process override at that θ.
+fn override_query(opts: &RequestOptions) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(t) = opts.theta {
+        parts.push(format!("theta={t}"));
+    }
+    if !opts.exclude.is_empty() {
+        let ids: Vec<String> = opts.exclude.iter().map(|i| i.to_string()).collect();
+        parts.push(format!("exclude={}", ids.join(",")));
+    }
+    if let Some(m) = opts.rerank {
+        parts.push(format!("rerank={}", m.as_str()));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("?{}", parts.join("&"))
+    }
+}
+
 fn items_from(v: &Value) -> Result<Vec<ItemId>, BackendError> {
     v.as_array()
         .ok_or_else(|| BackendError::Transport("missing items array".to_string()))?
@@ -356,7 +380,22 @@ impl RemoteShard {
 
     /// `GET /v1/recommend/{user}` on the peer.
     pub fn recommend_traced(&self, user: UserId) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
-        let resp = self.call("GET", &format!("/v1/recommend/{}", user.0), None)?;
+        self.recommend_at(&format!("/v1/recommend/{}", user.0))
+    }
+
+    /// `GET /v1/recommend/{user}?theta=…&exclude=…&rerank=…` on the peer:
+    /// the wire form of a per-request override. Default options collapse to
+    /// the plain recommend path byte-for-byte.
+    pub fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        self.recommend_at(&format!("/v1/recommend/{}{}", user.0, override_query(opts)))
+    }
+
+    fn recommend_at(&self, path: &str) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        let resp = self.call("GET", path, None)?;
         if resp.status != 200 {
             return Err(error_from_body(&resp));
         }
@@ -374,8 +413,33 @@ impl RemoteShard {
         &self,
         users: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        self.recommend_batch_with_traced(users, &RequestOptions::default())
+    }
+
+    /// `POST /v1/recommend:batch` with optional override body fields
+    /// (`theta`, `exclude`, `rerank` — present only when set, so a default
+    /// options set sends the historical `{"users":[...]}` body unchanged).
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
         let ids = Value::Array(users.iter().map(|u| Value::from(u.0)).collect());
-        let body = tinyjson::to_string(&tinyjson::obj! { "users" => ids });
+        let mut payload = tinyjson::obj! { "users" => ids };
+        if let Some(t) = opts.theta {
+            payload.insert("theta", Value::from(t));
+        }
+        if !opts.exclude.is_empty() {
+            payload.insert(
+                "exclude",
+                Value::Array(opts.exclude.iter().map(|&i| Value::from(i)).collect()),
+            );
+        }
+        if let Some(m) = opts.rerank {
+            payload.insert("rerank", Value::from(m.as_str().to_string()));
+        }
+        let body = tinyjson::to_string(&payload);
         // Read-only despite being a POST: safe to retry on a dead reused
         // connection, so an idle deployment doesn't 502 its first batch.
         let resp = self.call_idempotent("POST", "/v1/recommend:batch", Some(&body))?;
@@ -573,6 +637,22 @@ impl crate::transport::PeerTransport for RemoteShard {
         users: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
         RemoteShard::recommend_batch_traced(self, users)
+    }
+
+    fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        RemoteShard::recommend_with_traced(self, user, opts)
+    }
+
+    fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        RemoteShard::recommend_batch_with_traced(self, users, opts)
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {

@@ -40,7 +40,7 @@ use crate::transport::PeerTransport;
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Clock, Counter, ObsHub, SystemClock, TraceData};
-use ganc_serve::ServeError;
+use ganc_serve::{RequestOptions, ServeError};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -539,6 +539,37 @@ impl ReplicaSet {
         let users: Arc<Vec<UserId>> = Arc::new(users.to_vec());
         self.dispatch(Arc::new(move |peer: &dyn PeerTransport| {
             peer.recommend_batch_traced(&users)
+        }))
+    }
+
+    /// Answer one override-carrying request from whichever replica wins.
+    /// The options ride inside the dispatch closure, so a hedge or
+    /// failover replays the *same* θ/exclusions/re-ranker on the next
+    /// replica — an override can degrade to an error, never to another
+    /// request's defaults.
+    pub fn recommend_with_traced(
+        self: &Arc<Self>,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        let opts = opts.clone();
+        self.dispatch(Arc::new(move |peer: &dyn PeerTransport| {
+            peer.recommend_with_traced(user, &opts)
+        }))
+    }
+
+    /// Batch counterpart of [`ReplicaSet::recommend_with_traced`]; the
+    /// whole sub-batch is still one replica's answer.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_with_traced(
+        self: &Arc<Self>,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let users: Arc<Vec<UserId>> = Arc::new(users.to_vec());
+        let opts = opts.clone();
+        self.dispatch(Arc::new(move |peer: &dyn PeerTransport| {
+            peer.recommend_batch_with_traced(&users, &opts)
         }))
     }
 

@@ -36,9 +36,13 @@ use crate::BackendError;
 use ganc_core::query::shard_of;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Counter, Histogram, ObsHub, WindowFold, WindowStats, WindowWire};
-use ganc_serve::{DedupWindow, IngestAck, ServeError, ServingEngine};
+use ganc_serve::{
+    DedupWindow, IngestAck, RequestOptions, ServeError, ServingEngine, Wal, WalRecord,
+};
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hasher};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
@@ -234,6 +238,14 @@ impl RouterObs {
 /// default ([`ganc_serve::DurableConfig`]).
 const ROUTER_DEDUP_WINDOW: usize = 4096;
 
+/// Dedup-key WAL window tags. The router repurposes
+/// [`WalRecord::Key`]'s `generation` field (it has no model generation
+/// to stamp) to say *which* in-memory window a persisted key belongs
+/// to — replaying a local-only key into `ingest_keys` would
+/// short-circuit its resend and lose the remote repair it still needs.
+const INGEST_KEYS_TAG: u64 = 0;
+const LOCAL_KEYS_TAG: u64 = 1;
+
 /// Routes each user's request to the engine serving their θ band.
 pub struct RouterNode {
     /// Per-user θ (the full population — routing needs every user).
@@ -254,6 +266,14 @@ pub struct RouterNode {
     /// applied — even when a remote route failed — so the resend repairs
     /// the remotes and skips the locals.
     local_keys: Mutex<DedupWindow>,
+    /// Optional durable mirror of both dedup windows: consumed keys are
+    /// appended as [`WalRecord::Key`] stubs and replayed on construction
+    /// ([`RouterNode::with_wal`]), so a router restart no longer forgets
+    /// which keys it consumed — without this, a resend arriving after a
+    /// restart mid-repair re-applies local live counters. Appends are
+    /// best-effort: losing one degrades that key to the in-memory-only
+    /// at-least-once behavior; it never fails an acknowledged ingest.
+    wal: Option<Mutex<Wal>>,
     /// Key-generation state for unkeyed ingests:
     /// `ganc-{epoch:x}-{nonce:x}-{seq:x}` is unique per router instance
     /// per request, so every route of one fan-out shares one key and a
@@ -301,10 +321,51 @@ impl RouterNode {
             obs: OnceLock::new(),
             ingest_keys: Mutex::new(DedupWindow::new(ROUTER_DEDUP_WINDOW)),
             local_keys: Mutex::new(DedupWindow::new(ROUTER_DEDUP_WINDOW)),
+            wal: None,
             key_epoch,
             key_nonce,
             key_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Build a router whose dedup windows survive restarts: consumed
+    /// keys are persisted to a small WAL at `path` as [`WalRecord::Key`]
+    /// stubs (tagged by window) and replayed here, so a key consumed
+    /// before a crash still answers `Deduplicated` — and still skips the
+    /// already-applied local mutations on a resend — after the restart.
+    /// Only keys are persisted: interactions themselves are durably
+    /// owned by each WAL-backed node, never by the router.
+    pub fn with_wal(
+        theta: Arc<Vec<f64>>,
+        cuts: Vec<f64>,
+        routes: Vec<ShardRoute>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<RouterNode> {
+        let mut node = RouterNode::new(theta, cuts, routes);
+        let (wal, records, _) = Wal::open(path)?;
+        {
+            let mut ingest = node.ingest_keys.lock().unwrap();
+            let mut local = node.local_keys.lock().unwrap();
+            for rec in &records {
+                if let WalRecord::Key { generation, key } = rec {
+                    match *generation {
+                        INGEST_KEYS_TAG => {
+                            ingest.observe(key);
+                        }
+                        LOCAL_KEYS_TAG => {
+                            local.observe(key);
+                        }
+                        // Unknown tags (a future window) are skipped, as
+                        // are full `Ingest` records: a router pointed at
+                        // a node WAL by mistake must not invent dedup
+                        // state from them.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        node.wal = Some(Mutex::new(wal));
+        Ok(node)
     }
 
     /// Attach observability: per-band dispatch histograms/error counters on
@@ -392,6 +453,128 @@ impl RouterNode {
             if out.is_err() {
                 band.errors.inc();
             }
+        }
+        out
+    }
+
+    /// Answer one override-carrying request ([`RequestOptions`]): a θ
+    /// override re-routes to the band *owning that θ* — any band can
+    /// serve any user at any θ, because every slice shares the full
+    /// train/model/θ state
+    /// ([`ganc_serve::ModelBundle::slice_theta_band`]) — while
+    /// exclusion/rerank-only overrides stay on the user's home band.
+    /// Default options delegate to [`RouterNode::recommend_traced`], so
+    /// the pinned default path is untouched.
+    pub fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        if opts.is_default() {
+            return self.recommend_traced(user);
+        }
+        let home = self.route_of(user).map_err(BackendError::Serve)?;
+        let j = match opts.theta {
+            Some(t) => shard_of(&self.cuts, t),
+            None => home,
+        };
+        let obs = self.obs.get();
+        let t0 = obs.map_or(0, |o| o.hub.now_us());
+        let out = match &self.routes[j] {
+            ShardRoute::Local(engine) => engine
+                .recommend_with_traced(user, opts)
+                .map_err(BackendError::Serve),
+            ShardRoute::Remote(remote) => remote.recommend_with_traced(user, opts),
+            ShardRoute::Replicas(set) => set.recommend_with_traced(user, opts),
+        };
+        if let Some(o) = obs {
+            let band = &o.bands[j];
+            band.dispatch_us
+                .observe_us(o.hub.now_us().saturating_sub(t0));
+            if out.is_err() {
+                band.errors.inc();
+            }
+        }
+        out
+    }
+
+    /// Batch counterpart of [`RouterNode::recommend_with_traced`]: a θ
+    /// override collapses the whole batch onto the band owning that θ;
+    /// without one, users split across their home bands as usual.
+    /// Touched bands are visited sequentially — override batches are
+    /// control traffic, not the hot fan-out path — with the same
+    /// generation-skew check and request-order reassembly as the default
+    /// path, which default options delegate to untouched.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        if opts.is_default() {
+            return self.recommend_batch_traced(users);
+        }
+        let theta_band = opts.theta.map(|t| shard_of(&self.cuts, t));
+        let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
+            vec![None; users.len()];
+        let mut per_route: Vec<Vec<usize>> = vec![Vec::new(); self.routes.len()];
+        for (k, &u) in users.iter().enumerate() {
+            // Unknown users error per-slot even under a θ override: the
+            // override changes *where* a user is served, never *whether*
+            // they exist.
+            match self.route_of(u) {
+                Ok(home) => per_route[theta_band.unwrap_or(home)].push(k),
+                Err(e) => results[k] = Some(Err(e)),
+            }
+        }
+        let mut check = generation_check();
+        let mut generation = None;
+        for (j, idxs) in per_route.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+            let (answers, g) = self.dispatch_with_timed(j, &sub, opts)?;
+            check(&mut generation, g)?;
+            for (&k, answer) in idxs.iter().zip(answers) {
+                results[k] = Some(answer);
+            }
+        }
+        self.finish_batch(results, generation)
+    }
+
+    /// [`RouterNode::dispatch_timed`] with per-request options threaded
+    /// through to the route.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_with_timed(
+        &self,
+        j: usize,
+        sub: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        let band_err = |e: BackendError| BackendError::Band {
+            band: j,
+            message: e.to_string(),
+        };
+        let dispatch = || match &self.routes[j] {
+            ShardRoute::Local(engine) => Ok(engine.recommend_batch_with_traced(sub, opts)),
+            ShardRoute::Remote(remote) => remote
+                .recommend_batch_with_traced(sub, opts)
+                .map_err(band_err),
+            ShardRoute::Replicas(set) => {
+                set.recommend_batch_with_traced(sub, opts).map_err(band_err)
+            }
+        };
+        let Some(obs) = self.obs.get() else {
+            return dispatch();
+        };
+        let t0 = obs.hub.now_us();
+        let out = dispatch();
+        let band = &obs.bands[j];
+        band.dispatch_us
+            .observe_us(obs.hub.now_us().saturating_sub(t0));
+        if out.is_err() {
+            band.errors.inc();
         }
         out
     }
@@ -554,6 +737,41 @@ impl RouterNode {
         format!("ganc-{:x}-{:x}-{:x}", self.key_epoch, self.key_nonce, seq)
     }
 
+    /// Mirror one consumed key into the dedup WAL, best-effort: an
+    /// append failure degrades that key to the in-memory-only behavior
+    /// (at-least-once after a restart) and must never fail an ingest
+    /// every route already acknowledged. `append` flushes to the OS, so
+    /// the record survives a process crash/restart — the hole this WAL
+    /// closes; an ill-timed power loss only costs the same graceful
+    /// degradation. Past 4× the window capacity the log is compacted to
+    /// the keys the windows still remember (evicted keys would fall out
+    /// of the replayed windows anyway).
+    fn persist_key(&self, tag: u64, key: &str) {
+        let Some(wal) = &self.wal else { return };
+        let mut wal = wal.lock().unwrap();
+        let _ = wal.append(&WalRecord::Key {
+            generation: tag,
+            key: key.to_string(),
+        });
+        if wal.records() as usize > 4 * ROUTER_DEDUP_WINDOW {
+            let mut live = Vec::new();
+            for (tag, window) in [
+                (INGEST_KEYS_TAG, &self.ingest_keys),
+                (LOCAL_KEYS_TAG, &self.local_keys),
+            ] {
+                // Oldest first, so replay rebuilds eviction order. Safe
+                // to lock here: observers release their window lock
+                // before calling into the WAL, so no thread holds a
+                // window while waiting on the WAL mutex.
+                live.extend(window.lock().unwrap().keys().map(|k| WalRecord::Key {
+                    generation: tag,
+                    key: k.to_string(),
+                }));
+            }
+            let _ = wal.rewrite(&live);
+        }
+    }
+
     /// Fan an ingested interaction to every route under one idempotency
     /// key, so the fan-out is safe to retry.
     ///
@@ -643,6 +861,7 @@ impl RouterNode {
             if locals_ok {
                 if let Some(k) = key {
                     self.local_keys.lock().unwrap().observe(k);
+                    self.persist_key(LOCAL_KEYS_TAG, k);
                 }
             }
         }
@@ -651,6 +870,7 @@ impl RouterNode {
             None => {
                 if let Some(k) = key {
                     self.ingest_keys.lock().unwrap().observe(k);
+                    self.persist_key(INGEST_KEYS_TAG, k);
                 }
                 Ok(IngestAck::Applied)
             }

@@ -73,7 +73,9 @@ use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Counter, Gauge, Histogram, ObsHub, TraceData, TraceEvent, WindowStats, WindowWire};
 use ganc_serve::refit::{RefitController, RefitOutcome, Refitter};
-use ganc_serve::{CadenceConfig, FitConfig, ServeError, ServingEngine, ShardedEngine};
+use ganc_serve::{
+    CadenceConfig, FitConfig, RequestOptions, RerankMode, ServeError, ServingEngine, ShardedEngine,
+};
 use polling::{Event, Poller};
 use std::collections::HashMap;
 use std::io::{self, Cursor, Read, Write};
@@ -174,6 +176,44 @@ impl Frontend {
         }
     }
 
+    /// Override-carrying dispatch ([`RequestOptions`]). Default options
+    /// delegate to the unmodified default path, so default traffic keeps
+    /// its exact code path (cache included).
+    fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        if opts.is_default() {
+            return self.recommend_traced(user);
+        }
+        match self {
+            Frontend::Single(e) => e
+                .recommend_with_traced(user, opts)
+                .map_err(BackendError::Serve),
+            Frontend::Sharded(e) => e
+                .recommend_with_traced(user, opts)
+                .map_err(BackendError::Serve),
+            Frontend::Router(r) => r.recommend_with_traced(user, opts),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        if opts.is_default() {
+            return self.recommend_batch_traced(users);
+        }
+        match self {
+            Frontend::Single(e) => Ok(e.recommend_batch_with_traced(users, opts)),
+            Frontend::Sharded(e) => Ok(e.recommend_batch_with_traced(users, opts)),
+            Frontend::Router(r) => r.recommend_batch_with_traced(users, opts),
+        }
+    }
+
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
         match self {
             Frontend::Single(e) => e.ingest(user, item, rating).map_err(BackendError::Serve),
@@ -249,6 +289,22 @@ impl crate::transport::PeerTransport for Frontend {
         users: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
         Frontend::recommend_batch_traced(self, users)
+    }
+
+    fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        Frontend::recommend_with_traced(self, user, opts)
+    }
+
+    fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        Frontend::recommend_batch_with_traced(self, users, opts)
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
@@ -1403,21 +1459,84 @@ impl App {
         (StatusCode::OK, obj! { "window" => window })
     }
 
+    /// Bump `ganc_request_overrides_total{kind}` for every per-request
+    /// control present and leave a `request_overrides` trace event when
+    /// any engine-level override is set. Called only when at least one
+    /// control was parsed, so default traffic pays nothing.
+    fn note_overrides(&self, n: bool, opts: &RequestOptions) {
+        let bump = |kind: &str| {
+            self.hub
+                .metrics
+                .counter(
+                    "ganc_request_overrides_total",
+                    "Per-request trade-off controls accepted, by kind",
+                    &[("kind", kind)],
+                )
+                .inc();
+        };
+        if n {
+            bump("n");
+        }
+        if opts.theta.is_some() {
+            bump("theta");
+        }
+        if !opts.exclude.is_empty() {
+            bump("exclude");
+        }
+        if opts.rerank.is_some() {
+            bump("rerank");
+        }
+        // `?n=` is presentation-only truncation — it never reaches an
+        // engine, so it counts above but doesn't trace as an override.
+        if !opts.is_default() {
+            self.hub.trace.record(
+                self.hub.now_us(),
+                TraceData::RequestOverrides {
+                    request_id: self.hub.next_request_id(),
+                    theta: opts.theta.is_some(),
+                    exclude: opts.exclude.len() as u32,
+                    rerank: opts.rerank.map_or("", |m| m.as_str()),
+                },
+            );
+        }
+    }
+
     fn recommend(&self, user_part: &str, query: Option<&str>) -> (u16, Value) {
         let Ok(user) = user_part.parse::<u32>() else {
             return error(StatusCode::BAD_REQUEST, "user id must be an integer");
         };
         let mut take: Option<usize> = None;
+        let mut opts = RequestOptions::default();
         for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
             match pair.split_once('=') {
                 Some(("n", v)) => match v.parse::<usize>() {
                     Ok(n) => take = Some(n),
                     Err(_) => return error(StatusCode::BAD_REQUEST, "n must be an integer"),
                 },
+                Some(("theta", v)) => match v.parse::<f64>() {
+                    Ok(t) if t.is_finite() && (0.0..=1.0).contains(&t) => opts.theta = Some(t),
+                    _ => return error(StatusCode::BAD_REQUEST, "theta must be a number in [0, 1]"),
+                },
+                Some(("exclude", v)) => match parse_exclude_csv(v) {
+                    Ok(ids) => opts.set_exclude(ids),
+                    Err(msg) => return error(StatusCode::BAD_REQUEST, msg),
+                },
+                Some(("rerank", v)) => match RerankMode::parse(v) {
+                    Some(m) => opts.rerank = Some(m),
+                    None => {
+                        return error(
+                            StatusCode::BAD_REQUEST,
+                            "rerank must be one of pra, rbt, 5d",
+                        )
+                    }
+                },
                 _ => return error(StatusCode::BAD_REQUEST, "unknown query parameter"),
             }
         }
-        match self.frontend.recommend_traced(UserId(user)) {
+        if take.is_some() || !opts.is_default() {
+            self.note_overrides(take.is_some(), &opts);
+        }
+        match self.frontend.recommend_with_traced(UserId(user), &opts) {
             Ok((list, generation)) => {
                 let shown = take.unwrap_or(list.len()).min(list.len());
                 let items = Value::Array(list[..shown].iter().map(|i| Value::from(i.0)).collect());
@@ -1431,8 +1550,8 @@ impl App {
     }
 
     fn recommend_batch(&self, body: &[u8]) -> (u16, Value) {
-        let users = match parse_body(body).and_then(|v| {
-            v["users"]
+        let (users, opts) = match parse_body(body).and_then(|v| {
+            let users = v["users"]
                 .as_array()
                 .ok_or("body must be {\"users\":[...]}")?
                 .iter()
@@ -1442,12 +1561,16 @@ impl App {
                         .map(|u| UserId(u as u32))
                         .ok_or("user ids must be u32 integers")
                 })
-                .collect::<Result<Vec<_>, _>>()
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((users, parse_batch_opts(&v)?))
         }) {
-            Ok(users) => users,
+            Ok(t) => t,
             Err(msg) => return error(StatusCode::BAD_REQUEST, msg),
         };
-        match self.frontend.recommend_batch_traced(&users) {
+        if !opts.is_default() {
+            self.note_overrides(false, &opts);
+        }
+        match self.frontend.recommend_batch_with_traced(&users, &opts) {
             Ok((answers, generation)) => {
                 let results: Vec<Value> = users
                     .iter()
@@ -1843,6 +1966,17 @@ fn trace_event_value(e: TraceEvent) -> Value {
             "conn" => conn,
             "reason" => reason,
         },
+        TraceData::RequestOverrides {
+            request_id,
+            theta,
+            exclude,
+            rerank,
+        } => obj! {
+            "request_id" => request_id,
+            "theta" => theta,
+            "exclude" => exclude,
+            "rerank" => rerank,
+        },
         TraceData::Http {
             request_id,
             endpoint,
@@ -1869,6 +2003,55 @@ fn trace_event_value(e: TraceEvent) -> Value {
 
 /// The `{user,item,rating}` triple shared by `/v1/ingest` and each
 /// `/v1/ingest:batch` entry.
+/// Parse `exclude=1,2,3` — comma-separated item ids. Empty segments are
+/// tolerated, so `exclude=` means "none".
+fn parse_exclude_csv(v: &str) -> Result<Vec<u32>, &'static str> {
+    v.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<u32>()
+                .map_err(|_| "exclude must be a comma-separated list of u32 item ids")
+        })
+        .collect()
+}
+
+/// Per-request overrides from a `recommend:batch` body. All fields are
+/// optional; an absent field leaves its default (the historical body with
+/// only `"users"` parses to default options and takes the unchanged
+/// default path).
+fn parse_batch_opts(v: &Value) -> Result<RequestOptions, &'static str> {
+    let mut opts = RequestOptions::default();
+    if !matches!(&v["theta"], Value::Null) {
+        let t = v["theta"]
+            .as_f64()
+            .filter(|t| t.is_finite() && (0.0..=1.0).contains(t))
+            .ok_or("theta must be a number in [0, 1]")?;
+        opts.theta = Some(t);
+    }
+    if !matches!(&v["exclude"], Value::Null) {
+        let ids = v["exclude"]
+            .as_array()
+            .ok_or("exclude must be an array of u32 item ids")?
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .filter(|&i| i <= u32::MAX as u64)
+                    .map(|i| i as u32)
+                    .ok_or("exclude must be an array of u32 item ids")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        opts.set_exclude(ids);
+    }
+    if !matches!(&v["rerank"], Value::Null) {
+        let s = v["rerank"]
+            .as_str()
+            .and_then(RerankMode::parse)
+            .ok_or("rerank must be one of pra, rbt, 5d")?;
+        opts.rerank = Some(s);
+    }
+    Ok(opts)
+}
+
 fn parse_ingest_fields(v: &Value) -> Result<(UserId, ItemId, f32), &'static str> {
     let user = v["user"]
         .as_u64()

@@ -20,10 +20,11 @@ use crate::transport::{IngestEntry, PeerTransport};
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::WindowWire;
-use ganc_serve::{IngestAck, ServeError};
+use ganc_serve::{IngestAck, RequestOptions, ServeError};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+type SingleAnswer = Result<(Arc<Vec<ItemId>>, u64), BackendError>;
 type BatchAnswer = Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError>;
 type IngestBatchAnswer = Result<Vec<Result<IngestAck, ServeError>>, BackendError>;
 
@@ -90,6 +91,18 @@ impl PeerTransport for LedgerPeer {
 
     fn recommend_batch_traced(&self, users: &[UserId]) -> BatchAnswer {
         let answer = self.inner.recommend_batch_traced(users);
+        self.ledger.bump();
+        answer
+    }
+
+    fn recommend_with_traced(&self, user: UserId, opts: &RequestOptions) -> SingleAnswer {
+        let answer = self.inner.recommend_with_traced(user, opts);
+        self.ledger.bump();
+        answer
+    }
+
+    fn recommend_batch_with_traced(&self, users: &[UserId], opts: &RequestOptions) -> BatchAnswer {
+        let answer = self.inner.recommend_batch_with_traced(users, opts);
         self.ledger.bump();
         answer
     }
@@ -174,6 +187,16 @@ impl PeerTransport for SlowPeer {
     fn recommend_batch_traced(&self, users: &[UserId]) -> BatchAnswer {
         self.stall();
         self.inner.recommend_batch_traced(users)
+    }
+
+    fn recommend_with_traced(&self, user: UserId, opts: &RequestOptions) -> SingleAnswer {
+        self.stall();
+        self.inner.recommend_with_traced(user, opts)
+    }
+
+    fn recommend_batch_with_traced(&self, users: &[UserId], opts: &RequestOptions) -> BatchAnswer {
+        self.stall();
+        self.inner.recommend_batch_with_traced(users, opts)
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
@@ -278,6 +301,16 @@ impl PeerTransport for FlakyPeer {
     fn recommend_batch_traced(&self, users: &[UserId]) -> BatchAnswer {
         self.trip()?;
         self.inner.recommend_batch_traced(users)
+    }
+
+    fn recommend_with_traced(&self, user: UserId, opts: &RequestOptions) -> SingleAnswer {
+        self.trip()?;
+        self.inner.recommend_with_traced(user, opts)
+    }
+
+    fn recommend_batch_with_traced(&self, users: &[UserId], opts: &RequestOptions) -> BatchAnswer {
+        self.trip()?;
+        self.inner.recommend_batch_with_traced(users, opts)
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
@@ -423,6 +456,20 @@ impl PeerTransport for ReorderingPeer {
         answer
     }
 
+    fn recommend_with_traced(&self, user: UserId, opts: &RequestOptions) -> SingleAnswer {
+        self.gate.rendezvous();
+        let answer = self.inner.recommend_with_traced(user, opts);
+        self.gate.done();
+        answer
+    }
+
+    fn recommend_batch_with_traced(&self, users: &[UserId], opts: &RequestOptions) -> BatchAnswer {
+        self.gate.rendezvous();
+        let answer = self.inner.recommend_batch_with_traced(users, opts);
+        self.gate.done();
+        answer
+    }
+
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {
         self.inner.ingest(user, item, rating)
     }
@@ -517,6 +564,20 @@ impl PeerTransport for RecordingPeer {
 
     fn recommend_batch_traced(&self, users: &[UserId]) -> BatchAnswer {
         let answer = self.inner.recommend_batch_traced(users);
+        self.batches.lock().unwrap().push(RecordedBatch {
+            users: users.to_vec(),
+            generation: answer.as_ref().ok().map(|&(_, g)| g),
+        });
+        answer
+    }
+
+    fn recommend_with_traced(&self, user: UserId, opts: &RequestOptions) -> SingleAnswer {
+        self.singles.fetch_add(1, Ordering::SeqCst);
+        self.inner.recommend_with_traced(user, opts)
+    }
+
+    fn recommend_batch_with_traced(&self, users: &[UserId], opts: &RequestOptions) -> BatchAnswer {
+        let answer = self.inner.recommend_batch_with_traced(users, opts);
         self.batches.lock().unwrap().push(RecordedBatch {
             users: users.to_vec(),
             generation: answer.as_ref().ok().map(|&(_, g)| g),
@@ -624,6 +685,16 @@ impl PeerTransport for GatedPeer {
     fn recommend_batch_traced(&self, users: &[UserId]) -> BatchAnswer {
         self.pass();
         self.inner.recommend_batch_traced(users)
+    }
+
+    fn recommend_with_traced(&self, user: UserId, opts: &RequestOptions) -> SingleAnswer {
+        self.pass();
+        self.inner.recommend_with_traced(user, opts)
+    }
+
+    fn recommend_batch_with_traced(&self, users: &[UserId], opts: &RequestOptions) -> BatchAnswer {
+        self.pass();
+        self.inner.recommend_batch_with_traced(users, opts)
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {

@@ -14,7 +14,7 @@
 use crate::BackendError;
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::WindowWire;
-use ganc_serve::{BatchConfig, BatchSource, Coalescer, IngestAck, ServeError};
+use ganc_serve::{BatchConfig, BatchSource, Coalescer, IngestAck, RequestOptions, ServeError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -52,6 +52,43 @@ pub trait PeerTransport: Send + Sync {
         &self,
         users: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError>;
+
+    /// Answer one user's request under per-request overrides (θ, an
+    /// exclusion list, an online re-ranker). The default delegates default
+    /// options to [`PeerTransport::recommend_traced`] — override-aware
+    /// transports ([`crate::RemoteShard`], the loopback [`crate::Frontend`],
+    /// the injection doubles) forward non-default options; anything else
+    /// refuses them rather than silently serving the unmodified list.
+    fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        if opts.is_default() {
+            return self.recommend_traced(user);
+        }
+        Err(BackendError::Transport(format!(
+            "{}: transport does not support per-request overrides",
+            self.label()
+        )))
+    }
+
+    /// Batch counterpart of [`PeerTransport::recommend_with_traced`]: one
+    /// options set applies to every user of the batch.
+    #[allow(clippy::type_complexity)]
+    fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        if opts.is_default() {
+            return self.recommend_batch_traced(users);
+        }
+        Err(BackendError::Transport(format!(
+            "{}: transport does not support per-request overrides",
+            self.label()
+        )))
+    }
 
     /// Apply one observed interaction on the peer.
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError>;
@@ -335,6 +372,34 @@ impl PeerTransport for CoalescedShard {
         users: &[UserId],
     ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
         self.inner.recommend_batch_traced(users)
+    }
+
+    /// Override singles bypass the coalescer straight to the inner peer:
+    /// the coalescer merges callers into one default-path batch, and a
+    /// request carrying its own θ/exclusions/re-ranker folded into that
+    /// batch would be answered with someone else's list. Default options
+    /// take the coalesced path unchanged.
+    fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), BackendError> {
+        if opts.is_default() {
+            return PeerTransport::recommend_traced(self, user);
+        }
+        self.inner.recommend_with_traced(user, opts)
+    }
+
+    fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> Result<(Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64), BackendError> {
+        // Batches never coalesce; straight through either way.
+        if opts.is_default() {
+            return self.inner.recommend_batch_traced(users);
+        }
+        self.inner.recommend_batch_with_traced(users, opts)
     }
 
     fn ingest(&self, user: UserId, item: ItemId, rating: f32) -> Result<(), BackendError> {

@@ -145,6 +145,18 @@ pub enum TraceData {
         /// Why: `idle`, `deadline`, `capacity`, or `shutdown`.
         reason: &'static str,
     },
+    /// One HTTP recommend request carrying per-request overrides (θ, an
+    /// exclusion list, an online re-ranker, or a combination).
+    RequestOverrides {
+        /// Hub-assigned request id.
+        request_id: u64,
+        /// A `?theta=` override was present.
+        theta: bool,
+        /// Number of `exclude=` item ids (0 when absent).
+        exclude: u32,
+        /// The `rerank=` mode token, or `""` when absent.
+        rerank: &'static str,
+    },
     /// One HTTP request, with per-stage timing.
     Http {
         /// Hub-assigned request id.
@@ -181,6 +193,7 @@ impl TraceData {
             TraceData::WalTruncate { .. } => "wal_truncate",
             TraceData::ConnAccept { .. } => "conn_accept",
             TraceData::ConnEvict { .. } => "conn_evict",
+            TraceData::RequestOverrides { .. } => "request_overrides",
             TraceData::Http { .. } => "http",
         }
     }

@@ -35,12 +35,18 @@
 use crate::bundle::{make_scorer_with_mask, CoverageState, FittedModel, ModelBundle};
 use crate::lru::LruCache;
 use crate::obs::EngineObs;
-use ganc_core::query::{fused_select_recording, fused_select_runs, UserQuery};
-use ganc_dataset::{ItemId, UserId};
+use ganc_core::query::{
+    fused_select, fused_select_recording, fused_select_runs, RequestOptions, RerankMode, UserQuery,
+};
+use ganc_dataset::{Interactions, ItemId, UserId};
 use ganc_obs::{ObsHub, WindowStats, WindowWire};
 use ganc_recommender::pop::MostPopular;
-use ganc_recommender::topn::train_item_mask;
+use ganc_recommender::topn::{train_item_mask, unseen_train_candidates};
 use ganc_recommender::Recommender;
+use ganc_rerank::five_d::FiveD;
+use ganc_rerank::pra::Pra;
+use ganc_rerank::rbt::{Rbt, RbtCriterion};
+use ganc_rerank::Reranker;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -148,6 +154,54 @@ struct EngineState {
     /// frozen `[lo, hi)` runs instead of re-merging. Invalidated per user
     /// under the ingest write lock; a bundle swap rebuilds the whole state.
     candidate_runs: Vec<OnceLock<RunList>>,
+    /// Lazily built online re-rankers (indexed Pra/Rbt/FiveD), each fit on
+    /// the bundle's train snapshot exactly like batch
+    /// [`ganc_rerank::rerank_all`] callers would fit them — the equivalence
+    /// oracle's contract. Built at most once per bundle generation.
+    rerankers: [OnceLock<Arc<dyn Reranker>>; 3],
+}
+
+/// Construct the online re-ranker for `mode` the way the batch experiments
+/// do: fit on the train snapshot with the paper's default parameters. The
+/// equivalence suite builds its batch-side re-ranker through this same
+/// function, so online output is byte-identical to `rerank_all` by
+/// construction.
+pub fn build_reranker(
+    mode: RerankMode,
+    train: &Interactions,
+    base_name: &str,
+) -> Arc<dyn Reranker> {
+    match mode {
+        RerankMode::Pra => Arc::new(Pra::new(train, base_name, 10)),
+        RerankMode::Rbt => Arc::new(Rbt::new(train, RbtCriterion::Popularity, base_name)),
+        RerankMode::FiveD => Arc::new(FiveD::new(train, base_name)),
+    }
+}
+
+/// Merge two sorted, deduplicated ascending id lists into one.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl EngineState {
@@ -194,7 +248,19 @@ impl EngineState {
             pop_bump_ok,
             shared_accuracy: Mutex::new(None),
             candidate_runs,
+            rerankers: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
         }
+    }
+
+    /// The lazily built online re-ranker for `mode`.
+    fn reranker(&self, mode: RerankMode) -> &Arc<dyn Reranker> {
+        let slot = match mode {
+            RerankMode::Pra => 0,
+            RerankMode::Rbt => 1,
+            RerankMode::FiveD => 2,
+        };
+        self.rerankers[slot]
+            .get_or_init(|| build_reranker(mode, &self.bundle.train, &self.bundle.model_name))
     }
 
     /// The user's hoisted candidate runs, if a previous serve recorded
@@ -230,11 +296,12 @@ impl EngineState {
         guard.clone()
     }
 
-    /// The fused-path list for one user given a prefetched shared accuracy
-    /// vector.
-    fn compute_shared(&self, user: UserId, accuracy: &[f64]) -> Vec<ItemId> {
+    /// The fused-path list for one user at an explicit θ given a prefetched
+    /// shared accuracy vector. The candidate pool is the user's default one
+    /// (runs are θ-independent), so cached runs are served and recorded as
+    /// on the default path.
+    fn compute_shared(&self, user: UserId, accuracy: &[f64], theta_u: f64) -> Vec<ItemId> {
         let b = &self.bundle;
-        let theta_u = b.theta[user.idx()];
         let view = b.coverage.provider().view(user, theta_u);
         if let Some(runs) = self.cached_runs(user) {
             return fused_select_runs(b.n, theta_u, accuracy, &view, runs);
@@ -262,19 +329,19 @@ impl EngineState {
             }
         }
         if let Some(a) = self.shared_accuracy() {
-            return self.compute_shared(user, &a);
+            return self.compute_shared(user, &a, b.theta[user.idx()]);
         }
         let bound = b.model.bind(&b.train);
         let scorer = make_scorer_with_mask(&bound, b.accuracy_mode, &b.train, &self.in_train, b.n);
         let mut query = UserQuery::new(scorer.as_ref(), &b.train, &self.in_train, b.n);
-        self.query_topn(&mut query, user)
+        self.query_topn(&mut query, user, b.theta[user.idx()])
     }
 
-    /// One user's list through a prepared [`UserQuery`], serving cached
-    /// candidate runs when present and recording them when not.
-    fn query_topn(&self, query: &mut UserQuery<'_>, user: UserId) -> Vec<ItemId> {
+    /// One user's list through a prepared [`UserQuery`] at an explicit θ,
+    /// serving cached candidate runs when present and recording them when
+    /// not.
+    fn query_topn(&self, query: &mut UserQuery<'_>, user: UserId, theta_u: f64) -> Vec<ItemId> {
         let b = &self.bundle;
-        let theta_u = b.theta[user.idx()];
         let provider = b.coverage.provider();
         if let Some(runs) = self.cached_runs(user) {
             return query.topn_with_runs(user, theta_u, provider, runs);
@@ -283,6 +350,67 @@ impl EngineState {
             query.topn_excluding_recording(user, theta_u, provider, &self.extra_seen[user.idx()]);
         self.record_runs(user, runs);
         list
+    }
+
+    /// The override fused path: one user's list at an explicit θ with extra
+    /// per-request exclusions. Never consults precomputed seed lists (an
+    /// override always answers from the fused path — the oracle's
+    /// definition), never records candidate runs polluted by request
+    /// exclusions, and ignores exclusion ids outside the catalog (they can
+    /// never be recommended anyway).
+    fn compute_with(&self, user: UserId, theta_u: f64, exclude: &[u32]) -> Vec<ItemId> {
+        let b = &self.bundle;
+        if exclude.is_empty() {
+            // Same candidate pool as the default path: the hoisted-run
+            // cache applies (runs are θ-independent).
+            if let Some(a) = self.shared_accuracy() {
+                return self.compute_shared(user, &a, theta_u);
+            }
+            let bound = b.model.bind(&b.train);
+            let scorer =
+                make_scorer_with_mask(&bound, b.accuracy_mode, &b.train, &self.in_train, b.n);
+            let mut query = UserQuery::new(scorer.as_ref(), &b.train, &self.in_train, b.n);
+            return self.query_topn(&mut query, user, theta_u);
+        }
+        let merged = merge_sorted(&self.extra_seen[user.idx()], exclude);
+        if let Some(a) = self.shared_accuracy() {
+            let view = b.coverage.provider().view(user, theta_u);
+            return fused_select(
+                b.n,
+                theta_u,
+                &a,
+                &view,
+                &b.train,
+                &self.non_train,
+                user,
+                &merged,
+            );
+        }
+        let bound = b.model.bind(&b.train);
+        let scorer = make_scorer_with_mask(&bound, b.accuracy_mode, &b.train, &self.in_train, b.n);
+        let mut query = UserQuery::new(scorer.as_ref(), &b.train, &self.in_train, b.n);
+        query.topn_excluding(user, theta_u, b.coverage.provider(), &merged)
+    }
+
+    /// The online re-rank path: run `mode`'s re-ranker as a per-request
+    /// post-processor over the base model's raw scores, mirroring batch
+    /// [`ganc_rerank::rerank_all`] input-for-input (raw `score_items`
+    /// buffer, ascending unseen-train candidates) so a fresh engine's
+    /// output is byte-identical to the batch driver's. Post-fit ingests and
+    /// request exclusions additionally leave the candidate pool, matching
+    /// the fused path's staleness contract.
+    fn compute_rerank(&self, user: UserId, mode: RerankMode, exclude: &[u32]) -> Vec<ItemId> {
+        let b = &self.bundle;
+        let reranker = self.reranker(mode);
+        let bound = b.model.bind(&b.train);
+        let mut scores = vec![0.0f64; b.n_items() as usize];
+        bound.score_items(user, &mut scores);
+        let mut cands: Vec<u32> = unseen_train_candidates(&b.train, &self.in_train, user).collect();
+        let extra = &self.extra_seen[user.idx()];
+        if !extra.is_empty() || !exclude.is_empty() {
+            cands.retain(|i| extra.binary_search(i).is_err() && exclude.binary_search(i).is_err());
+        }
+        reranker.rerank(user, &scores, &cands, b.n)
     }
 }
 
@@ -399,6 +527,92 @@ impl ServingEngine {
         Ok((list, state.generation))
     }
 
+    /// Answer one request with per-request overrides. A default `opts`
+    /// delegates to the unmodified default path ([`recommend_traced`] —
+    /// cache included); any override computes fresh under the state read
+    /// lock and **never touches the user-keyed response cache** in either
+    /// direction: a cached default list must not answer an override, and an
+    /// override's list must not be served to a later default request.
+    ///
+    /// θ overrides serve the fused path at that θ (seed lists and all);
+    /// exclusions shrink the candidate pool for this request only; `rerank`
+    /// swaps the fused selection for the named batch re-ranker run online
+    /// (θ then only affects routing, never the list).
+    ///
+    /// [`recommend_traced`]: ServingEngine::recommend_traced
+    pub fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), ServeError> {
+        if opts.is_default() {
+            return self.recommend_traced(user);
+        }
+        let obs = self.obs.get();
+        let t0 = obs.map_or(0, |o| o.now_us());
+        let state = self.state.read().unwrap();
+        if user.idx() >= state.bundle.n_users() as usize {
+            if let Some(o) = obs {
+                o.record_error();
+            }
+            return Err(ServeError::UnknownUser(user));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let theta_u = opts.theta.unwrap_or_else(|| state.bundle.theta[user.idx()]);
+        let list = Arc::new(match opts.rerank {
+            Some(mode) => state.compute_rerank(user, mode, &opts.exclude),
+            None => state.compute_with(user, theta_u, &opts.exclude),
+        });
+        let generation = state.generation;
+        if let Some(o) = obs {
+            o.record_request(t0, user.0, generation, false, &list);
+        }
+        Ok((list, generation))
+    }
+
+    /// Batch counterpart of [`ServingEngine::recommend_with_traced`]: every
+    /// request in the batch shares one override set and one bundle
+    /// generation. A default `opts` delegates to the unmodified batch path.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> (Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64) {
+        if opts.is_default() {
+            return self.recommend_batch_traced(users);
+        }
+        let obs = self.obs.get();
+        let t0 = obs.map_or(0, |o| o.now_us());
+        let state = self.state.read().unwrap();
+        let generation = state.generation;
+        let n_users = state.bundle.n_users() as usize;
+        let mut served = 0u64;
+        let results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> = users
+            .iter()
+            .map(|&user| {
+                if user.idx() >= n_users {
+                    return Some(Err(ServeError::UnknownUser(user)));
+                }
+                served += 1;
+                let theta_u = opts.theta.unwrap_or_else(|| state.bundle.theta[user.idx()]);
+                let list = match opts.rerank {
+                    Some(mode) => state.compute_rerank(user, mode, &opts.exclude),
+                    None => state.compute_with(user, theta_u, &opts.exclude),
+                };
+                Some(Ok(Arc::new(list)))
+            })
+            .collect();
+        self.misses.fetch_add(served, Ordering::Relaxed);
+        if let Some(o) = obs {
+            o.record_batch(t0, generation, &results);
+        }
+        (
+            results.into_iter().map(|r| r.unwrap()).collect(),
+            generation,
+        )
+    }
+
     /// Answer a batch of requests, fanning cache misses across worker
     /// threads. Results come back in request order; unknown users get the
     /// per-request error.
@@ -496,7 +710,7 @@ impl ServingEngine {
                             let user = users[k];
                             let list = match state.seed_index.get(&user.0) {
                                 Some(&s) if is_dyn => b.seed_lists[s].1.clone(),
-                                _ => state.compute_shared(user, &a),
+                                _ => state.compute_shared(user, &a, b.theta[user.idx()]),
                             };
                             out.push((k, Arc::new(list)));
                         }
@@ -515,7 +729,7 @@ impl ServingEngine {
                         let user = users[k];
                         let list = match state.seed_index.get(&user.0) {
                             Some(&s) if is_dyn => b.seed_lists[s].1.clone(),
-                            _ => state.query_topn(&mut query, user),
+                            _ => state.query_topn(&mut query, user, b.theta[user.idx()]),
                         };
                         out.push((k, Arc::new(list)));
                     }

@@ -66,7 +66,8 @@ pub mod wal;
 
 pub use batch::{BatchConfig, BatchSource, CoalescedAnswer, Coalescer, MicroBatcher};
 pub use bundle::{make_scorer, BoundModel, CoverageState, FitConfig, FittedModel, ModelBundle};
-pub use engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
+pub use engine::{build_reranker, EngineConfig, EngineStats, ServeError, ServingEngine};
+pub use ganc_core::query::{RequestOptions, RerankMode};
 pub use lru::LruCache;
 pub use refit::{
     merge_interactions, AdaptiveCadence, CadenceConfig, Clock, ManualClock, RefitController,
@@ -78,6 +79,6 @@ pub use shard::{
 };
 pub use wal::{
     crc32, decode_stream, encode_record, validate_key, DedupWindow, DurableConfig, DurableLog,
-    IngestAck, Wal, WalRecord, WalReplaySummary, WalStats, MAX_KEY_LEN, MAX_PAYLOAD, WAL_MAGIC,
-    WAL_VERSION,
+    IngestAck, SyncPolicy, Wal, WalRecord, WalReplaySummary, WalStats, MAX_KEY_LEN, MAX_PAYLOAD,
+    WAL_MAGIC, WAL_VERSION,
 };

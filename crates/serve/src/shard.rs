@@ -25,7 +25,7 @@ use crate::bundle::ModelBundle;
 use crate::engine::{EngineConfig, EngineStats, ServeError, ServingEngine};
 use crate::saveload::{PersistError, SaveLoad};
 use crate::wal::{DurableConfig, DurableLog, IngestAck, WalReplaySummary, WalStats};
-use ganc_core::query::{band_bounds, cut_theta_bands, shard_of};
+use ganc_core::query::{band_bounds, cut_theta_bands, shard_of, RequestOptions};
 use ganc_dataset::{ItemId, UserId};
 use ganc_obs::{Counter, Gauge, ObsHub, TraceData, WindowFold, WindowStats, WindowWire};
 use std::path::{Path, PathBuf};
@@ -102,6 +102,12 @@ struct ShardSet {
     info: Vec<ShardInfo>,
     /// Per-user shard index, derived from the bundle's θ and the cuts.
     user_shard: Vec<u16>,
+    /// The ascending θ cut points this generation was built with — the
+    /// routing table a per-request θ override resolves through
+    /// ([`shard_of`]): the overridden request runs on the band that *owns*
+    /// that θ (whose snapshot sub-range can resolve it), not the user's
+    /// home band.
+    cuts: Vec<f64>,
     /// The unsliced bundle this generation was built from — the baseline
     /// the next refit merges ingested interactions into. Shared (`Arc`)
     /// with the [`crate::refit::RefitOutcome`] that installed it, so
@@ -150,6 +156,7 @@ impl ShardSet {
             engines,
             info,
             user_shard,
+            cuts,
             bundle,
             generation,
         }
@@ -458,6 +465,82 @@ impl ShardedEngine {
                 handles.push(scope.spawn(move || {
                     let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
                     let answers = engine.recommend_batch(&sub);
+                    idxs.into_iter().zip(answers).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (k, answer) in h.join().expect("shard worker panicked") {
+                    results[k] = Some(answer);
+                }
+            }
+        });
+        (
+            results.into_iter().map(|r| r.unwrap()).collect(),
+            generation,
+        )
+    }
+
+    /// Answer one request with per-request overrides. A θ override routes
+    /// through the generation's cut points to the band that **owns** that θ
+    /// ([`shard_of`]) — the only band whose coverage sub-range can resolve
+    /// it — instead of the user's home band; all other overrides run on the
+    /// home band. A default `opts` delegates to the unmodified default
+    /// path.
+    pub fn recommend_with_traced(
+        &self,
+        user: UserId,
+        opts: &RequestOptions,
+    ) -> Result<(Arc<Vec<ItemId>>, u64), ServeError> {
+        if opts.is_default() {
+            return self.recommend_traced(user);
+        }
+        let set = self.set.read().unwrap();
+        let Some(&home) = set.user_shard.get(user.idx()) else {
+            return Err(ServeError::UnknownUser(user));
+        };
+        let shard = match opts.theta {
+            Some(t) => shard_of(&set.cuts, t),
+            None => home as usize,
+        };
+        let (list, _) = set.engines[shard].recommend_with_traced(user, opts)?;
+        Ok((list, set.generation))
+    }
+
+    /// Batch counterpart of [`ShardedEngine::recommend_with_traced`]: a θ
+    /// override sends the whole batch to the band that owns that θ; other
+    /// overrides split per home band as usual. A default `opts` delegates
+    /// to the unmodified batch path.
+    #[allow(clippy::type_complexity)]
+    pub fn recommend_batch_with_traced(
+        &self,
+        users: &[UserId],
+        opts: &RequestOptions,
+    ) -> (Vec<Result<Arc<Vec<ItemId>>, ServeError>>, u64) {
+        if opts.is_default() {
+            return self.recommend_batch_traced(users);
+        }
+        let set = self.set.read().unwrap();
+        let generation = set.generation;
+        let theta_shard = opts.theta.map(|t| shard_of(&set.cuts, t));
+        let mut results: Vec<Option<Result<Arc<Vec<ItemId>>, ServeError>>> =
+            vec![None; users.len()];
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); set.engines.len()];
+        for (k, u) in users.iter().enumerate() {
+            match set.user_shard.get(u.idx()) {
+                Some(&home) => per_shard[theta_shard.unwrap_or(home as usize)].push(k),
+                None => results[k] = Some(Err(ServeError::UnknownUser(*u))),
+            }
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, idxs) in per_shard.into_iter().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let engine = &set.engines[shard];
+                handles.push(scope.spawn(move || {
+                    let sub: Vec<UserId> = idxs.iter().map(|&k| users[k]).collect();
+                    let (answers, _) = engine.recommend_batch_with_traced(&sub, opts);
                     idxs.into_iter().zip(answers).collect::<Vec<_>>()
                 }));
             }

@@ -21,12 +21,14 @@
 //! Truncation is atomic (write a fresh log beside the live one, then
 //! `rename` over it) and keeps everything still unaccounted for: ingests
 //! that raced the refit stay as full records, already-refitted keys shrink
-//! to stubs. Durability is against process death (the crash-recovery
-//! oracle in `tests/wal_recovery.rs` SIGKILLs a node mid-storm); appends
-//! are written but not fsynced, so power-loss durability would add an
-//! `fsync` knob — a deliberate trade against ingest latency.
+//! to stubs. Process-death durability (the crash-recovery oracle in
+//! `tests/wal_recovery.rs` SIGKILLs a node mid-storm) comes from the
+//! ack-after-append discipline alone; **power-loss** durability is the
+//! [`SyncPolicy`] knob on [`DurableConfig`] — `fdatasync` per append,
+//! clock-driven group commit, or the OS-flush-only default.
 
 use ganc_dataset::{ItemId, UserId};
+use ganc_obs::clock::{Clock, SystemClock};
 use ganc_obs::{Counter, ObsHub, TraceData};
 use std::collections::{HashSet, VecDeque};
 use std::fs::{File, OpenOptions};
@@ -34,6 +36,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Leading magic bytes of every WAL file.
 pub const WAL_MAGIC: [u8; 4] = *b"GWAL";
@@ -409,7 +412,9 @@ impl Wal {
     }
 
     /// Append one record (written before the caller acknowledges the
-    /// ingest — the whole point).
+    /// ingest — the whole point). Flushed to the OS, not fsynced: pair
+    /// with [`Wal::sync_data`] under a [`SyncPolicy`] for power-loss
+    /// durability.
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
         let frame = encode_record(rec);
         self.file.write_all(&frame)?;
@@ -417,6 +422,13 @@ impl Wal {
         self.records += 1;
         self.bytes += frame.len() as u64;
         Ok(())
+    }
+
+    /// Force appended records onto stable storage (`fdatasync`): the
+    /// power-loss half of durability that [`Wal::append`]'s OS flush alone
+    /// does not provide.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        self.file.sync_data()
     }
 
     /// Atomically replace the log's contents: write a sibling file, fsync
@@ -545,6 +557,29 @@ pub enum IngestAck {
     Deduplicated,
 }
 
+/// When acknowledged appends reach **stable storage**, closing (or
+/// bounding) the power-loss window that [`Wal::append`]'s OS-level flush
+/// leaves open. Orthogonal to process-crash durability: every policy
+/// survives SIGKILL; the policies differ only in what a power cut or
+/// kernel panic can take with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Flush to the OS page cache only (the pre-policy behavior, and the
+    /// default): acknowledged ingests survive process death but a power
+    /// cut may lose any number of them.
+    Flush,
+    /// `fdatasync` before every acknowledgement: zero-loss under power
+    /// cuts, at the cost of one device sync per append (benched in
+    /// `BENCH_serve.json` under `"wal"`).
+    PerAppend,
+    /// Group commit: an append `fdatasync`s only when the last sync is at
+    /// least this old (measured on the injected [`Clock`]), so a burst of
+    /// appends shares one device sync. A power cut can lose at most the
+    /// appends acknowledged since the last sync — a bounded window traded
+    /// for near-[`SyncPolicy::Flush`] throughput.
+    Interval(Duration),
+}
+
 /// Durable-log construction knobs.
 #[derive(Debug, Clone)]
 pub struct DurableConfig {
@@ -561,15 +596,19 @@ pub struct DurableConfig {
     /// until restart) — truncating after an in-memory-only swap would
     /// orphan the consumed ingests on the next crash.
     pub artifact_path: Option<PathBuf>,
+    /// When acknowledged appends are fsynced (power-loss durability).
+    pub sync_policy: SyncPolicy,
 }
 
 impl DurableConfig {
-    /// Defaults: 4096-key window, no artifact persistence.
+    /// Defaults: 4096-key window, no artifact persistence, OS-flush-only
+    /// sync policy.
     pub fn new(path: impl Into<PathBuf>) -> DurableConfig {
         DurableConfig {
             path: path.into(),
             dedup_window: 4096,
             artifact_path: None,
+            sync_policy: SyncPolicy::Flush,
         }
     }
 }
@@ -581,6 +620,9 @@ struct DurableInner {
     /// with the engine's in-memory refit log so a truncation knows which
     /// prefix a refit consumed.
     pending: Vec<WalRecord>,
+    /// When the log last reached stable storage (clock time), for
+    /// [`SyncPolicy::Interval`] group commit.
+    last_sync: Duration,
 }
 
 /// WAL metric handles, registered at [`DurableLog::attach_obs`].
@@ -613,6 +655,11 @@ pub struct WalStats {
     pub dedup_window: usize,
     /// Keys the dedup window has forgotten to make room for newer ones.
     pub dedup_evictions: u64,
+    /// Device syncs (`fdatasync`) issued by the [`SyncPolicy`]. Always 0
+    /// under [`SyncPolicy::Flush`]; equals `appends` under
+    /// [`SyncPolicy::PerAppend`]; counts group commits under
+    /// [`SyncPolicy::Interval`].
+    pub syncs: u64,
 }
 
 /// The WAL + dedup window + counters bundle a durable node threads through
@@ -621,9 +668,14 @@ pub struct DurableLog {
     inner: Mutex<DurableInner>,
     artifact_path: Option<PathBuf>,
     replay: WalReplaySummary,
+    sync_policy: SyncPolicy,
+    /// Clock the [`SyncPolicy::Interval`] group commit reads; injected so
+    /// tests drive the interval deterministically.
+    clock: Arc<dyn Clock>,
     appends: AtomicU64,
     truncations: AtomicU64,
     dedup_hits: AtomicU64,
+    syncs: AtomicU64,
     obs: OnceLock<WalObs>,
 }
 
@@ -633,6 +685,17 @@ impl DurableLog {
     /// normal ingest path (the dedup window is already re-armed).
     #[allow(clippy::type_complexity)]
     pub fn open(cfg: DurableConfig) -> io::Result<(DurableLog, Vec<(UserId, ItemId, f32)>)> {
+        DurableLog::open_with_clock(cfg, Arc::new(SystemClock::new()))
+    }
+
+    /// [`DurableLog::open`] with an injected clock for the
+    /// [`SyncPolicy::Interval`] group commit (tests drive a
+    /// [`ganc_obs::clock::ManualClock`]).
+    #[allow(clippy::type_complexity)]
+    pub fn open_with_clock(
+        cfg: DurableConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<(DurableLog, Vec<(UserId, ItemId, f32)>)> {
         let (wal, records, replay) = Wal::open(&cfg.path)?;
         let mut window = DedupWindow::new(cfg.dedup_window);
         let mut recovered = Vec::new();
@@ -657,20 +720,30 @@ impl DurableLog {
                 }
             }
         }
+        let last_sync = clock.now();
         let log = DurableLog {
             inner: Mutex::new(DurableInner {
                 wal,
                 window,
                 pending,
+                last_sync,
             }),
             artifact_path: cfg.artifact_path,
             replay,
+            sync_policy: cfg.sync_policy,
+            clock,
             appends: AtomicU64::new(0),
             truncations: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
             obs: OnceLock::new(),
         };
         Ok((log, recovered))
+    }
+
+    /// The configured power-loss sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
     }
 
     /// Where a refit swap should persist the refitted bundle, when
@@ -718,6 +791,25 @@ impl DurableLog {
             key: key.map(str::to_string),
         };
         inner.wal.append(&rec)?;
+        // Apply the power-loss policy before the acknowledgement escapes
+        // the mutex: under `PerAppend` the ack implies the record is on
+        // stable storage, under `Interval` at most one interval's appends
+        // ride the page cache.
+        match self.sync_policy {
+            SyncPolicy::Flush => {}
+            SyncPolicy::PerAppend => {
+                inner.wal.sync_data()?;
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            SyncPolicy::Interval(every) => {
+                let now = self.clock.now();
+                if now.saturating_sub(inner.last_sync) >= every {
+                    inner.wal.sync_data()?;
+                    inner.last_sync = now;
+                    self.syncs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         if let Some(k) = key {
             inner.window.observe(k);
         }
@@ -835,6 +927,7 @@ impl DurableLog {
             dedup_keys: inner.window.len(),
             dedup_window: inner.window.cap(),
             dedup_evictions: inner.window.evictions(),
+            syncs: self.syncs.load(Ordering::Relaxed),
         }
     }
 }
@@ -1037,6 +1130,72 @@ mod tests {
                 .unwrap(),
             IngestAck::Deduplicated
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_policy_flush_never_syncs_and_per_append_always_does() {
+        let path = tmp("sync_flush");
+        {
+            let (log, _) = DurableLog::open(DurableConfig::new(&path)).unwrap();
+            for k in 0..3u32 {
+                log.append(None, 0, UserId(0), ItemId(k), 3.0).unwrap();
+            }
+            assert_eq!(log.stats().syncs, 0, "Flush must never touch the device");
+        }
+        std::fs::remove_file(&path).ok();
+
+        let path = tmp("sync_per_append");
+        let cfg = DurableConfig {
+            sync_policy: SyncPolicy::PerAppend,
+            ..DurableConfig::new(&path)
+        };
+        let (log, _) = DurableLog::open(cfg).unwrap();
+        for k in 0..3u32 {
+            log.append(None, 0, UserId(0), ItemId(k), 3.0).unwrap();
+        }
+        let stats = log.stats();
+        assert_eq!((stats.appends, stats.syncs), (3, 3), "one sync per ack");
+        // A deduplicated resend writes nothing, so it must sync nothing.
+        log.append(Some("k1"), 0, UserId(0), ItemId(9), 3.0)
+            .unwrap();
+        log.append(Some("k1"), 0, UserId(0), ItemId(9), 3.0)
+            .unwrap();
+        assert_eq!(log.stats().syncs, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_policy_interval_group_commits_on_the_injected_clock() {
+        use ganc_obs::clock::ManualClock;
+        let path = tmp("sync_interval");
+        let clock = Arc::new(ManualClock::new());
+        let cfg = DurableConfig {
+            sync_policy: SyncPolicy::Interval(Duration::from_millis(10)),
+            ..DurableConfig::new(&path)
+        };
+        let (log, _) =
+            DurableLog::open_with_clock(cfg, Arc::clone(&clock) as Arc<dyn Clock>).unwrap();
+
+        // A burst inside the interval shares the page cache: no syncs.
+        for k in 0..5u32 {
+            log.append(None, 0, UserId(0), ItemId(k), 3.0).unwrap();
+        }
+        assert_eq!(log.stats().syncs, 0, "interval not yet elapsed");
+
+        // Crossing the interval: the next append carries the group commit.
+        clock.advance(Duration::from_millis(10));
+        log.append(None, 0, UserId(0), ItemId(5), 3.0).unwrap();
+        assert_eq!(log.stats().syncs, 1, "first append past the interval syncs");
+
+        // The window restarts from that sync, not from each append.
+        log.append(None, 0, UserId(0), ItemId(6), 3.0).unwrap();
+        clock.advance(Duration::from_millis(9));
+        log.append(None, 0, UserId(0), ItemId(7), 3.0).unwrap();
+        assert_eq!(log.stats().syncs, 1, "9ms since last sync: still grouped");
+        clock.advance(Duration::from_millis(1));
+        log.append(None, 0, UserId(0), ItemId(8), 3.0).unwrap();
+        assert_eq!(log.stats().syncs, 2);
         std::fs::remove_file(&path).ok();
     }
 

@@ -235,6 +235,95 @@ fn bad_json_and_unknown_routes_keep_the_connection() {
     assert_eq!(resp.status, 200);
 }
 
+/// Malformed per-request override parameters — `theta` out of range or
+/// non-numeric, `exclude` with junk entries, `rerank` naming an unknown
+/// mode — answer 400 with a JSON error body and keep the connection, the
+/// same recoverable contract as any other semantically bad request. The
+/// pre-existing unknown-parameter 400 survives the new parameters.
+#[test]
+fn malformed_override_params_get_400_and_keep_the_connection() {
+    let server = spawn_server();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    for (path, why) in [
+        ("/v1/recommend/0?theta=abc", "non-numeric theta"),
+        ("/v1/recommend/0?theta=1.5", "theta above 1"),
+        ("/v1/recommend/0?theta=-0.1", "theta below 0"),
+        ("/v1/recommend/0?theta=NaN", "non-finite theta"),
+        ("/v1/recommend/0?exclude=1,x,3", "junk exclude entry"),
+        ("/v1/recommend/0?exclude=-1", "negative exclude id"),
+        ("/v1/recommend/0?rerank=bogus", "unknown rerank mode"),
+        ("/v1/recommend/0?rerank=", "empty rerank mode"),
+        ("/v1/recommend/0?boost=2", "unknown parameter"),
+    ] {
+        let resp = client.request("GET", path, None).unwrap();
+        assert_eq!(resp.status, 400, "{why}: {path}");
+        let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap())
+            .unwrap_or_else(|e| panic!("{why}: body is not JSON ({e})"));
+        assert!(
+            v["error"].as_str().is_some(),
+            "{why}: 400 without an \"error\" key"
+        );
+        assert!(resp.keep_alive, "{why} must not cost the connection");
+    }
+
+    // Same contract for the batch body fields.
+    for (body, why) in [
+        (
+            "{\"users\":[0],\"theta\":\"abc\"}",
+            "non-numeric batch theta",
+        ),
+        ("{\"users\":[0],\"theta\":2.0}", "out-of-range batch theta"),
+        (
+            "{\"users\":[0],\"exclude\":[1,\"x\"]}",
+            "junk batch exclude",
+        ),
+        ("{\"users\":[0],\"exclude\":7}", "non-array batch exclude"),
+        (
+            "{\"users\":[0],\"rerank\":\"bogus\"}",
+            "unknown batch rerank",
+        ),
+    ] {
+        let resp = client
+            .request("POST", "/v1/recommend:batch", Some(body))
+            .unwrap();
+        assert_eq!(resp.status, 400, "{why}: {body}");
+        let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(v["error"].as_str().is_some(), "{why}");
+        assert!(resp.keep_alive, "{why} must not cost the connection");
+    }
+
+    // The same connection still serves a good overridden request.
+    let resp = client
+        .request(
+            "GET",
+            "/v1/recommend/0?theta=0.5&exclude=1,2&rerank=pra",
+            None,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "valid overrides after the refusals");
+    assert_alive(&server, "malformed overrides");
+}
+
+/// `n=0` is a valid request for an empty list: 200 with `"items":[]`,
+/// not an error — pinned so truncation never turns into a refusal.
+#[test]
+fn n_zero_answers_an_empty_list_200() {
+    let server = spawn_server();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let resp = client.request("GET", "/v1/recommend/0?n=0", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(v["items"].as_array().map(Vec::len), Some(0));
+    assert_eq!(v["user"].as_u64(), Some(0));
+    // The empty list is a truncation, not a failure: the same connection
+    // immediately serves the full list.
+    let resp = client.request("GET", "/v1/recommend/0", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = tinyjson::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert!(v["items"].as_array().map(Vec::len).unwrap_or(0) > 0);
+}
+
 /// Idempotency keys that could smuggle headers (CR/LF via the JSON body
 /// `"key"` field — a real header can't carry them) or that the WAL replay
 /// decoder would refuse (oversized) must be 400'd at ingress, never

@@ -554,6 +554,97 @@ fn resent_keyed_ingest_after_partial_fanout_bumps_locals_once() {
     assert_eq!(remote_engine.stats().ingested, 1);
 }
 
+/// The router-restart dedup fix: the router's key windows used to be
+/// memory-only, so a restart mid-repair-sequence forgot every consumed
+/// key — a client retrying "resend on 502, same key" against the new
+/// process would double-bump local live popularity and re-apply to
+/// remotes. With a router WAL ([`RouterNode::with_wal`]) the windows are
+/// persisted as key stubs and replayed on construction: a resent
+/// fully-acked key answers `Deduplicated` before any dispatch, and a
+/// mid-repair key (locals applied, a remote still missing it) repairs
+/// the remote without touching local counters.
+#[test]
+fn router_restart_remembers_consumed_keys_mid_repair() {
+    let path = scratch("router_dedup");
+    let (_, bundle) = fixture();
+    let cuts = cut_theta_bands(&bundle.theta, 2);
+    let (lo0, hi0) = band_bounds(&cuts, 0);
+    let (lo1, hi1) = band_bounds(&cuts, 1);
+    let local = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo0, hi0),
+        EngineConfig::default(),
+    ));
+    let remote_engine = Arc::new(ServingEngine::new(
+        bundle.slice_theta_band(lo1, hi1),
+        EngineConfig::default(),
+    ));
+    let flaky = FlakyPeer::new(
+        Arc::new(Frontend::Single(Arc::clone(&remote_engine))) as Arc<dyn PeerTransport>
+    );
+    let routes = || {
+        vec![
+            ShardRoute::Local(Arc::clone(&local)),
+            ShardRoute::Remote(Arc::clone(&flaky) as Arc<dyn PeerTransport>),
+        ]
+    };
+    let router =
+        RouterNode::with_wal(Arc::clone(&bundle.theta), cuts.clone(), routes(), &path).unwrap();
+
+    // "full-1" lands everywhere: both windows remember it.
+    let ack = router
+        .ingest_keyed(Some("full-1"), UserId(0), ItemId(1), 4.0)
+        .unwrap();
+    assert_eq!(ack, IngestAck::Applied);
+
+    // "partial-1" fails on the remote hop after the local slice applied:
+    // the local window remembers it, the fully-acked window must not.
+    flaky.fail_ingests(1);
+    router
+        .ingest_keyed(Some("partial-1"), UserId(0), ItemId(2), 3.0)
+        .expect_err("partial fan-out must not be acked");
+    assert_eq!(local.stats().ingested, 2, "local slice applied both");
+    assert_eq!(remote_engine.stats().ingested, 1, "remote missed partial-1");
+
+    // Kill the router mid-repair-sequence; the client's retry loop does
+    // not know and will resend both keys against the next process.
+    drop(router);
+    let router = RouterNode::with_wal(Arc::clone(&bundle.theta), cuts, routes(), &path).unwrap();
+
+    // The fully-acked key short-circuits before any dispatch — the
+    // remote engine's counter proves no route saw the resend.
+    let ack = router
+        .ingest_keyed(Some("full-1"), UserId(0), ItemId(1), 4.0)
+        .unwrap();
+    assert_eq!(ack, IngestAck::Deduplicated, "restart forgot full-1");
+    assert_eq!(remote_engine.stats().ingested, 1, "dedup must not dispatch");
+    assert_eq!(local.stats().ingested, 2);
+
+    // The mid-repair key repairs the remote, locals stay bumped once.
+    let ack = router
+        .ingest_keyed(Some("partial-1"), UserId(0), ItemId(2), 3.0)
+        .unwrap();
+    assert_eq!(ack, IngestAck::Applied);
+    assert_eq!(remote_engine.stats().ingested, 2, "remote repaired");
+    assert_eq!(
+        local.stats().ingested,
+        2,
+        "restart + resend must not double-bump local live popularity"
+    );
+
+    // And the repair itself is durable: a further restart still answers
+    // the third resend as deduplicated.
+    drop(router);
+    let cuts = cut_theta_bands(&bundle.theta, 2);
+    let router = RouterNode::with_wal(Arc::clone(&bundle.theta), cuts, routes(), &path).unwrap();
+    let ack = router
+        .ingest_keyed(Some("partial-1"), UserId(0), ItemId(2), 3.0)
+        .unwrap();
+    assert_eq!(ack, IngestAck::Deduplicated);
+    assert_eq!(remote_engine.stats().ingested, 2);
+    assert_eq!(local.stats().ingested, 2);
+    std::fs::remove_file(&path).ok();
+}
+
 /// A WAL whose records are outside the artifact's id space is a
 /// deployment error (wrong pairing) and must be refused loudly — never
 /// silently dropped, never applied.
